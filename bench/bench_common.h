@@ -1,0 +1,66 @@
+// Shared helpers for the paper-figure bench binaries.
+//
+// Every binary regenerates one table or figure from the paper's evaluation:
+// it builds the paper's workload (timing plane only -- tensor contents are
+// never touched), runs COMET and the baselines, and prints the same
+// rows/series the paper reports, plus the paper's reference numbers where
+// the text states them.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/fastermoe.h"
+#include "baselines/megatron.h"
+#include "baselines/tutel.h"
+#include "core/comet_executor.h"
+#include "exec/execution.h"
+#include "moe/workload.h"
+#include "util/table.h"
+
+namespace comet::bench {
+
+// Builds a timing-plane workload (no tensor materialization).
+inline MoeWorkload TimedWorkload(const ModelConfig& model,
+                                 const ParallelConfig& parallel,
+                                 int64_t total_tokens, double load_std = 0.0,
+                                 uint64_t seed = 1) {
+  WorkloadOptions options;
+  options.seed = seed;
+  options.load_std = load_std;
+  options.materialize = false;
+  return MakeWorkload(model, parallel, total_tokens, options);
+}
+
+// The five systems of the paper's evaluation, in its plotting order.
+struct SystemSet {
+  MegatronExecutor megatron_te = MakeMegatronTe();
+  MegatronExecutor megatron_cutlass = MakeMegatronCutlass();
+  FasterMoeExecutor fastermoe;
+  TutelExecutor tutel;
+  CometExecutor comet;
+
+  std::vector<MoeLayerExecutor*> All() {
+    return {&megatron_te, &megatron_cutlass, &fastermoe, &tutel, &comet};
+  }
+  std::vector<MoeLayerExecutor*> Baselines() {
+    return {&megatron_te, &megatron_cutlass, &fastermoe, &tutel};
+  }
+};
+
+inline void PrintHeader(const std::string& title, const std::string& setup) {
+  std::cout << "=== " << title << " ===\n";
+  if (!setup.empty()) {
+    std::cout << setup << "\n";
+  }
+  std::cout << "\n";
+}
+
+inline void PrintPaperNote(const std::string& note) {
+  std::cout << "paper reference: " << note << "\n\n";
+}
+
+}  // namespace comet::bench

@@ -1,0 +1,54 @@
+// Extension experiment: capacity-factor token dropping under imbalanced
+// routing. Production MoE systems (GShard, Switch, the Megatron family)
+// bound each expert's batch with a capacity factor; dropping shaves the hot
+// rank that sets the layer makespan. This interacts directly with the
+// paper's Figure 14 (left): COMET tolerates imbalance better than the
+// baselines, so it needs LESS dropping for the same latency.
+#include "bench/bench_common.h"
+#include "moe/router.h"
+
+using namespace comet;
+using namespace comet::bench;
+
+int main() {
+  ModelConfig model = Mixtral8x7B();
+  model.num_experts = 8;
+  model.topk = 2;
+  const ParallelConfig parallel{1, 8};
+  const auto cluster = H800Cluster(8);
+  const int64_t m_tokens = 8192;
+
+  PrintHeader("Extension: capacity factor vs imbalance",
+              "E=8 topk=2 M=8192 EP=8, Mixtral experts, H800x8; layer ms");
+
+  for (const double load_std : {0.02, 0.05}) {
+    std::cout << "-- routed load std = " << load_std << " --\n";
+    AsciiTable table({"capacity factor", "dropped pairs", "drop %",
+                      "Megatron", "Comet", "speedup"});
+    for (const double cf : {1.0, 1.25, 1.5, 2.0, 1e9}) {
+      MoeWorkload w = TimedWorkload(model, parallel, m_tokens, load_std);
+      const int64_t pairs = m_tokens * model.topk;
+      const DropStats stats =
+          ApplyCapacityFactor(w.routing, model.num_experts, cf);
+      w.plan = RoutePlan(w.placement, w.routing);
+
+      MegatronExecutor megatron = MakeMegatronCutlass();
+      CometExecutor comet;
+      const double base =
+          megatron.Run(w, cluster, ExecMode::kTimedOnly).duration_us;
+      const double ours =
+          comet.Run(w, cluster, ExecMode::kTimedOnly).duration_us;
+      table.AddRow({cf > 100 ? "inf (no drop)" : FormatDouble(cf, 2),
+                    std::to_string(stats.dropped_pairs),
+                    FormatPercent(stats.DropFraction(pairs)),
+                    FormatUsAsMs(base), FormatUsAsMs(ours),
+                    FormatSpeedup(base / ours)});
+    }
+    std::cout << table.Render() << "\n";
+  }
+  PrintPaperNote(
+      "no direct figure; relates to Fig. 14 (left). Expected shape: "
+      "smaller capacity factors cut the hot rank's makespan for both "
+      "systems, and COMET keeps its speedup at every drop level.");
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Figure 11: time breakdown of one MoE layer.
+//
+// Setup: EP = 8, TP = 1, E = 8, topk = 2, M = 16384, Mixtral expert shapes,
+// 8x H800. For every system we report per-category busy time, the layer
+// duration, and the fraction of communication wall-clock hidden behind
+// computation. Paper: COMET hides 86.5% of communication on average;
+// FasterMoE 29.2%; Tutel 68.6%; the Megatron variants overlap nothing.
+#include "bench/bench_common.h"
+#include "sim/timeline.h"
+
+using namespace comet;
+using namespace comet::bench;
+
+int main() {
+  ModelConfig model = Mixtral8x7B();
+  model.num_experts = 8;
+  model.topk = 2;
+  const ParallelConfig parallel{1, 8};
+  const int64_t m_tokens = 16384;
+  const auto cluster = H800Cluster(8);
+  const MoeWorkload workload = TimedWorkload(model, parallel, m_tokens);
+
+  PrintHeader("Figure 11: MoE layer time breakdown",
+              "EP=8 TP=1 E=8 topk=2 M=16384, H800x8, times in ms");
+
+  AsciiTable table({"system", "gating", "l0-comm", "l0-comp", "act", "l1-comp",
+                    "l1-comm", "host", "total", "hidden comm"});
+  SystemSet systems;
+  for (MoeLayerExecutor* exec : systems.All()) {
+    const LayerExecution run =
+        exec->Run(workload, cluster, ExecMode::kTimedOnly);
+    const Timeline& tl = run.timeline;
+    // Wall-clock union per category: fused kernels run thousands of tile
+    // intervals in parallel, so summed busy time would overcount.
+    table.AddRow({exec->name(),
+                  FormatUsAsMs(tl.UnionTime(OpCategory::kGating)),
+                  FormatUsAsMs(tl.UnionTime(OpCategory::kLayer0Comm)),
+                  FormatUsAsMs(tl.UnionTime(OpCategory::kLayer0Comp)),
+                  FormatUsAsMs(tl.UnionTime(OpCategory::kActivation)),
+                  FormatUsAsMs(tl.UnionTime(OpCategory::kLayer1Comp)),
+                  FormatUsAsMs(tl.UnionTime(OpCategory::kLayer1Comm)),
+                  FormatUsAsMs(tl.UnionTime(OpCategory::kHost)),
+                  FormatUsAsMs(run.duration_us),
+                  FormatPercent(tl.HiddenCommFraction())});
+  }
+  std::cout << table.Render() << "\n";
+  PrintPaperNote(
+      "Comet hides 86.5% of communication latency; FasterMoE 29.2%, "
+      "Tutel 68.6%, Megatron-Cutlass/TE 0%.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Figure 13: single MoE layer duration for E in {8, 16} and topk in
+// {1, 2, 4, 8} (M=16384, EP=8, TP=1, Mixtral shapes, H800x8).
+//
+// Paper: duration grows with topk (more routed computation); COMET is
+// consistently fastest with speedups between 1.16x and 1.83x.
+#include "bench/bench_common.h"
+#include "util/stats.h"
+
+using namespace comet;
+using namespace comet::bench;
+
+int main() {
+  const int64_t m_tokens = 16384;
+  const ParallelConfig parallel{1, 8};
+  const auto cluster = H800Cluster(8);
+
+  PrintHeader("Figure 13: MoE layer duration vs E and topk",
+              "M=16384, EP=8 TP=1, Mixtral shapes, H800x8; durations in ms");
+
+  std::vector<double> speedups;
+  for (int64_t experts : {8, 16}) {
+    std::cout << "--- E=" << experts << " ---\n";
+    AsciiTable table({"topk", "Megatron-TE", "Megatron-Cutlass", "FasterMoE",
+                      "Tutel", "Comet"});
+    for (int64_t topk : {1, 2, 4, 8}) {
+      ModelConfig model = Mixtral8x7B();
+      model.num_experts = experts;
+      model.topk = topk;
+      const MoeWorkload workload = TimedWorkload(model, parallel, m_tokens);
+      SystemSet systems;
+      std::vector<std::string> row = {std::to_string(topk)};
+      double comet_us = 0.0;
+      std::vector<double> baselines;
+      for (MoeLayerExecutor* exec : systems.All()) {
+        const LayerExecution run =
+            exec->Run(workload, cluster, ExecMode::kTimedOnly);
+        row.push_back(FormatUsAsMs(run.duration_us));
+        if (exec == &systems.comet) {
+          comet_us = run.duration_us;
+        } else {
+          baselines.push_back(run.duration_us);
+        }
+      }
+      for (double b : baselines) {
+        speedups.push_back(b / comet_us);
+      }
+      table.AddRow(std::move(row));
+    }
+    std::cout << table.Render() << "\n";
+  }
+  std::cout << "speedup vs baselines: min "
+            << FormatSpeedup(*std::min_element(speedups.begin(), speedups.end()))
+            << ", mean " << FormatSpeedup(GeometricMean(speedups)) << ", max "
+            << FormatSpeedup(*std::max_element(speedups.begin(),
+                                               speedups.end()))
+            << "\n\n";
+  PrintPaperNote("Comet yields 1.16x to 1.83x speedup across E and topk; "
+                 "duration increases with topk.");
+  return 0;
+}

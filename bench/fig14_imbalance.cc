@@ -1,0 +1,45 @@
+// Figure 14 (left): MoE layer duration under imbalanced token distributions.
+//
+// Setup: E=8, topk=2, M=8192, TP=1, EP=8, H800x8. The x-axis is the std of
+// the per-expert token fraction: 0 = uniform; 0.032 = the average measured
+// in ByteDance production training; 0.05 = the least-loaded expert receives
+// only a few hundred tokens. Paper: latency grows with imbalance for every
+// system and COMET consistently leads.
+#include "bench/bench_common.h"
+
+using namespace comet;
+using namespace comet::bench;
+
+int main() {
+  ModelConfig model = Mixtral8x7B();
+  model.num_experts = 8;
+  model.topk = 2;
+  const ParallelConfig parallel{1, 8};
+  const int64_t m_tokens = 8192;
+  const auto cluster = H800Cluster(8);
+
+  PrintHeader("Figure 14 (left): MoE layer duration vs token imbalance",
+              "E=8 topk=2 M=8192 EP=8 TP=1, H800x8; durations in ms; "
+              "std = per-expert load fraction std (production avg = 0.032)");
+
+  AsciiTable table({"std", "achieved std", "Megatron-TE", "Megatron-Cutlass",
+                    "FasterMoE", "Tutel", "Comet"});
+  for (double target_std : {0.0, 0.01, 0.02, 0.032, 0.04, 0.05}) {
+    const MoeWorkload workload =
+        TimedWorkload(model, parallel, m_tokens, target_std, /*seed=*/3);
+    SystemSet systems;
+    std::vector<std::string> row = {
+        FormatDouble(target_std, 3),
+        FormatDouble(workload.routing.LoadStd(model.num_experts), 3)};
+    for (MoeLayerExecutor* exec : systems.All()) {
+      const LayerExecution run =
+          exec->Run(workload, cluster, ExecMode::kTimedOnly);
+      row.push_back(FormatUsAsMs(run.duration_us));
+    }
+    table.AddRow(std::move(row));
+  }
+  std::cout << table.Render() << "\n";
+  PrintPaperNote("all systems slow down as imbalance grows; Comet "
+                 "consistently outperforms the others (practical std 0.032).");
+  return 0;
+}

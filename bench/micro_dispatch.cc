@@ -1,0 +1,78 @@
+// Microbenchmark (google-benchmark): routing, plan construction and the
+// schedule builders -- the host-side metadata work COMET performs per layer.
+#include <benchmark/benchmark.h>
+
+#include "core/reschedule.h"
+#include "moe/route_plan.h"
+#include "moe/router.h"
+#include "moe/workload.h"
+#include "util/rng.h"
+
+namespace comet {
+namespace {
+
+void BM_SyntheticRouting(benchmark::State& state) {
+  const int64_t tokens = state.range(0);
+  Rng rng(1);
+  const auto load = rng.LoadVectorWithStd(8, 0.032);
+  for (auto _ : state) {
+    SyntheticRouter router(load, 42);
+    RoutingTable table = router.Route(tokens, 2);
+    benchmark::DoNotOptimize(table.tokens.data());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+}
+BENCHMARK(BM_SyntheticRouting)->Arg(4096)->Arg(16384);
+
+void BM_RoutePlanBuild(benchmark::State& state) {
+  const int64_t tokens = state.range(0);
+  ModelConfig model = Mixtral8x7B();
+  const ParallelConfig parallel{1, 8};
+  Placement placement(model, parallel, tokens);
+  Rng rng(2);
+  SyntheticRouter router(rng.LoadVectorWithStd(8, 0.0), 7);
+  const RoutingTable routing = router.Route(tokens, model.topk);
+  for (auto _ : state) {
+    RoutePlan plan(placement, routing);
+    benchmark::DoNotOptimize(plan.ForRank(0).TotalRows());
+  }
+  state.SetItemsProcessed(state.iterations() * tokens);
+}
+BENCHMARK(BM_RoutePlanBuild)->Arg(4096)->Arg(16384);
+
+void BM_Layer0ScheduleBuild(benchmark::State& state) {
+  const int64_t tokens = state.range(0);
+  ModelConfig model = Mixtral8x7B();
+  const ParallelConfig parallel{1, 8};
+  WorkloadOptions options;
+  options.materialize = false;
+  const MoeWorkload w = MakeWorkload(model, parallel, tokens, options);
+  for (auto _ : state) {
+    const Layer0Schedule schedule = BuildLayer0Schedule(
+        w.plan.ForRank(0), 0, parallel.ep, w.placement.HiddenPerTpRank(), 128,
+        128, /*reschedule=*/true);
+    benchmark::DoNotOptimize(schedule.tiles.data());
+  }
+}
+BENCHMARK(BM_Layer0ScheduleBuild)->Arg(4096)->Arg(16384);
+
+void BM_Layer1ScheduleBuild(benchmark::State& state) {
+  const int64_t tokens = state.range(0);
+  ModelConfig model = Mixtral8x7B();
+  const ParallelConfig parallel{1, 8};
+  WorkloadOptions options;
+  options.materialize = false;
+  const MoeWorkload w = MakeWorkload(model, parallel, tokens, options);
+  for (auto _ : state) {
+    const Layer1Schedule schedule =
+        BuildLayer1Schedule(w.plan.ForRank(0), model.embedding, 128, 128,
+                            /*reschedule=*/true);
+    benchmark::DoNotOptimize(schedule.tiles.data());
+  }
+}
+BENCHMARK(BM_Layer1ScheduleBuild)->Arg(4096)->Arg(16384);
+
+}  // namespace
+}  // namespace comet
+
+BENCHMARK_MAIN();

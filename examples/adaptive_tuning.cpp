@@ -1,0 +1,68 @@
+// Scenario: the deployment workflow of §3.2.2 -- profile the fused-kernel
+// division points for your model/cluster once, persist them as metadata,
+// and let the runtime pick the pre-compiled kernel from the store.
+//
+//   $ ./examples/adaptive_tuning [metadata_path]
+#include <iostream>
+
+#include "core/adaptive.h"
+#include "core/comet_executor.h"
+#include "exec/op_costs.h"
+#include "util/table.h"
+
+using namespace comet;
+
+int main(int argc, char** argv) {
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/comet_profile_metadata.txt";
+  const ClusterSpec cluster = H800Cluster(8);
+  const OpCostModel costs(cluster);
+  const AdaptiveAssigner assigner(/*candidate_stride=*/2);
+
+  // Profile a grid of setups (model x M x parallelism), as the paper does
+  // "prior to deployment".
+  MetadataStore store = MetadataStore::Load(path);
+  std::cout << "profiling division points on " << cluster.name << "...\n\n";
+
+  AsciiTable table({"model", "M", "parallelism", "nc* layer0", "nc* layer1"});
+  for (const ModelConfig& model : {Mixtral8x7B(), Phi35Moe()}) {
+    for (int64_t m : {4096, 16384}) {
+      for (const ParallelConfig parallel :
+           {ParallelConfig{1, 8}, ParallelConfig{2, 4}}) {
+        WorkloadOptions options;
+        options.materialize = false;
+        const MoeWorkload w = MakeWorkload(model, parallel, m, options);
+        FusedKernelConfig base;
+        base.total_blocks = cluster.gpu.num_sms;
+        const int nc0 = assigner.SelectCommBlocks(
+            MoePipelineStage::kLayer0, w.plan, 0, costs, base, &store);
+        const int nc1 = assigner.SelectCommBlocks(
+            MoePipelineStage::kLayer1, w.plan, 0, costs, base, &store);
+        table.AddRow({model.name, std::to_string(m), parallel.ToString(),
+                      std::to_string(nc0), std::to_string(nc1)});
+      }
+    }
+  }
+  std::cout << table.Render() << "\n";
+
+  store.Save(path);
+  std::cout << "wrote " << store.size() << " profile entries to " << path
+            << "\n\n";
+
+  // At runtime, the executor consults the same store: the second run below
+  // performs no sweeps (pure cache hits).
+  MetadataStore runtime_store = MetadataStore::Load(path);
+  CometOptions options;
+  options.profile_cache = &runtime_store;
+  CometExecutor comet(options);
+  WorkloadOptions wl;
+  wl.materialize = false;
+  const MoeWorkload w = MakeWorkload(Mixtral8x7B(), ParallelConfig{1, 8},
+                                     16384, wl);
+  const LayerExecution run = comet.Run(w, cluster, ExecMode::kTimedOnly);
+  std::cout << "runtime picked nc0=" << comet.last_layer0_comm_blocks()
+            << ", nc1=" << comet.last_layer1_comm_blocks()
+            << " from metadata; layer = " << FormatUsAsMs(run.duration_us)
+            << " ms\n";
+  return 0;
+}

@@ -1,0 +1,186 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "comm/collectives.h"
+#include "moe/group_gemm.h"
+#include "util/check.h"
+
+namespace comet {
+namespace {
+
+// Scales the m dimension of every per-expert problem by `fraction`,
+// rounding up (a pipeline chunk still covers whole rows).
+std::vector<GemmShape> ToGemmShapes(const std::vector<GemmProblemSize>& in,
+                                    double fraction) {
+  std::vector<GemmShape> out;
+  out.reserve(in.size());
+  for (const auto& p : in) {
+    const int64_t m = static_cast<int64_t>(
+        std::max(0.0, std::ceil(static_cast<double>(p.m) * fraction)));
+    out.push_back(GemmShape{m, p.n, p.k});
+  }
+  return out;
+}
+
+std::vector<std::vector<double>> ScaleMatrix(
+    std::vector<std::vector<double>> m, double s) {
+  for (auto& row : m) {
+    for (auto& v : row) {
+      v *= s;
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+BaselineQuantities ComputeQuantities(const MoeWorkload& workload,
+                                     const OpCostModel& costs, int rank,
+                                     double gemm_efficiency,
+                                     double chunk_fraction) {
+  COMET_CHECK_GT(chunk_fraction, 0.0);
+  COMET_CHECK_LE(chunk_fraction, 1.0);
+  const Placement& placement = workload.placement;
+  const RoutePlan& plan = workload.plan;
+  const ClusterSpec& cluster = costs.cluster();
+  const double elt = costs.bytes_per_element();
+  const double row_bytes =
+      static_cast<double>(placement.model().embedding) * elt;
+
+  // A dedicated GEMM model so TE can use its own sustained efficiency.
+  const GemmCostModel gemm(cluster.gpu, 128, 128, gemm_efficiency, elt);
+
+  BaselineQuantities q;
+  q.gate_us = costs.GatingUs(placement.tokens_per_group(),
+                             placement.model().embedding,
+                             placement.model().num_experts);
+
+  const int64_t rows = plan.ForRank(rank).TotalRows();
+  const int64_t chunk_rows = static_cast<int64_t>(
+      std::ceil(static_cast<double>(rows) * chunk_fraction));
+  q.permute_us =
+      costs.PermuteUs(chunk_rows, placement.model().embedding);
+  q.unpermute_us =
+      costs.PermuteUs(chunk_rows, placement.model().embedding) +
+      costs.CombineReduceUs(chunk_rows, placement.model().embedding,
+                            placement.model().topk);
+
+  q.a2a_dispatch_us = AllToAllCostUs(
+      cluster, ScaleMatrix(plan.DispatchBytes(row_bytes), chunk_fraction));
+  q.a2a_return_us = AllToAllCostUs(
+      cluster, ScaleMatrix(plan.EpReturnBytes(row_bytes), chunk_fraction));
+  q.tp_reduce_scatter_us = RingReduceScatterCostUs(
+      cluster, chunk_fraction * static_cast<double>(placement.parallel().tp) *
+                   plan.TpReduceScatterBytesPerRank(row_bytes));
+
+  const auto shapes0 = ToGemmShapes(plan.Layer0Problems(rank), chunk_fraction);
+  const auto shapes1 = ToGemmShapes(plan.Layer1Problems(rank), chunk_fraction);
+  q.gemm0_us = gemm.GroupTimeUs(shapes0, cluster.gpu.num_sms);
+  q.gemm1_us = gemm.GroupTimeUs(shapes1, cluster.gpu.num_sms);
+  for (const auto& s : shapes0) {
+    q.gemm0_per_expert_us.push_back(gemm.TimeUs(s, cluster.gpu.num_sms));
+  }
+  for (const auto& s : shapes1) {
+    q.gemm1_per_expert_us.push_back(gemm.TimeUs(s, cluster.gpu.num_sms));
+  }
+  q.activation_us =
+      costs.ActivationUs(chunk_rows, placement.HiddenPerTpRank());
+  return q;
+}
+
+void FinalizeFromRanks(std::vector<double> per_rank_us,
+                       std::vector<Timeline> per_rank_timelines,
+                       LayerExecution& out) {
+  COMET_CHECK(!per_rank_us.empty());
+  COMET_CHECK_EQ(per_rank_us.size(), per_rank_timelines.size());
+  size_t worst = 0;
+  for (size_t r = 1; r < per_rank_us.size(); ++r) {
+    if (per_rank_us[r] > per_rank_us[worst]) {
+      worst = r;
+    }
+  }
+  out.duration_us = per_rank_us[worst];
+  out.timeline = std::move(per_rank_timelines[worst]);
+  out.per_rank_us = std::move(per_rank_us);
+}
+
+std::vector<Tensor> CanonicalFunctionalMoe(const MoeWorkload& workload) {
+  const Placement& placement = workload.placement;
+  const RoutePlan& plan = workload.plan;
+  const ModelConfig& model = placement.model();
+  const int tp = placement.parallel().tp;
+  const int ep = placement.parallel().ep;
+  const int64_t n_embed = model.embedding;
+  const int64_t hidden = placement.HiddenPerTpRank();
+  const int64_t topk = model.topk;
+  const int64_t group_tokens = placement.tokens_per_group();
+
+  // Per-group unweighted contribution buffers, one per TP lane:
+  // contrib[g][lane] has (group_tokens * topk) rows.
+  std::vector<std::vector<Tensor>> contrib(static_cast<size_t>(ep));
+  for (auto& lanes : contrib) {
+    for (int l = 0; l < tp; ++l) {
+      lanes.emplace_back(Shape{group_tokens * topk, n_embed});
+    }
+  }
+
+  for (int g = 0; g < ep; ++g) {
+    const RankPlan& rank_plan = plan.ForGroup(g);
+    for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
+      const auto& slice = rank_plan.experts[le];
+      if (slice.rows.empty()) {
+        continue;
+      }
+      // Canonical-order shared tensor (token ascending): the layout a plain
+      // all-to-all dispatch produces.
+      Tensor a(Shape{static_cast<int64_t>(slice.rows.size()), n_embed});
+      for (size_t i = 0; i < slice.rows.size(); ++i) {
+        a.SetRow(static_cast<int64_t>(i),
+                 workload.TokenRow(slice.rows[i].token));
+      }
+      for (int l = 0; l < tp; ++l) {
+        Tensor h(Shape{a.rows(), hidden});
+        Gemm(a, workload.sharded_weights->W0Shard(slice.expert, l), h);
+        ApplyActivation(h, workload.activation);
+        Tensor y(Shape{a.rows(), n_embed});
+        Gemm(h, workload.sharded_weights->W1Shard(slice.expert, l), y);
+        for (size_t i = 0; i < slice.rows.size(); ++i) {
+          const ExpertRow& row = slice.rows[i];
+          const int64_t dst_row =
+              (row.token - placement.FirstTokenOfGroup(row.source_group)) *
+                  topk +
+              row.slot;
+          contrib[static_cast<size_t>(row.source_group)][static_cast<size_t>(l)]
+              .SetRow(dst_row, y.row(static_cast<int64_t>(i)));
+        }
+      }
+    }
+  }
+
+  // Canonical combine: slot-major, TP-lane inner.
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(ep));
+  for (int g = 0; g < ep; ++g) {
+    Tensor result(Shape{group_tokens, n_embed});
+    const int64_t first = placement.FirstTokenOfGroup(g);
+    for (int64_t t = 0; t < group_tokens; ++t) {
+      const TokenRoute& route =
+          workload.routing.tokens[static_cast<size_t>(first + t)];
+      for (int64_t k = 0; k < topk; ++k) {
+        for (int l = 0; l < tp; ++l) {
+          result.AccumulateRow(
+              t,
+              contrib[static_cast<size_t>(g)][static_cast<size_t>(l)].row(
+                  t * topk + k),
+              route.weights[static_cast<size_t>(k)]);
+        }
+      }
+    }
+    outputs.push_back(std::move(result));
+  }
+  return outputs;
+}
+
+}  // namespace comet

@@ -1,0 +1,61 @@
+// Shared machinery for the four baseline MoE systems (paper §5.1):
+// Megatron-Cutlass, Megatron-TE, FasterMoE and Tutel. All of them launch
+// separate kernels per operator on CUDA streams; they differ in GEMM
+// implementation, collective algorithm and pipelining strategy.
+#pragma once
+
+#include "exec/execution.h"
+#include "exec/op_costs.h"
+
+namespace comet {
+
+// Number of auxiliary host-dispatched kernels every kernel-per-op framework
+// issues around the MoE macro ops: top-k argsort, expert histogram, cumsum,
+// gather/scatter index builds, probability renormalization, capacity masks.
+// Each costs one launch of pure host time. COMET runs this bookkeeping
+// inside its fused kernels, which is a large part of its small-M advantage
+// (paper §5.3: "the scheduling time on the host side predominates the
+// overall duration when M is small").
+inline constexpr double kAuxRoutingKernels = 8.0;
+
+// Per-rank operator durations every baseline composes from. All collective
+// times are global makespans (a collective completes when the slowest rank
+// does), GEMM/local times are per-rank.
+struct BaselineQuantities {
+  double gate_us = 0.0;
+  double permute_us = 0.0;    // local token reordering before dispatch
+  double unpermute_us = 0.0;  // local un-reordering + top-k combine
+  double a2a_dispatch_us = 0.0;
+  double a2a_return_us = 0.0;
+  double tp_reduce_scatter_us = 0.0;
+  double gemm0_us = 0.0;
+  double gemm1_us = 0.0;
+  double activation_us = 0.0;
+  // Per-local-expert GEMM kernel times (for systems like FastMoE that launch
+  // one kernel per expert instead of a grouped GEMM).
+  std::vector<double> gemm0_per_expert_us;
+  std::vector<double> gemm1_per_expert_us;
+};
+
+// Computes the quantities for `rank`. `gemm_efficiency` lets Megatron-TE use
+// its slightly different kernel selection; `chunk_fraction` (0 < f <= 1)
+// scales the token rows per kernel for pipelined baselines (GEMM efficiency
+// degrades on the smaller chunks -- this is the t1 + t2 > t effect of
+// Figure 1(b)).
+BaselineQuantities ComputeQuantities(const MoeWorkload& workload,
+                                     const OpCostModel& costs, int rank,
+                                     double gemm_efficiency = 0.85,
+                                     double chunk_fraction = 1.0);
+
+// Finalizes a LayerExecution from per-rank durations/timelines: picks the
+// slowest rank as critical.
+void FinalizeFromRanks(std::vector<double> per_rank_us,
+                       std::vector<Timeline> per_rank_timelines,
+                       LayerExecution& out);
+
+// Canonical-order functional execution used by all baselines (they share
+// numerics; only scheduling differs). Produces one output per EP group,
+// bit-identical to ShardedReferenceMoeLayer.
+std::vector<Tensor> CanonicalFunctionalMoe(const MoeWorkload& workload);
+
+}  // namespace comet

@@ -1,0 +1,41 @@
+// FasterMoE baseline (paper §5.1 (c); He et al., PPoPP'22).
+//
+// FasterMoE pipelines expert computation with all-to-all at a fixed pipeline
+// degree of 2: tokens are split into two chunks, chunk i+1's communication
+// overlaps chunk i's computation across a comm stream and a compute stream.
+// Its "smart scheduling" replaces NCCL all-to-all with custom scatter/gather
+// operators -- slightly faster on the wire, but the extra local indexing
+// work extends computation (paper Figure 11 discussion). It supports expert
+// parallelism only (EP = W); the paper notes it cannot run TP > 1.
+//
+// Kernel-per-op scheduling means the host launches ~7 kernels per chunk, and
+// per-expert management work grows with E -- which is why the paper sees its
+// advantage vanish on Qwen2's 64 small experts.
+#pragma once
+
+#include "baselines/common.h"
+
+namespace comet {
+
+class FasterMoeExecutor : public MoeLayerExecutor {
+ public:
+  FasterMoeExecutor() = default;
+
+  std::string name() const override { return "FasterMoE"; }
+  bool Supports(const ParallelConfig& parallel) const override {
+    return parallel.tp == 1;
+  }
+  LayerExecution Run(const MoeWorkload& workload, const ClusterSpec& cluster,
+                     ExecMode mode) override;
+
+ private:
+  static constexpr int kPipelineDegree = 2;
+  // Wire-efficiency of the custom scatter/gather vs. NCCL all-to-all.
+  static constexpr double kSmartCommFactor = 0.9;
+  // Extra local indexing work multiplier on permute/unpermute.
+  static constexpr double kIndexingFactor = 1.35;
+  // Host-side per-expert management cost per chunk, us.
+  static constexpr double kPerExpertHostUs = 0.3;
+};
+
+}  // namespace comet

@@ -1,0 +1,41 @@
+// Megatron-LM MoE baselines (paper §5.1 (a) and (b)).
+//
+// Both run the MoE layer as a strict sequence of kernels on one stream with
+// no communication-computation overlap:
+//   gate -> permute -> all-to-all -> GroupGEMM -> activation -> GroupGEMM
+//        -> all-to-all -> [TP reduce-scatter] -> unpermute + combine
+//
+// Megatron-Cutlass implements the experts with CUTLASS grouped GEMM;
+// Megatron-TE uses Transformer Engine, which selects slightly less efficient
+// grouped kernels and pays extra host-side API overhead per call (the paper
+// observes TE is a touch slower for exactly these reasons).
+#pragma once
+
+#include "baselines/common.h"
+
+namespace comet {
+
+struct MegatronFlavor {
+  std::string name;
+  double gemm_efficiency = 0.85;
+  double host_api_overhead_us = 0.0;  // extra host time per operator call
+};
+
+class MegatronExecutor : public MoeLayerExecutor {
+ public:
+  explicit MegatronExecutor(MegatronFlavor flavor);
+
+  std::string name() const override { return flavor_.name; }
+  bool Supports(const ParallelConfig&) const override { return true; }
+  LayerExecution Run(const MoeWorkload& workload, const ClusterSpec& cluster,
+                     ExecMode mode) override;
+
+ private:
+  MegatronFlavor flavor_;
+};
+
+// Factory helpers matching the paper's names.
+MegatronExecutor MakeMegatronCutlass();
+MegatronExecutor MakeMegatronTe();
+
+}  // namespace comet

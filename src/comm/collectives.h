@@ -1,0 +1,68 @@
+// Functional collectives over per-rank tensors, plus their cost models.
+//
+// The functional variants operate on std::vector<Tensor> (index = rank) and
+// are used by the reference MoE layer and by the baselines' functional
+// paths. The cost models price the same collectives on a ClusterSpec; the
+// all-to-all cost uses the fluid network model (per-port capacities), ring
+// collectives use the standard (W-1)/W bandwidth term.
+#pragma once
+
+#include <vector>
+
+#include "hw/gpu_spec.h"
+#include "tensor/tensor.h"
+
+namespace comet {
+
+// ---- functional -----------------------------------------------------------
+
+// All-to-all of rows. inputs[i] is rank i's send buffer whose rows are laid
+// out as W consecutive groups: counts[i][j] rows destined to rank j.
+// Returns outputs[j]: concatenation over source ranks i (in rank order) of
+// the rows i sent to j. All inputs must share the column count.
+std::vector<Tensor> AllToAllRows(
+    const std::vector<Tensor>& inputs,
+    const std::vector<std::vector<int64_t>>& counts);
+
+// All-gather of rows: outputs[i] = concat(inputs[0], ..., inputs[W-1]).
+std::vector<Tensor> AllGatherRows(const std::vector<Tensor>& inputs);
+
+// Reduce-scatter over rows: inputs[i] has W*S rows; outputs[i] = sum over
+// ranks j of rows [i*S, (i+1)*S) of inputs[j].
+std::vector<Tensor> ReduceScatterRows(const std::vector<Tensor>& inputs,
+                                      int64_t rows_per_shard);
+
+// ---- cost models ----------------------------------------------------------
+
+// Completion time of an all-to-all with the given per-pair byte matrix
+// (bytes[i][j] from rank i to rank j; diagonal ignored -- local movement is
+// charged to compute by the callers, matching the paper's Figure 11
+// accounting). On a multi-node cluster, flows crossing nodes are bounded by
+// the inter-node fabric as well as the GPU port.
+double AllToAllCostUs(const ClusterSpec& cluster,
+                      const std::vector<std::vector<double>>& bytes);
+
+// 2D-hierarchical all-to-all (Tutel / HetuMoE style, §6 "communication
+// optimization"): phase 1 aggregates per-destination-node data inside each
+// node, phase 2 exchanges one large contiguous message per node pair over
+// the inter-node fabric, phase 3 scatters inside the destination node. Far
+// fewer, larger inter-node messages than the direct algorithm. Falls back to
+// AllToAllCostUs on a single node.
+double HierarchicalAllToAllCostUs(const ClusterSpec& cluster,
+                                  const std::vector<std::vector<double>>& bytes);
+
+// Fraction of off-diagonal all-to-all bytes that cross node boundaries
+// (0 on a single node).
+double InterNodeByteFraction(const ClusterSpec& cluster,
+                             const std::vector<std::vector<double>>& bytes);
+
+// Uniform all-to-all: every rank sends `bytes_per_pair` to every other rank.
+double UniformAllToAllCostUs(const ClusterSpec& cluster, double bytes_per_pair);
+
+// Ring all-gather of `bytes_per_rank` contributed by each rank.
+double RingAllGatherCostUs(const ClusterSpec& cluster, double bytes_per_rank);
+
+// Ring reduce-scatter of a `total_bytes` buffer resident on every rank.
+double RingReduceScatterCostUs(const ClusterSpec& cluster, double total_bytes);
+
+}  // namespace comet

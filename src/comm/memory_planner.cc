@@ -1,0 +1,21 @@
+#include "comm/memory_planner.h"
+
+#include "util/check.h"
+#include "util/units.h"
+
+namespace comet {
+
+double CommBufferPlan::Bytes() const {
+  return static_cast<double>(tokens) * static_cast<double>(embedding) *
+         static_cast<double>(DTypeSize(dtype));
+}
+
+double CommBufferPlan::MiBs() const { return Bytes() / kBytesPerMiB; }
+
+CommBufferPlan PlanCommBuffer(int64_t tokens, int64_t embedding, DType dtype) {
+  COMET_CHECK_GT(tokens, 0);
+  COMET_CHECK_GT(embedding, 0);
+  return CommBufferPlan{tokens, embedding, dtype};
+}
+
+}  // namespace comet

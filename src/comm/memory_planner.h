@@ -1,0 +1,28 @@
+// NVSHMEM communication-buffer sizing (paper §5.5 / Table 3).
+//
+// COMET allocates one symmetric buffer per device sized M x N at the training
+// dtype; the buffer is shared across layers and experts, so its footprint is
+// independent of L, E and topk. For BF16/FP16 this is 2*M*N bytes.
+#pragma once
+
+#include <cstdint>
+
+#include "tensor/dtype.h"
+
+namespace comet {
+
+struct CommBufferPlan {
+  int64_t tokens = 0;       // M
+  int64_t embedding = 0;    // N
+  DType dtype = DType::kBF16;
+
+  double Bytes() const;
+  double MiBs() const;  // Table 3 reports MB (mebibytes)
+};
+
+// Plans the symmetric buffer for a model with embedding size `embedding` and
+// max sequence length (tokens per iteration) `tokens`.
+CommBufferPlan PlanCommBuffer(int64_t tokens, int64_t embedding,
+                              DType dtype = DType::kBF16);
+
+}  // namespace comet

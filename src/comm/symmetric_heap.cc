@@ -1,0 +1,171 @@
+#include "comm/symmetric_heap.h"
+
+#include "util/check.h"
+
+namespace comet {
+
+SymmetricHeap::SymmetricHeap(int world_size)
+    : world_size_(world_size),
+      traffic_(static_cast<size_t>(world_size) * world_size, 0.0) {
+  COMET_CHECK_GT(world_size_, 0);
+}
+
+SymmetricBufferId SymmetricHeap::Allocate(const std::string& name,
+                                          const Shape& shape, DType dtype) {
+  Allocation alloc;
+  alloc.name = name;
+  alloc.per_rank.reserve(static_cast<size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    alloc.per_rank.emplace_back(shape, dtype);
+  }
+  buffers_.push_back(std::move(alloc));
+  return static_cast<SymmetricBufferId>(buffers_.size()) - 1;
+}
+
+SymmetricHeap::Allocation& SymmetricHeap::Get(SymmetricBufferId buf) {
+  COMET_CHECK_GE(buf, 0);
+  COMET_CHECK_LT(static_cast<size_t>(buf), buffers_.size());
+  return buffers_[static_cast<size_t>(buf)];
+}
+
+const SymmetricHeap::Allocation& SymmetricHeap::Get(SymmetricBufferId buf) const {
+  COMET_CHECK_GE(buf, 0);
+  COMET_CHECK_LT(static_cast<size_t>(buf), buffers_.size());
+  return buffers_[static_cast<size_t>(buf)];
+}
+
+Tensor& SymmetricHeap::Local(SymmetricBufferId buf, int rank) {
+  COMET_CHECK_GE(rank, 0);
+  COMET_CHECK_LT(rank, world_size_);
+  return Get(buf).per_rank[static_cast<size_t>(rank)];
+}
+
+const Tensor& SymmetricHeap::Local(SymmetricBufferId buf, int rank) const {
+  COMET_CHECK_GE(rank, 0);
+  COMET_CHECK_LT(rank, world_size_);
+  return Get(buf).per_rank[static_cast<size_t>(rank)];
+}
+
+void SymmetricHeap::AccountTraffic(int src, int dst, double bytes) {
+  if (src == dst) {
+    return;
+  }
+  traffic_[static_cast<size_t>(src) * world_size_ + dst] += bytes;
+}
+
+void SymmetricHeap::PutRow(SymmetricBufferId buf, int src_rank, int dst_rank,
+                           int64_t dst_row, std::span<const float> data) {
+  Tensor& dst = Local(buf, dst_rank);
+  dst.SetRow(dst_row, data);
+  AccountTraffic(src_rank, dst_rank,
+                 static_cast<double>(data.size()) *
+                     static_cast<double>(DTypeSize(dst.dtype())));
+}
+
+std::vector<float> SymmetricHeap::GetRow(SymmetricBufferId buf, int reader_rank,
+                                         int owner_rank, int64_t row) {
+  const Tensor& src = Local(buf, owner_rank);
+  auto view = src.row(row);
+  AccountTraffic(owner_rank, reader_rank,
+                 static_cast<double>(view.size()) *
+                     static_cast<double>(DTypeSize(src.dtype())));
+  return std::vector<float>(view.begin(), view.end());
+}
+
+void SymmetricHeap::AccumulateRow(SymmetricBufferId buf, int src_rank,
+                                  int dst_rank, int64_t dst_row,
+                                  std::span<const float> data, float weight) {
+  Tensor& dst = Local(buf, dst_rank);
+  dst.AccumulateRow(dst_row, data, weight);
+  AccountTraffic(src_rank, dst_rank,
+                 static_cast<double>(data.size()) *
+                     static_cast<double>(DTypeSize(dst.dtype())));
+}
+
+SymmetricBufferId SymmetricHeap::AllocateSignals(const std::string& name,
+                                                 int64_t count) {
+  COMET_CHECK_GT(count, 0);
+  Allocation alloc;
+  alloc.name = name;
+  alloc.signals.assign(static_cast<size_t>(world_size_),
+                       std::vector<uint64_t>(static_cast<size_t>(count), 0));
+  buffers_.push_back(std::move(alloc));
+  return static_cast<SymmetricBufferId>(buffers_.size()) - 1;
+}
+
+void SymmetricHeap::PutRowWithSignal(SymmetricBufferId buf, int src_rank,
+                                     int dst_rank, int64_t dst_row,
+                                     std::span<const float> data,
+                                     SymmetricBufferId sig,
+                                     int64_t sig_index) {
+  PutRow(buf, src_rank, dst_rank, dst_row, data);
+  Allocation& alloc = Get(sig);
+  COMET_CHECK(!alloc.signals.empty())
+      << alloc.name << " is not a signal allocation";
+  COMET_CHECK_GE(dst_rank, 0);
+  COMET_CHECK_LT(dst_rank, world_size_);
+  auto& words = alloc.signals[static_cast<size_t>(dst_rank)];
+  COMET_CHECK_GE(sig_index, 0);
+  COMET_CHECK_LT(static_cast<size_t>(sig_index), words.size());
+  // The signal word itself is a few bytes riding the same put; it is not
+  // accounted so payload traffic stays exactly equal to the planned bytes
+  // (the invariant the traffic tests pin down).
+  ++words[static_cast<size_t>(sig_index)];
+}
+
+uint64_t SymmetricHeap::SignalValue(SymmetricBufferId sig, int rank,
+                                    int64_t sig_index) const {
+  const Allocation& alloc = Get(sig);
+  COMET_CHECK(!alloc.signals.empty())
+      << alloc.name << " is not a signal allocation";
+  COMET_CHECK_GE(rank, 0);
+  COMET_CHECK_LT(rank, world_size_);
+  const auto& words = alloc.signals[static_cast<size_t>(rank)];
+  COMET_CHECK_GE(sig_index, 0);
+  COMET_CHECK_LT(static_cast<size_t>(sig_index), words.size());
+  return words[static_cast<size_t>(sig_index)];
+}
+
+void SymmetricHeap::WaitSignalGe(SymmetricBufferId sig, int rank,
+                                 int64_t sig_index, uint64_t expected) const {
+  const uint64_t value = SignalValue(sig, rank, sig_index);
+  COMET_CHECK_GE(value, expected)
+      << "wait_until on " << Get(sig).name << "[" << sig_index << "]@rank"
+      << rank << ": schedule consumed data before its producer signalled";
+}
+
+double SymmetricHeap::Traffic(int src_rank, int dst_rank) const {
+  COMET_CHECK_GE(src_rank, 0);
+  COMET_CHECK_LT(src_rank, world_size_);
+  COMET_CHECK_GE(dst_rank, 0);
+  COMET_CHECK_LT(dst_rank, world_size_);
+  return traffic_[static_cast<size_t>(src_rank) * world_size_ + dst_rank];
+}
+
+double SymmetricHeap::TotalTraffic() const {
+  double total = 0.0;
+  for (double t : traffic_) {
+    total += t;
+  }
+  return total;
+}
+
+void SymmetricHeap::ResetTraffic() {
+  std::fill(traffic_.begin(), traffic_.end(), 0.0);
+}
+
+double SymmetricHeap::AllocatedBytesPerRank() const {
+  double total = 0.0;
+  for (const auto& alloc : buffers_) {
+    if (!alloc.per_rank.empty()) {
+      total += alloc.per_rank[0].LogicalBytes();
+    }
+  }
+  return total;
+}
+
+const std::string& SymmetricHeap::BufferName(SymmetricBufferId buf) const {
+  return Get(buf).name;
+}
+
+}  // namespace comet

@@ -1,0 +1,115 @@
+// NVSHMEM-style symmetric heap emulation.
+//
+// NVSHMEM gives every rank a window into a global address space: a buffer
+// allocated "symmetrically" exists at the same logical offset on every PE,
+// and GPU-initiated put/get moves data between PEs at any granularity. The
+// paper's fused kernels use exactly this to let each computation tile read or
+// write only the tokens it needs (§2.2.1, §4 "NVSHMEM as communication
+// library").
+//
+// This emulation keeps one real buffer per rank per allocation and exposes
+// row-granular (token-granular) put/get. Every remote access is accounted in
+// a per-(src,dst) traffic matrix, which the tests use to verify that COMET's
+// rescheduled execution moves exactly the same bytes as the reference, and
+// the timing plane uses to price communication.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace comet {
+
+using SymmetricBufferId = int64_t;
+
+class SymmetricHeap {
+ public:
+  explicit SymmetricHeap(int world_size);
+
+  int world_size() const { return world_size_; }
+
+  // Allocates a buffer of `shape` on every rank (zero-filled). The name is
+  // for diagnostics only.
+  SymmetricBufferId Allocate(const std::string& name, const Shape& shape,
+                             DType dtype = DType::kF32);
+
+  // Local view of rank `rank`'s copy.
+  Tensor& Local(SymmetricBufferId buf, int rank);
+  const Tensor& Local(SymmetricBufferId buf, int rank) const;
+
+  // Fine-grained put: rank `src_rank` writes `data` into row `dst_row` of
+  // `dst_rank`'s copy of `buf`. Local writes (src == dst) are not counted as
+  // fabric traffic.
+  void PutRow(SymmetricBufferId buf, int src_rank, int dst_rank,
+              int64_t dst_row, std::span<const float> data);
+
+  // Fine-grained get: rank `reader_rank` reads row `row` of `owner_rank`'s
+  // copy. Remote reads are accounted as owner->reader traffic.
+  std::vector<float> GetRow(SymmetricBufferId buf, int reader_rank,
+                            int owner_rank, int64_t row);
+
+  // Atomic-add style accumulation into a remote row (used by combine paths).
+  void AccumulateRow(SymmetricBufferId buf, int src_rank, int dst_rank,
+                     int64_t dst_row, std::span<const float> data,
+                     float weight);
+
+  // ---- signaling (NVSHMEM put-with-signal / wait-until) ---------------------
+  //
+  // Real COMET gates each GEMM tile on the arrival of its tokens via signal
+  // words updated by the producer's puts. The emulation keeps one uint64
+  // signal array per rank per allocation; producers bump a signal after
+  // delivering a row, consumers assert the expected count before touching
+  // the data -- so a schedule that reads tokens before their put would trip
+  // a CheckError instead of silently consuming stale zeros.
+
+  // Allocates `count` zero-initialized signal words on every rank.
+  SymmetricBufferId AllocateSignals(const std::string& name, int64_t count);
+
+  // PutRow + atomically add 1 to `sig[sig_index]` on the destination rank
+  // (delivery-ordered, like NVSHMEM's put-with-signal).
+  void PutRowWithSignal(SymmetricBufferId buf, int src_rank, int dst_rank,
+                        int64_t dst_row, std::span<const float> data,
+                        SymmetricBufferId sig, int64_t sig_index);
+
+  // Current value of a local signal word.
+  uint64_t SignalValue(SymmetricBufferId sig, int rank,
+                       int64_t sig_index) const;
+
+  // NVSHMEM wait_until(GE): throws CheckError if the signal has not reached
+  // `expected` (the emulation is sequential, so an unmet wait can only mean
+  // the schedule consumed data before its producer ran -- a real bug).
+  void WaitSignalGe(SymmetricBufferId sig, int rank, int64_t sig_index,
+                    uint64_t expected) const;
+
+  // Bytes moved src -> dst over the fabric since the last reset. Local
+  // accesses are excluded.
+  double Traffic(int src_rank, int dst_rank) const;
+  double TotalTraffic() const;
+  void ResetTraffic();
+
+  // Total bytes currently allocated per rank (logical dtype accounting).
+  double AllocatedBytesPerRank() const;
+
+  size_t num_buffers() const { return buffers_.size(); }
+  const std::string& BufferName(SymmetricBufferId buf) const;
+
+ private:
+  struct Allocation {
+    std::string name;
+    std::vector<Tensor> per_rank;
+    // Non-empty for signal allocations: world_size arrays of `count` words.
+    std::vector<std::vector<uint64_t>> signals;
+  };
+
+  Allocation& Get(SymmetricBufferId buf);
+  const Allocation& Get(SymmetricBufferId buf) const;
+  void AccountTraffic(int src, int dst, double bytes);
+
+  int world_size_;
+  std::vector<Allocation> buffers_;
+  std::vector<double> traffic_;  // world x world, row-major
+};
+
+}  // namespace comet

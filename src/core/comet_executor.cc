@@ -1,0 +1,291 @@
+#include "core/comet_executor.h"
+
+#include <algorithm>
+
+#include "comm/symmetric_heap.h"
+#include "core/fused_kernel.h"
+#include "core/reschedule.h"
+#include "core/shared_tensor.h"
+#include "moe/group_gemm.h"
+#include "util/check.h"
+
+namespace comet {
+
+CometExecutor::CometExecutor(CometOptions options)
+    : options_(std::move(options)) {
+  COMET_CHECK_GT(options_.tile_m, 0);
+  COMET_CHECK_GT(options_.tile_n, 0);
+  COMET_CHECK_GE(options_.fixed_comm_blocks, 0);
+}
+
+std::string CometExecutor::name() const {
+  if (!options_.name_override.empty()) {
+    return options_.name_override;
+  }
+  std::string n = "Comet";
+  if (!options_.reschedule) {
+    n += "-noresched";
+  }
+  if (!options_.specialized) {
+    n += "-vertical";
+  }
+  if (!options_.adaptive) {
+    n += "-fixed";
+  }
+  return n;
+}
+
+bool CometExecutor::Supports(const ParallelConfig&) const { return true; }
+
+LayerExecution CometExecutor::Run(const MoeWorkload& workload,
+                                  const ClusterSpec& cluster, ExecMode mode) {
+  COMET_CHECK_EQ(cluster.world_size, workload.world())
+      << "cluster and workload world sizes disagree";
+  // Sanity-check the dependency analysis: layer0 decomposes along M,
+  // layer1 along N (paper §3.1.1). This is the analysis the schedules below
+  // rely on; run it so a future operator change trips loudly.
+  const int64_t shared_rows =
+      workload.placement.total_tokens() * workload.model().topk;
+  COMET_CHECK(ResolveDecomposition(Layer0SharedTensor(
+                  shared_rows, workload.model().embedding)) ==
+              DecomposeDim::kM);
+  COMET_CHECK(ResolveDecomposition(Layer1SharedTensor(
+                  shared_rows, workload.model().embedding)) ==
+              DecomposeDim::kN);
+
+  LayerExecution out;
+  out.executor = name();
+  RunTimed(workload, cluster, out);
+  if (mode == ExecMode::kFunctional) {
+    RunFunctional(workload, out);
+  }
+  return out;
+}
+
+void CometExecutor::RunTimed(const MoeWorkload& workload,
+                             const ClusterSpec& cluster, LayerExecution& out) {
+  const OpCostModel costs(cluster);
+  const Placement& placement = workload.placement;
+  const RoutePlan& plan = workload.plan;
+  const int world = placement.world();
+
+  FusedKernelConfig base;
+  base.total_blocks = cluster.gpu.num_sms;
+  base.tile_m = options_.tile_m;
+  base.tile_n = options_.tile_n;
+  base.reschedule = options_.reschedule;
+  base.vertical_fusion = !options_.specialized;
+
+  // Profile on the most loaded rank (the one that sets the makespan) and use
+  // one division point everywhere, as the paper's pre-compiled kernel
+  // selection does.
+  int busiest = 0;
+  for (int r = 1; r < world; ++r) {
+    if (plan.ForRank(r).TotalRows() > plan.ForRank(busiest).TotalRows()) {
+      busiest = r;
+    }
+  }
+  auto pick_nc = [&](MoePipelineStage stage) {
+    if (base.vertical_fusion) {
+      return 0;
+    }
+    if (!options_.adaptive) {
+      return std::min(options_.fixed_comm_blocks, base.total_blocks - 1);
+    }
+    return assigner_.SelectCommBlocks(stage, plan, busiest, costs, base,
+                                      options_.profile_cache);
+  };
+  last_nc0_ = pick_nc(MoePipelineStage::kLayer0);
+  last_nc1_ = pick_nc(MoePipelineStage::kLayer1);
+
+  out.per_rank_us.assign(static_cast<size_t>(world), 0.0);
+  double worst = -1.0;
+  for (int r = 0; r < world; ++r) {
+    FusedKernelConfig config0 = base;
+    config0.comm_blocks = last_nc0_;
+    FusedKernelConfig config1 = base;
+    config1.comm_blocks = last_nc1_;
+
+    const FusedKernelResult l0 = SimulateLayer0Fused(plan, r, costs, config0);
+    const FusedKernelResult l1 = SimulateLayer1Fused(plan, r, costs, config1);
+    const double gate = costs.GatingUs(placement.tokens_per_group(),
+                                       placement.model().embedding,
+                                       placement.model().num_experts);
+    const double act = costs.ActivationUs(plan.ForRank(r).TotalRows(),
+                                          placement.HiddenPerTpRank());
+    // One host launch each for: gating, fused layer0, activation, fused
+    // layer1. This is the entire host-side footprint of a COMET MoE layer.
+    const double launches = 4.0 * costs.LaunchUs();
+    const double total =
+        launches + gate + l0.duration_us + act + l1.duration_us;
+    out.per_rank_us[static_cast<size_t>(r)] = total;
+
+    if (total > worst) {
+      worst = total;
+      // Rebuild the critical rank's timeline: host+gate, fused l0, act,
+      // fused l1 in sequence.
+      Timeline tl;
+      double t = 0.0;
+      tl.Add("launch", OpCategory::kHost, -1, t, t + 4.0 * costs.LaunchUs());
+      t += 4.0 * costs.LaunchUs();
+      tl.Add("gating", OpCategory::kGating, 0, t, t + gate);
+      t += gate;
+      tl.Merge(l0.timeline, t);
+      t += l0.duration_us;
+      tl.Add("activation", OpCategory::kActivation, 0, t, t + act);
+      t += act;
+      tl.Merge(l1.timeline, t);
+      out.timeline = std::move(tl);
+    }
+  }
+  out.duration_us = worst;
+}
+
+void CometExecutor::RunFunctional(const MoeWorkload& workload,
+                                  LayerExecution& out) const {
+  COMET_CHECK(workload.weights != nullptr && !workload.inputs.empty())
+      << "functional execution requires a materialized workload";
+  const Placement& placement = workload.placement;
+  const RoutePlan& plan = workload.plan;
+  const ModelConfig& model = placement.model();
+  const int world = placement.world();
+  const int tp = placement.parallel().tp;
+  const int ep = placement.parallel().ep;
+  const int64_t n_embed = model.embedding;
+  const int64_t hidden = placement.HiddenPerTpRank();
+  const int64_t topk = model.topk;
+  const int64_t group_tokens = placement.tokens_per_group();
+
+  SymmetricHeap heap(world);
+  const SymmetricBufferId in_buf =
+      heap.Allocate("moe-input", Shape{group_tokens, n_embed});
+  const SymmetricBufferId contrib_buf =
+      heap.Allocate("moe-contrib", Shape{group_tokens * topk, n_embed});
+  // One arrival signal per contrib row per rank: the undispatch puts bump
+  // it, the combine waits on it -- the NVSHMEM put-with-signal discipline
+  // the real fused kernels use to gate consumption on delivery.
+  const SymmetricBufferId contrib_sig =
+      heap.AllocateSignals("moe-contrib-ready", group_tokens * topk);
+
+  for (int r = 0; r < world; ++r) {
+    heap.Local(in_buf, r) =
+        workload.inputs[static_cast<size_t>(placement.EpGroupOfRank(r))];
+  }
+
+  // --- layer0 + activation + layer1, per rank, in the rescheduled order ---
+  for (int r = 0; r < world; ++r) {
+    const int group = placement.EpGroupOfRank(r);
+    const int lane = placement.TpLaneOfRank(r);
+    const RankPlan& rank_plan = plan.ForRank(r);
+
+    const Layer0Schedule schedule0 =
+        BuildLayer0Schedule(rank_plan, group, ep, hidden, options_.tile_m,
+                            options_.tile_n, options_.reschedule);
+
+    // Materialize the layer0 shared tensor per expert with rows in the
+    // permuted layout; remote rows travel through the symmetric heap.
+    std::vector<Tensor> a_in;
+    std::vector<Tensor> h_mid;
+    std::vector<Tensor> y_out;
+    a_in.reserve(rank_plan.experts.size());
+    for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
+      const auto& slice = rank_plan.experts[le];
+      const auto& order = schedule0.row_order[le];
+      Tensor a(Shape{static_cast<int64_t>(slice.rows.size()), n_embed});
+      for (size_t pos = 0; pos < order.size(); ++pos) {
+        const ExpertRow& row =
+            slice.rows[static_cast<size_t>(order[pos])];
+        const int64_t src_local =
+            row.token - placement.FirstTokenOfGroup(row.source_group);
+        const auto data =
+            heap.GetRow(in_buf, r, placement.RankOf(row.source_group, lane),
+                        src_local);
+        a.SetRow(static_cast<int64_t>(pos), data);
+      }
+      a_in.push_back(std::move(a));
+      h_mid.emplace_back(
+          Shape{static_cast<int64_t>(slice.rows.size()), hidden});
+      y_out.emplace_back(
+          Shape{static_cast<int64_t>(slice.rows.size()), n_embed});
+    }
+
+    GroupGemmProblem problem0;
+    for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
+      problem0.a.push_back(&a_in[le]);
+      problem0.b.push_back(
+          &workload.sharded_weights->W0Shard(rank_plan.experts[le].expert, lane));
+      problem0.c.push_back(&h_mid[le]);
+    }
+    for (const TileRef& tile : schedule0.tiles) {
+      RunTile(problem0, GemmTileCoord{tile.expert_local, tile.row_begin,
+                                      tile.row_end, tile.col_begin,
+                                      tile.col_end});
+    }
+    for (auto& h : h_mid) {
+      ApplyActivation(h, workload.activation);
+    }
+
+    const Layer1Schedule schedule1 =
+        BuildLayer1Schedule(rank_plan, n_embed, options_.tile_m,
+                            options_.tile_n, options_.reschedule);
+    GroupGemmProblem problem1;
+    for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
+      problem1.a.push_back(&h_mid[le]);
+      problem1.b.push_back(
+          &workload.sharded_weights->W1Shard(rank_plan.experts[le].expert, lane));
+      problem1.c.push_back(&y_out[le]);
+    }
+    for (const TileRef& tile : schedule1.tiles) {
+      RunTile(problem1, GemmTileCoord{tile.expert_local, tile.row_begin,
+                                      tile.row_end, tile.col_begin,
+                                      tile.col_end});
+    }
+
+    // Top-k undispatch: every partial output row returns (lane-matched) to
+    // the token's home group, unweighted; weights are applied at the
+    // canonical combine below.
+    for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
+      const auto& slice = rank_plan.experts[le];
+      const auto& order = schedule0.row_order[le];
+      for (size_t pos = 0; pos < order.size(); ++pos) {
+        const ExpertRow& row = slice.rows[static_cast<size_t>(order[pos])];
+        const int dst = placement.RankOf(row.source_group, lane);
+        const int64_t dst_row =
+            (row.token - placement.FirstTokenOfGroup(row.source_group)) * topk +
+            row.slot;
+        heap.PutRowWithSignal(contrib_buf, r, dst, dst_row,
+                              y_out[le].row(static_cast<int64_t>(pos)),
+                              contrib_sig, dst_row);
+      }
+    }
+  }
+
+  // --- combine: canonical reduction (slot-major, TP-lane inner) on lane 0 ---
+  out.outputs.clear();
+  out.outputs.reserve(static_cast<size_t>(ep));
+  for (int g = 0; g < ep; ++g) {
+    const int reader = placement.RankOf(g, 0);
+    Tensor result(Shape{group_tokens, n_embed});
+    const int64_t first = placement.FirstTokenOfGroup(g);
+    for (int64_t t = 0; t < group_tokens; ++t) {
+      const TokenRoute& route =
+          workload.routing.tokens[static_cast<size_t>(first + t)];
+      // Routes may carry fewer than topk entries (capacity-dropped pairs);
+      // only written slots are consumed.
+      const int64_t slots = static_cast<int64_t>(route.experts.size());
+      for (int64_t k = 0; k < slots; ++k) {
+        for (int l = 0; l < tp; ++l) {
+          heap.WaitSignalGe(contrib_sig, placement.RankOf(g, l), t * topk + k,
+                            1);
+          const auto row =
+              heap.GetRow(contrib_buf, reader, placement.RankOf(g, l),
+                          t * topk + k);
+          result.AccumulateRow(t, row, route.weights[static_cast<size_t>(k)]);
+        }
+      }
+    }
+    out.outputs.push_back(std::move(result));
+  }
+}
+
+}  // namespace comet

@@ -1,0 +1,64 @@
+// The COMET MoE-layer executor: fine-grained communication-computation
+// overlap via shared-tensor decomposition, rescheduling, thread-block
+// specialization and adaptive workload assignment.
+//
+// Two planes share one schedule:
+//  * functional -- executes the REAL math tile-by-tile in the rescheduled
+//    order, moving tokens through the NVSHMEM-style symmetric heap exactly
+//    as the fused kernels would. Verified bit-exact against the sharded
+//    reference layer (rescheduling must never change results).
+//  * timing -- prices the same schedule on the cluster model through the
+//    fused-kernel simulator.
+//
+// Option toggles expose the paper's ablations: rescheduling off (canonical
+// tile order), vertical fusion instead of thread-block specialization, and
+// fixed instead of adaptive division points.
+#pragma once
+
+#include <memory>
+
+#include "core/adaptive.h"
+#include "exec/execution.h"
+#include "util/metadata_store.h"
+
+namespace comet {
+
+struct CometOptions {
+  bool reschedule = true;
+  bool specialized = true;  // false => vertical fusion (§3.2.1 strawman)
+  bool adaptive = true;     // false => fixed_comm_blocks division point
+  int fixed_comm_blocks = 16;
+  int64_t tile_m = 128;
+  int64_t tile_n = 128;
+  // Optional cross-run profile cache (paper: metadata written at deployment
+  // time). Borrowed pointer; may be null.
+  MetadataStore* profile_cache = nullptr;
+  // Override the executor display name (for ablation benches).
+  std::string name_override;
+};
+
+class CometExecutor : public MoeLayerExecutor {
+ public:
+  explicit CometExecutor(CometOptions options = {});
+
+  std::string name() const override;
+  bool Supports(const ParallelConfig& parallel) const override;
+  LayerExecution Run(const MoeWorkload& workload, const ClusterSpec& cluster,
+                     ExecMode mode) override;
+
+  // Division points chosen for the last Run (diagnostics / tests).
+  int last_layer0_comm_blocks() const { return last_nc0_; }
+  int last_layer1_comm_blocks() const { return last_nc1_; }
+
+ private:
+  void RunTimed(const MoeWorkload& workload, const ClusterSpec& cluster,
+                LayerExecution& out);
+  void RunFunctional(const MoeWorkload& workload, LayerExecution& out) const;
+
+  CometOptions options_;
+  AdaptiveAssigner assigner_;
+  int last_nc0_ = 0;
+  int last_nc1_ = 0;
+};
+
+}  // namespace comet

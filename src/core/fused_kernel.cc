@@ -1,0 +1,359 @@
+#include "core/fused_kernel.h"
+
+#include <algorithm>
+#include <map>
+
+#include "sim/bandwidth_queue.h"
+#include "sim/slot_pool.h"
+#include "util/check.h"
+
+namespace comet {
+namespace {
+
+// Identifies a row chunk (the unit of token delivery): tiles of the same
+// expert and row range share one delivery.
+using ChunkKey = std::pair<int64_t, int64_t>;  // (expert_local, row_begin)
+
+// Harmonic blend of per-class transfer rates: moving each byte class at its
+// own rate back-to-back through one channel yields total/sum(bytes_i/rate_i).
+double HarmonicBlend(std::initializer_list<std::pair<double, double>> classes,
+                     double fallback_rate) {
+  double total = 0.0;
+  double denom = 0.0;
+  for (const auto& [bytes, rate] : classes) {
+    if (bytes > 0.0) {
+      total += bytes;
+      denom += bytes / rate;
+    }
+  }
+  return total > 0.0 ? total / denom : fallback_rate;
+}
+
+// Remote traffic of one rank split by fabric tier.
+struct TierSplit {
+  double intra = 0.0;  // stays inside the node (NVLink)
+  double inter = 0.0;  // crosses nodes (IB); zero on single-node clusters
+};
+
+// Channel bandwidth of nc communication blocks moving `split` scattered
+// bytes: min over the per-block sustainable rate and the port capacity,
+// each blended across tiers.
+double ScatteredChannelBandwidth(const TierSplit& split,
+                                 const ClusterSpec& cluster, int nc) {
+  const LinkSpec& intra = cluster.link;
+  const LinkSpec& inter = cluster.inter_link;
+  const double per_block = HarmonicBlend(
+      {{split.intra, intra.per_block_bandwidth_scattered_bytes_per_us},
+       {split.inter, inter.per_block_bandwidth_scattered_bytes_per_us}},
+      intra.per_block_bandwidth_scattered_bytes_per_us);
+  const double port =
+      HarmonicBlend({{split.intra, intra.bandwidth_bytes_per_us},
+                     {split.inter, inter.bandwidth_bytes_per_us}},
+                    intra.bandwidth_bytes_per_us);
+  return std::min(static_cast<double>(nc) * per_block, port);
+}
+
+double TierLatencyUs(const TierSplit& split, const ClusterSpec& cluster) {
+  return split.inter > 0.0
+             ? std::max(cluster.link.latency_us, cluster.inter_link.latency_us)
+             : cluster.link.latency_us;
+}
+
+}  // namespace
+
+FusedKernelResult SimulateLayer0Fused(const RoutePlan& plan, int rank,
+                                      const OpCostModel& costs,
+                                      const FusedKernelConfig& config) {
+  const Placement& placement = plan.placement();
+  const int group = placement.EpGroupOfRank(rank);
+  const int ep = placement.parallel().ep;
+  const RankPlan& rank_plan = plan.ForRank(rank);
+  const int64_t out_cols = placement.HiddenPerTpRank();
+  const int64_t n_embed = placement.model().embedding;
+  const double row_bytes = static_cast<double>(n_embed) * costs.bytes_per_element();
+  const LinkSpec& link = costs.cluster().link;
+
+  COMET_CHECK_GT(config.total_blocks, 0);
+  COMET_CHECK_GE(config.comm_blocks, 0);
+  COMET_CHECK_LT(config.comm_blocks, config.total_blocks);
+
+  const Layer0Schedule schedule =
+      BuildLayer0Schedule(rank_plan, group, ep, out_cols, config.tile_m,
+                          config.tile_n, config.reschedule);
+
+  // Remote bytes per row chunk (split by fabric tier), in tile first-use
+  // order.
+  const ClusterSpec& cluster = costs.cluster();
+  const int lane = placement.TpLaneOfRank(rank);
+  std::map<ChunkKey, TierSplit> chunk_remote_bytes;
+  std::vector<ChunkKey> chunk_order;
+  TierSplit total_split;
+  for (const TileRef& tile : schedule.tiles) {
+    const ChunkKey key{tile.expert_local, tile.row_begin};
+    if (chunk_remote_bytes.count(key)) {
+      continue;
+    }
+    const auto& rows = rank_plan.experts[static_cast<size_t>(tile.expert_local)].rows;
+    const auto& order = schedule.row_order[static_cast<size_t>(tile.expert_local)];
+    TierSplit remote;
+    for (int64_t i = tile.row_begin; i < tile.row_end; ++i) {
+      const ExpertRow& row =
+          rows[static_cast<size_t>(order[static_cast<size_t>(i)])];
+      if (row.source_group == group) {
+        continue;
+      }
+      const int src_rank = placement.RankOf(row.source_group, lane);
+      if (cluster.SameNode(rank, src_rank)) {
+        remote.intra += row_bytes;
+      } else {
+        remote.inter += row_bytes;
+      }
+    }
+    chunk_remote_bytes[key] = remote;
+    total_split.intra += remote.intra;
+    total_split.inter += remote.inter;
+    chunk_order.push_back(key);
+  }
+
+  FusedKernelResult result;
+  result.comm_bytes = total_split.intra + total_split.inter;
+
+  std::map<ChunkKey, double> chunk_arrival;
+  const double total_comm_bytes = result.comm_bytes;
+
+  if (config.vertical_fusion) {
+    // Every block fetches its own tile's rows inline: column tiles of the
+    // same row chunk re-fetch the rows (the redundant-access problem of
+    // vertical fusion), and the broken async pipeline slows the math itself.
+    std::vector<SlotTask> tasks;
+    tasks.reserve(schedule.tiles.size());
+    const double tile_us =
+        costs.gemm().TileTimeUs(n_embed, config.tile_m, config.tile_n) *
+        (1.0 + config.vertical_fusion_penalty);
+    for (const TileRef& tile : schedule.tiles) {
+      const TierSplit& chunk =
+          chunk_remote_bytes[ChunkKey{tile.expert_local, tile.row_begin}];
+      const double total = chunk.intra + chunk.inter;
+      const double fetch =
+          total > 0.0
+              ? total / HarmonicBlend(
+                            {{chunk.intra,
+                              link.per_block_bandwidth_scattered_bytes_per_us},
+                             {chunk.inter,
+                              cluster.inter_link
+                                  .per_block_bandwidth_scattered_bytes_per_us}},
+                            link.per_block_bandwidth_scattered_bytes_per_us)
+              : 0.0;
+      tasks.push_back(SlotTask{0.0, tile_us + fetch});
+    }
+    const SlotSchedule sched = ScheduleInOrder(tasks, config.total_blocks);
+    result.compute_makespan_us = sched.makespan_us;
+    result.comm_makespan_us = sched.makespan_us;
+    result.stall_us = sched.stall_us;
+    result.duration_us = sched.makespan_us;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      result.timeline.Add("l0-tile", OpCategory::kLayer0Comp, 0,
+                          sched.tasks[i].start_us, sched.tasks[i].end_us);
+    }
+    return result;
+  }
+
+  COMET_CHECK(total_comm_bytes == 0.0 || config.comm_blocks > 0)
+      << "remote tokens but no communication blocks";
+
+  // Token delivery: FIFO channel at the aggregate rate of the nc blocks,
+  // tier-blended on multi-node clusters.
+  if (total_comm_bytes > 0.0) {
+    const double bw =
+        ScatteredChannelBandwidth(total_split, cluster, config.comm_blocks);
+    BandwidthQueue channel(bw, TierLatencyUs(total_split, cluster));
+    std::vector<TransferJob> jobs;
+    std::vector<ChunkKey> job_keys;
+    for (const ChunkKey& key : chunk_order) {
+      const TierSplit& chunk = chunk_remote_bytes[key];
+      const double bytes = chunk.intra + chunk.inter;
+      if (bytes > 0.0) {
+        jobs.push_back(TransferJob{0.0, bytes});
+        job_keys.push_back(key);
+      }
+    }
+    const auto deliveries = channel.Schedule(jobs);
+    for (size_t i = 0; i < deliveries.size(); ++i) {
+      chunk_arrival[job_keys[i]] = deliveries[i].end_us;
+      result.comm_makespan_us =
+          std::max(result.comm_makespan_us, deliveries[i].end_us);
+      result.timeline.Add("l0-recv", OpCategory::kLayer0Comm, 1,
+                          deliveries[i].start_us, deliveries[i].end_us);
+    }
+  }
+
+  // Compute side: in-order tile issue on the np GEMM blocks.
+  std::vector<SlotTask> tasks;
+  tasks.reserve(schedule.tiles.size());
+  const double tile_us =
+      costs.gemm().TileTimeUs(n_embed, config.tile_m, config.tile_n);
+  for (const TileRef& tile : schedule.tiles) {
+    double ready = 0.0;
+    const auto it = chunk_arrival.find(ChunkKey{tile.expert_local, tile.row_begin});
+    if (it != chunk_arrival.end()) {
+      ready = it->second;
+    }
+    tasks.push_back(SlotTask{ready, tile_us});
+  }
+  const int np = config.total_blocks - config.comm_blocks;
+  const SlotSchedule sched = ScheduleInOrder(tasks, np);
+  result.compute_makespan_us = sched.makespan_us;
+  result.stall_us = sched.stall_us;
+  result.duration_us = std::max(sched.makespan_us, result.comm_makespan_us);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    result.timeline.Add("l0-tile", OpCategory::kLayer0Comp, 0,
+                        sched.tasks[i].start_us, sched.tasks[i].end_us);
+  }
+  return result;
+}
+
+FusedKernelResult SimulateLayer1Fused(const RoutePlan& plan, int rank,
+                                      const OpCostModel& costs,
+                                      const FusedKernelConfig& config) {
+  const Placement& placement = plan.placement();
+  const RankPlan& rank_plan = plan.ForRank(rank);
+  const int64_t n_embed = placement.model().embedding;
+  const int64_t k_depth = placement.HiddenPerTpRank();
+  const double elt = costs.bytes_per_element();
+  const LinkSpec& link = costs.cluster().link;
+
+  COMET_CHECK_GT(config.total_blocks, 0);
+  COMET_CHECK_GE(config.comm_blocks, 0);
+  COMET_CHECK_LT(config.comm_blocks, config.total_blocks);
+
+  const Layer1Schedule schedule = BuildLayer1Schedule(
+      rank_plan, n_embed, config.tile_m, config.tile_n, config.reschedule);
+
+  // Communication volume: remote partial rows return to their home group
+  // (scattered all-to-all writes, split by fabric tier) plus the TP
+  // reduce-scatter share (contiguous; crosses nodes only when the TP group
+  // spans nodes).
+  const ClusterSpec& cluster = costs.cluster();
+  const int lane = placement.TpLaneOfRank(rank);
+  const int group = placement.EpGroupOfRank(rank);
+  const double row_bytes = static_cast<double>(n_embed) * elt;
+  TierSplit ep_split;
+  for (const auto& slice : rank_plan.experts) {
+    for (const ExpertRow& row : slice.rows) {
+      if (row.source_group == group) {
+        continue;
+      }
+      const int dst = placement.RankOf(row.source_group, lane);
+      if (cluster.SameNode(rank, dst)) {
+        ep_split.intra += row_bytes;
+      } else {
+        ep_split.inter += row_bytes;
+      }
+    }
+  }
+  const double ep_bytes_total = ep_split.intra + ep_split.inter;
+  const double rs_bytes_total = plan.TpReduceScatterBytesPerRank(row_bytes);
+  const int tp = placement.parallel().tp;
+  const bool tp_group_spans_nodes =
+      tp > 1 && !cluster.SameNode(placement.RankOf(group, 0),
+                                  placement.RankOf(group, tp - 1));
+  const double total_comm = ep_bytes_total + rs_bytes_total;
+
+  FusedKernelResult result;
+  result.comm_bytes = total_comm;
+
+  const double tile_us =
+      costs.gemm().TileTimeUs(k_depth, config.tile_m, config.tile_n);
+  const int64_t panels = schedule.num_col_panels;
+
+  if (config.vertical_fusion) {
+    std::vector<SlotTask> tasks;
+    tasks.reserve(schedule.tiles.size());
+    const double per_tile_comm =
+        schedule.tiles.empty()
+            ? 0.0
+            : total_comm / static_cast<double>(schedule.tiles.size()) /
+                  link.per_block_bandwidth_scattered_bytes_per_us;
+    for (size_t i = 0; i < schedule.tiles.size(); ++i) {
+      tasks.push_back(SlotTask{
+          0.0, tile_us * (1.0 + config.vertical_fusion_penalty) + per_tile_comm});
+    }
+    const SlotSchedule sched = ScheduleInOrder(tasks, config.total_blocks);
+    result.compute_makespan_us = sched.makespan_us;
+    result.comm_makespan_us = sched.makespan_us;
+    result.duration_us = sched.makespan_us;
+    result.stall_us = sched.stall_us;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      result.timeline.Add("l1-tile", OpCategory::kLayer1Comp, 0,
+                          sched.tasks[i].start_us, sched.tasks[i].end_us);
+    }
+    return result;
+  }
+
+  COMET_CHECK(total_comm == 0.0 || config.comm_blocks > 0)
+      << "layer1 traffic but no communication blocks";
+
+  // Compute: all tiles ready at 0; order decides when panels complete.
+  std::vector<SlotTask> tasks(schedule.tiles.size(), SlotTask{0.0, tile_us});
+  const int np = config.total_blocks - config.comm_blocks;
+  const SlotSchedule sched = ScheduleInOrder(tasks, np);
+  result.compute_makespan_us = sched.makespan_us;
+  result.stall_us = sched.stall_us;
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    result.timeline.Add("l1-tile", OpCategory::kLayer1Comp, 0,
+                        sched.tasks[i].start_us, sched.tasks[i].end_us);
+  }
+
+  // Panel completion times gate the reduce + write/send of those columns.
+  std::vector<double> panel_done(static_cast<size_t>(panels), 0.0);
+  for (size_t i = 0; i < schedule.tiles.size(); ++i) {
+    const int64_t p = schedule.tiles[i].col_begin / config.tile_n;
+    panel_done[static_cast<size_t>(p)] =
+        std::max(panel_done[static_cast<size_t>(p)], sched.tasks[i].end_us);
+  }
+
+  double comm_end = 0.0;
+  if (total_comm > 0.0) {
+    const LinkSpec& rs_link =
+        tp_group_spans_nodes ? cluster.inter_link : cluster.link;
+    const double per_block = HarmonicBlend(
+        {{ep_split.intra, link.per_block_bandwidth_scattered_bytes_per_us},
+         {ep_split.inter,
+          cluster.inter_link.per_block_bandwidth_scattered_bytes_per_us},
+         {rs_bytes_total, rs_link.per_block_bandwidth_bytes_per_us}},
+        link.per_block_bandwidth_bytes_per_us);
+    const double port = HarmonicBlend(
+        {{ep_split.intra + (tp_group_spans_nodes ? 0.0 : rs_bytes_total),
+          link.bandwidth_bytes_per_us},
+         {ep_split.inter + (tp_group_spans_nodes ? rs_bytes_total : 0.0),
+          cluster.inter_link.bandwidth_bytes_per_us}},
+        link.bandwidth_bytes_per_us);
+    const double bw =
+        std::min(static_cast<double>(config.comm_blocks) * per_block, port);
+    TierSplit latency_split;
+    latency_split.inter =
+        ep_split.inter + (tp_group_spans_nodes ? rs_bytes_total : 0.0);
+    BandwidthQueue channel(bw, TierLatencyUs(latency_split, cluster));
+    std::vector<TransferJob> jobs;
+    jobs.reserve(static_cast<size_t>(panels));
+    for (int64_t p = 0; p < panels; ++p) {
+      const int64_t col_begin = p * config.tile_n;
+      const int64_t col_end = std::min(col_begin + config.tile_n, n_embed);
+      const double frac = static_cast<double>(col_end - col_begin) /
+                          static_cast<double>(n_embed);
+      jobs.push_back(TransferJob{panel_done[static_cast<size_t>(p)],
+                                 total_comm * frac});
+    }
+    const auto sends = channel.Schedule(jobs);
+    for (const auto& s : sends) {
+      comm_end = std::max(comm_end, s.end_us);
+      result.timeline.Add("l1-send", OpCategory::kLayer1Comm, 1, s.start_us,
+                          s.end_us);
+    }
+  }
+  result.comm_makespan_us = comm_end;
+  result.duration_us = std::max(result.compute_makespan_us, comm_end);
+  return result;
+}
+
+}  // namespace comet

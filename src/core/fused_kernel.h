@@ -1,0 +1,59 @@
+// Timing model of COMET's thread-block-specialized fused kernels (§3.2).
+//
+// One fused kernel owns all `total_blocks` SMs of the GPU: `comm_blocks`
+// (nc) persistent blocks drive NVSHMEM token I/O, the remaining np blocks
+// run the unmodified GEMM tile loop. Compute tiles are issued strictly in
+// the (rescheduled) tile order; a block that picks up a tile whose rows have
+// not arrived spins -- which is exactly why rescheduling matters. The
+// communication side is a FIFO channel whose achieved bandwidth is
+// min(nc * per_block_bw, link_bw).
+//
+// Layer0 models the communication->computation pipeline (token arrival gates
+// tile start); layer1 models computation->communication (column-panel
+// completion gates the top-k reduce + write/send). A `vertical_fusion` mode
+// reproduces the strawman rejected in §3.2.1: token I/O embedded in the
+// compute tiles themselves, paying both a pipeline-efficiency penalty and
+// serialized remote latency.
+#pragma once
+
+#include "core/reschedule.h"
+#include "exec/op_costs.h"
+#include "moe/route_plan.h"
+#include "sim/timeline.h"
+
+namespace comet {
+
+struct FusedKernelConfig {
+  int total_blocks = 0;  // number of SMs (one persistent block per SM)
+  int comm_blocks = 0;   // nc; np = total - nc
+  int64_t tile_m = 128;
+  int64_t tile_n = 128;
+  bool reschedule = true;
+  bool vertical_fusion = false;  // ablation: no thread-block specialization
+  // Compute-efficiency penalty factor for vertical fusion (token I/O breaks
+  // the TMA/MMA pipeline of every block).
+  double vertical_fusion_penalty = 0.15;
+};
+
+struct FusedKernelResult {
+  double duration_us = 0.0;
+  double compute_makespan_us = 0.0;
+  double comm_makespan_us = 0.0;
+  // Slot-time compute blocks spent waiting on data (pipeline bubbles).
+  double stall_us = 0.0;
+  double comm_bytes = 0.0;
+  Timeline timeline;
+};
+
+// Simulates the layer0 fused kernel (dispatch + GroupGEMM) on `rank`.
+FusedKernelResult SimulateLayer0Fused(const RoutePlan& plan, int rank,
+                                      const OpCostModel& costs,
+                                      const FusedKernelConfig& config);
+
+// Simulates the layer1 fused kernel (GroupGEMM + top-k reduce +
+// all-to-all / reduce-scatter) on `rank`.
+FusedKernelResult SimulateLayer1Fused(const RoutePlan& plan, int rank,
+                                      const OpCostModel& costs,
+                                      const FusedKernelConfig& config);
+
+}  // namespace comet

@@ -1,0 +1,131 @@
+#include "core/reschedule.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace comet {
+namespace {
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+int RowArrivalClass(int source_group, int ep_group, int ep) {
+  COMET_CHECK_GE(source_group, 0);
+  COMET_CHECK_LT(source_group, ep);
+  COMET_CHECK_GE(ep_group, 0);
+  COMET_CHECK_LT(ep_group, ep);
+  // (source - self) mod ep is 0 for local rows and the ring distance
+  // (1 .. ep-1) otherwise.
+  return (source_group - ep_group + ep) % ep;
+}
+
+Layer0Schedule BuildLayer0Schedule(const RankPlan& plan, int ep_group, int ep,
+                                   int64_t out_cols, int64_t tile_m,
+                                   int64_t tile_n, bool reschedule) {
+  COMET_CHECK_GT(tile_m, 0);
+  COMET_CHECK_GT(tile_n, 0);
+  COMET_CHECK_GT(out_cols, 0);
+
+  Layer0Schedule schedule;
+  schedule.tile_m = tile_m;
+  schedule.tile_n = tile_n;
+  schedule.row_order.resize(plan.experts.size());
+
+  const int64_t col_tiles = CeilDiv(out_cols, tile_n);
+
+  for (size_t le = 0; le < plan.experts.size(); ++le) {
+    const auto& rows = plan.experts[le].rows;
+    auto& order = schedule.row_order[le];
+    order.resize(rows.size());
+    std::iota(order.begin(), order.end(), 0);
+    if (reschedule) {
+      // Locals first, then peers in ring-arrival order; stable keeps token
+      // order within a class.
+      std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+        return RowArrivalClass(rows[static_cast<size_t>(a)].source_group,
+                               ep_group, ep) <
+               RowArrivalClass(rows[static_cast<size_t>(b)].source_group,
+                               ep_group, ep);
+      });
+    }
+  }
+
+  // Enumerate tiles over the permuted rows.
+  for (size_t le = 0; le < plan.experts.size(); ++le) {
+    const auto& rows = plan.experts[le].rows;
+    const auto& order = schedule.row_order[le];
+    const int64_t m = static_cast<int64_t>(rows.size());
+    for (int64_t r = 0; r < m; r += tile_m) {
+      const int64_t r_end = std::min(r + tile_m, m);
+      int arrival = 0;
+      for (int64_t i = r; i < r_end; ++i) {
+        arrival = std::max(
+            arrival,
+            RowArrivalClass(
+                rows[static_cast<size_t>(order[static_cast<size_t>(i)])]
+                    .source_group,
+                ep_group, ep));
+      }
+      for (int64_t c = 0; c < col_tiles; ++c) {
+        schedule.tiles.push_back(
+            TileRef{static_cast<int64_t>(le), r, r_end, c * tile_n,
+                    std::min((c + 1) * tile_n, out_cols), arrival});
+      }
+    }
+  }
+
+  if (reschedule) {
+    // Readiness-ordered issue: tiles whose data arrives earlier run first.
+    std::stable_sort(schedule.tiles.begin(), schedule.tiles.end(),
+                     [](const TileRef& a, const TileRef& b) {
+                       return a.arrival_class < b.arrival_class;
+                     });
+  }
+  return schedule;
+}
+
+Layer1Schedule BuildLayer1Schedule(const RankPlan& plan, int64_t out_cols,
+                                   int64_t tile_m, int64_t tile_n,
+                                   bool reschedule) {
+  COMET_CHECK_GT(tile_m, 0);
+  COMET_CHECK_GT(tile_n, 0);
+  COMET_CHECK_GT(out_cols, 0);
+
+  Layer1Schedule schedule;
+  schedule.tile_m = tile_m;
+  schedule.tile_n = tile_n;
+  schedule.num_col_panels = CeilDiv(out_cols, tile_n);
+
+  if (reschedule) {
+    // Column-panel-major across all experts (Figure 6).
+    for (int64_t c = 0; c < schedule.num_col_panels; ++c) {
+      for (size_t le = 0; le < plan.experts.size(); ++le) {
+        const int64_t m =
+            static_cast<int64_t>(plan.experts[le].rows.size());
+        for (int64_t r = 0; r < m; r += tile_m) {
+          schedule.tiles.push_back(TileRef{
+              static_cast<int64_t>(le), r, std::min(r + tile_m, m),
+              c * tile_n, std::min((c + 1) * tile_n, out_cols), 0});
+        }
+      }
+    }
+  } else {
+    // Canonical expert-major order.
+    for (size_t le = 0; le < plan.experts.size(); ++le) {
+      const int64_t m = static_cast<int64_t>(plan.experts[le].rows.size());
+      for (int64_t r = 0; r < m; r += tile_m) {
+        for (int64_t c = 0; c < schedule.num_col_panels; ++c) {
+          schedule.tiles.push_back(TileRef{
+              static_cast<int64_t>(le), r, std::min(r + tile_m, m),
+              c * tile_n, std::min((c + 1) * tile_n, out_cols), 0});
+        }
+      }
+    }
+  }
+  return schedule;
+}
+
+}  // namespace comet

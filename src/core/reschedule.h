@@ -1,0 +1,73 @@
+// Rescheduling of decomposed shared tensors (paper §3.1.2).
+//
+// Layer0 (communication -> GroupGEMM): the shared tensor is decomposed along
+// M. Rows are sorted by source so that every expert's slice begins with the
+// rows already resident on this rank's EP group ("sort tokens by source
+// rank", Figure 5), and the GroupGEMM tile sequence is ordered by data
+// readiness: tiles made only of local rows run first while remote tokens are
+// still in flight.
+//
+// Layer1 (GroupGEMM -> top-k reduce + send): the shared tensor is decomposed
+// along N. Tiles are reordered column-panel-major across ALL experts
+// (Figure 6): once panel 0 of every expert is computed, the reduce/send of
+// those T_N columns starts while panel 1 is still being computed. Without
+// rescheduling the consumer waits for the last expert to finish.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moe/route_plan.h"
+
+namespace comet {
+
+// One GroupGEMM output tile in a fused kernel schedule.
+struct TileRef {
+  int64_t expert_local = 0;  // local expert index on this rank
+  int64_t row_begin = 0;     // rows within the expert's (permuted) slice
+  int64_t row_end = 0;
+  int64_t col_begin = 0;     // output columns
+  int64_t col_end = 0;
+  // Layer0: data-readiness class of the tile. 0 = all rows local; k > 0 =
+  // the farthest source of any row is the k-th peer group in arrival order.
+  int arrival_class = 0;
+};
+
+struct Layer0Schedule {
+  // Per local expert: permutation of its ExpertSlice row indices (positions
+  // into RankPlan rows). Identity when rescheduling is off.
+  std::vector<std::vector<int64_t>> row_order;
+  // Tiles in execution order.
+  std::vector<TileRef> tiles;
+  int64_t tile_m = 0;
+  int64_t tile_n = 0;
+};
+
+struct Layer1Schedule {
+  std::vector<TileRef> tiles;  // execution order
+  int64_t num_col_panels = 0;
+  int64_t tile_m = 0;
+  int64_t tile_n = 0;
+};
+
+// Arrival class of a row on a rank of `ep_group`: 0 if the row's source is
+// the group itself, else 1 + ring distance to the source group. This is the
+// order in which the communication blocks drain remote data.
+int RowArrivalClass(int source_group, int ep_group, int ep);
+
+// Builds the layer0 schedule for a rank of `ep_group`. `out_cols` is the
+// GEMM output width (K / TP). With `reschedule` off, rows stay canonical and
+// tiles run expert-major / row-major (the order an unmodified GroupGEMM
+// walks them).
+Layer0Schedule BuildLayer0Schedule(const RankPlan& plan, int ep_group, int ep,
+                                   int64_t out_cols, int64_t tile_m,
+                                   int64_t tile_n, bool reschedule);
+
+// Builds the layer1 schedule. `out_cols` is the embedding size N. With
+// `reschedule` on, tiles run column-panel-major across experts; off,
+// expert-major.
+Layer1Schedule BuildLayer1Schedule(const RankPlan& plan, int64_t out_cols,
+                                   int64_t tile_m, int64_t tile_n,
+                                   bool reschedule);
+
+}  // namespace comet

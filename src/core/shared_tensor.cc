@@ -1,0 +1,58 @@
+#include "core/shared_tensor.h"
+
+#include "util/check.h"
+
+namespace comet {
+
+std::string DecomposeDimName(DecomposeDim dim) {
+  switch (dim) {
+    case DecomposeDim::kM:
+      return "M";
+    case DecomposeDim::kN:
+      return "N";
+  }
+  COMET_CHECK(false) << "unknown decompose dim";
+  return "";
+}
+
+bool ConsumerIndependentAlong(TensorAccess consumer, DecomposeDim dim) {
+  switch (consumer) {
+    case TensorAccess::kGemmConsume:
+      // GEMM multiplies-and-reduces along the embedding dimension; rows
+      // (tokens) are independent, columns are not.
+      return dim == DecomposeDim::kM;
+    case TensorAccess::kTopKReduceConsume:
+      // Top-k reduction sums groups of rows; columns are independent, rows
+      // are not.
+      return dim == DecomposeDim::kN;
+    case TensorAccess::kRowwiseProduce:
+    case TensorAccess::kGemmProduce:
+      // Producers do not constrain decomposition; treat as independent both
+      // ways so the consumer decides.
+      return true;
+  }
+  COMET_CHECK(false) << "unknown access kind";
+  return false;
+}
+
+DecomposeDim ResolveDecomposition(const SharedTensorSpec& spec) {
+  const bool m_ok = ConsumerIndependentAlong(spec.consumer, DecomposeDim::kM);
+  const bool n_ok = ConsumerIndependentAlong(spec.consumer, DecomposeDim::kN);
+  COMET_CHECK(m_ok || n_ok)
+      << "consumer admits no independent dimension; cannot overlap";
+  // Prefer the token dimension when both qualify: it matches the data
+  // movement granularity (tokens are rows).
+  return m_ok ? DecomposeDim::kM : DecomposeDim::kN;
+}
+
+SharedTensorSpec Layer0SharedTensor(int64_t rows, int64_t cols) {
+  return SharedTensorSpec{rows, cols, TensorAccess::kRowwiseProduce,
+                          TensorAccess::kGemmConsume};
+}
+
+SharedTensorSpec Layer1SharedTensor(int64_t rows, int64_t cols) {
+  return SharedTensorSpec{rows, cols, TensorAccess::kGemmProduce,
+                          TensorAccess::kTopKReduceConsume};
+}
+
+}  // namespace comet

@@ -1,0 +1,59 @@
+// Shared-tensor based dependency resolving (paper §3.1).
+//
+// A shared tensor is the buffer linking a producer operator to a consumer
+// operator in one of MoE's two pipelines:
+//   layer0: producer = token dispatch (all-to-all / all-gather),
+//           consumer = GroupGEMM          -> global shape (M*topk, N)
+//   layer1: producer = GroupGEMM,
+//           consumer = top-k reduce + all-to-all / reduce-scatter
+//
+// Overlap is only possible along a dimension where the CONSUMER treats the
+// data as independent. A GEMM consumer reduces along the embedding (column)
+// dimension, so only rows are independent; a top-k-reduce consumer reduces
+// along rows, so only columns are independent. ResolveDecomposition encodes
+// exactly this analysis and is the entry point the executor uses to pick the
+// decomposition dimension of each pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace comet {
+
+// How an operator touches the shared tensor.
+enum class TensorAccess {
+  kRowwiseProduce,    // writes whole rows independently (dispatch output)
+  kGemmConsume,       // reads rows, reduces along columns (layer0 GEMM)
+  kGemmProduce,       // writes tiles independently (layer1 GEMM output)
+  kTopKReduceConsume, // reduces groups of rows (combine), columns independent
+};
+
+enum class DecomposeDim {
+  kM,  // rows (token dimension)
+  kN,  // columns (embedding / hidden dimension)
+};
+
+std::string DecomposeDimName(DecomposeDim dim);
+
+// Descriptor of one pipeline's shared tensor.
+struct SharedTensorSpec {
+  int64_t rows = 0;  // M * topk on the owning rank
+  int64_t cols = 0;
+  TensorAccess producer = TensorAccess::kRowwiseProduce;
+  TensorAccess consumer = TensorAccess::kGemmConsume;
+};
+
+// True if the consumer can make progress on a partial slice along `dim`
+// (i.e. elements along `dim` are independent for it).
+bool ConsumerIndependentAlong(TensorAccess consumer, DecomposeDim dim);
+
+// Picks the decomposition dimension: the unique dim along which the consumer
+// is independent. Throws CheckError if no dim qualifies (no fine-grained
+// overlap possible for such an operator pair).
+DecomposeDim ResolveDecomposition(const SharedTensorSpec& spec);
+
+// Convenience constructors for the two MoE pipelines.
+SharedTensorSpec Layer0SharedTensor(int64_t rows, int64_t cols);
+SharedTensorSpec Layer1SharedTensor(int64_t rows, int64_t cols);
+
+}  // namespace comet

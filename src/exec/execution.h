@@ -1,0 +1,53 @@
+// Common execution types shared by the COMET executor and every baseline.
+//
+// An executor runs one MoE layer on a simulated cluster and reports both a
+// timing-plane result (always) and a functional-plane result (on request --
+// real numerics are too slow at paper-scale shapes, so benches run
+// timing-only while tests run both and compare outputs).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hw/gpu_spec.h"
+#include "moe/workload.h"
+#include "sim/timeline.h"
+#include "tensor/tensor.h"
+
+namespace comet {
+
+enum class ExecMode {
+  kTimedOnly,    // scheduling + cost model only; outputs empty
+  kFunctional,   // also compute real outputs through the emulated heap
+};
+
+struct LayerExecution {
+  std::string executor;
+  // One output per EP group, (M/EP, N); empty in kTimedOnly mode.
+  std::vector<Tensor> outputs;
+  // Timeline of the critical (slowest) rank.
+  Timeline timeline;
+  // End-to-end duration of the MoE layer (max over ranks), us.
+  double duration_us = 0.0;
+  // Per-rank durations (diagnostics; world() entries).
+  std::vector<double> per_rank_us;
+};
+
+// Interface implemented by CometExecutor and the four baselines.
+class MoeLayerExecutor {
+ public:
+  virtual ~MoeLayerExecutor() = default;
+
+  virtual std::string name() const = 0;
+
+  // True if the executor supports this parallel configuration (FasterMoE
+  // supports expert parallelism only, for example).
+  virtual bool Supports(const ParallelConfig& parallel) const = 0;
+
+  virtual LayerExecution Run(const MoeWorkload& workload,
+                             const ClusterSpec& cluster,
+                             ExecMode mode) = 0;
+};
+
+}  // namespace comet

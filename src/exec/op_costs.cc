@@ -1,0 +1,79 @@
+#include "exec/op_costs.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace comet {
+
+OpCostModel::OpCostModel(const ClusterSpec& cluster, double bytes_per_element)
+    : cluster_(cluster),
+      gemm_(cluster.gpu, 128, 128, 0.85, bytes_per_element),
+      bytes_per_element_(bytes_per_element) {
+  COMET_CHECK_GT(bytes_per_element_, 0.0);
+}
+
+double OpCostModel::GatingUs(int64_t tokens, int64_t embedding,
+                             int64_t num_experts) const {
+  if (tokens == 0) {
+    return 0.0;
+  }
+  const double gemm_us =
+      gemm_.TimeUs(GemmShape{tokens, num_experts, embedding},
+                   cluster_.gpu.num_sms);
+  // Softmax + top-k selection: a few passes over (tokens x E) logits.
+  const double select_bytes =
+      3.0 * static_cast<double>(tokens) * static_cast<double>(num_experts) * 4.0;
+  return gemm_us + select_bytes / cluster_.gpu.hbm_bandwidth_bytes_per_us;
+}
+
+double OpCostModel::ActivationUs(int64_t rows, int64_t cols) const {
+  const double bytes =
+      2.0 * static_cast<double>(rows) * static_cast<double>(cols) *
+      bytes_per_element_;
+  return bytes / cluster_.gpu.hbm_bandwidth_bytes_per_us;
+}
+
+double OpCostModel::PermuteUs(int64_t rows, int64_t cols) const {
+  const double bytes =
+      2.0 * static_cast<double>(rows) * static_cast<double>(cols) *
+      bytes_per_element_;
+  // Scattered rows reach ~60% of streaming HBM bandwidth.
+  return bytes / (0.6 * cluster_.gpu.hbm_bandwidth_bytes_per_us);
+}
+
+double OpCostModel::CombineReduceUs(int64_t rows, int64_t cols,
+                                    int64_t topk) const {
+  COMET_CHECK_GT(topk, 0);
+  const double bytes = (static_cast<double>(rows) +
+                        static_cast<double>(rows) / static_cast<double>(topk)) *
+                       static_cast<double>(cols) * bytes_per_element_;
+  return bytes / cluster_.gpu.hbm_bandwidth_bytes_per_us;
+}
+
+double OpCostModel::AttentionUs(int64_t tokens, int64_t embedding,
+                                int tp) const {
+  COMET_CHECK_GT(tp, 0);
+  if (tokens == 0) {
+    return 0.0;
+  }
+  const double m = static_cast<double>(tokens);
+  const double n = static_cast<double>(embedding);
+  // QKV projection (sharded over TP) + attention scores/values + output
+  // projection. FlashAttention keeps the score matrix on chip, so charge
+  // pure flops at a moderate sustained efficiency.
+  const double flops =
+      (2.0 * m * n * 4.0 * n + 4.0 * m * m * n) / static_cast<double>(tp);
+  const double compute_us = flops / (0.5 * cluster_.gpu.peak_flops_per_us);
+  double comm_us = 0.0;
+  if (tp > 1) {
+    // Ring all-reduce of the (tokens x N) attention output.
+    const double bytes = 2.0 * (static_cast<double>(tp - 1) / tp) * m * n *
+                         bytes_per_element_;
+    comm_us = bytes / cluster_.link.bandwidth_bytes_per_us +
+              2.0 * (tp - 1) * cluster_.link.latency_us;
+  }
+  return compute_us + comm_us;
+}
+
+}  // namespace comet

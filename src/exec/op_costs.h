@@ -1,0 +1,51 @@
+// Costs of the non-GEMM MoE operations, shared by every executor so that
+// identical work is priced identically (the paper's Figure 9 keeps attention
+// and gating identical across mechanisms; only scheduling differs).
+#pragma once
+
+#include <cstdint>
+
+#include "hw/gemm_cost.h"
+#include "hw/gpu_spec.h"
+
+namespace comet {
+
+class OpCostModel {
+ public:
+  // `bytes_per_element` is the training dtype width (2 for BF16).
+  explicit OpCostModel(const ClusterSpec& cluster,
+                       double bytes_per_element = 2.0);
+
+  const ClusterSpec& cluster() const { return cluster_; }
+  const GemmCostModel& gemm() const { return gemm_; }
+  double bytes_per_element() const { return bytes_per_element_; }
+
+  // Gate network: (tokens x N) x (N x E) GEMM plus softmax/top-k selection.
+  double GatingUs(int64_t tokens, int64_t embedding, int64_t num_experts) const;
+
+  // Elementwise activation over (rows x cols): one read + one write pass.
+  double ActivationUs(int64_t rows, int64_t cols) const;
+
+  // Local permute / unpermute of (rows x cols): gather + scatter through HBM.
+  double PermuteUs(int64_t rows, int64_t cols) const;
+
+  // Top-k combine reduction over (rows x cols) contributions into
+  // (rows / topk x cols) outputs: topk reads + 1 write.
+  double CombineReduceUs(int64_t rows, int64_t cols, int64_t topk) const;
+
+  // Host-side launch overhead of one kernel.
+  double LaunchUs() const { return cluster_.gpu.kernel_launch_us; }
+
+  // Attention block time per rank (QKV projection + FlashAttention-style
+  // score/value + output projection), tokens = per-device sequence. Includes
+  // the TP all-reduce of the attention output when tp > 1. Identical across
+  // all executors.
+  double AttentionUs(int64_t tokens, int64_t embedding, int tp) const;
+
+ private:
+  ClusterSpec cluster_;
+  GemmCostModel gemm_;
+  double bytes_per_element_;
+};
+
+}  // namespace comet

@@ -1,0 +1,39 @@
+#include "hw/block_model.h"
+
+#include "util/check.h"
+
+namespace comet {
+
+double CommBlockModel::BandwidthForMessage(double message_bytes) const {
+  COMET_CHECK_GT(message_bytes, 0.0);
+  COMET_CHECK_GT(peak_bytes_per_us, 0.0);
+  return message_bytes /
+         (issue_overhead_us + message_bytes / peak_bytes_per_us);
+}
+
+double CommBlockModel::MessageBytesForFraction(double fraction) const {
+  COMET_CHECK_GT(fraction, 0.0);
+  COMET_CHECK_LT(fraction, 1.0);
+  // b(s) = f * peak  <=>  s = f/(1-f) * t_issue * peak.
+  return fraction / (1.0 - fraction) * issue_overhead_us * peak_bytes_per_us;
+}
+
+CommBlockModel CommBlockModelForLink(const LinkSpec& link,
+                                     int64_t token_bytes) {
+  COMET_CHECK_GT(token_bytes, 0);
+  const double scattered = link.per_block_bandwidth_scattered_bytes_per_us;
+  const double contiguous = link.per_block_bandwidth_bytes_per_us;
+  COMET_CHECK_GT(scattered, 0.0);
+  COMET_CHECK_GT(contiguous, scattered)
+      << "contiguous per-block rate must exceed the scattered rate";
+  CommBlockModel model;
+  // The contiguous rate is the large-message asymptote; solve the issue
+  // overhead from the scattered rate at one token per message:
+  //   scattered = s / (t + s/peak)  =>  t = s * (1/scattered - 1/peak).
+  model.peak_bytes_per_us = contiguous;
+  model.issue_overhead_us = static_cast<double>(token_bytes) *
+                            (1.0 / scattered - 1.0 / contiguous);
+  return model;
+}
+
+}  // namespace comet

@@ -1,0 +1,41 @@
+// Per-thread-block communication throughput (§3.2.1 "Hardware resource
+// restriction").
+//
+// A communication thread block drives NVSHMEM transfers through a bounded
+// issue pipeline: every message pays a fixed issue overhead (address
+// computation, descriptor build, fence) before its bytes move at the
+// block's peak rate. Effective bandwidth for message size s is therefore
+//
+//     b(s) = s / (t_issue + s / peak)
+//
+// which asymptotes to `peak` for large staged copies and collapses for
+// token-sized scattered puts. This is the mechanism behind the two
+// per-block constants in LinkSpec (contiguous vs scattered rates): the
+// presets are cross-checked against this model in the tests, and it
+// explains why EP-heavy configurations -- whose messages are single tokens
+// -- need more communication blocks to fill the fabric (Figure 8).
+#pragma once
+
+#include "hw/gpu_spec.h"
+
+namespace comet {
+
+struct CommBlockModel {
+  double peak_bytes_per_us = 0.0;  // large-message per-block ceiling
+  double issue_overhead_us = 0.0;  // per message
+
+  // Effective bandwidth of one block moving back-to-back messages of
+  // `message_bytes` each.
+  double BandwidthForMessage(double message_bytes) const;
+
+  // Message size at which the block reaches `fraction` of its peak.
+  double MessageBytesForFraction(double fraction) const;
+};
+
+// Calibrated so that token-sized puts (one BF16 row of the given embedding)
+// reproduce the link's scattered per-block rate and large staged copies its
+// contiguous rate.
+CommBlockModel CommBlockModelForLink(const LinkSpec& link,
+                                     int64_t token_bytes);
+
+}  // namespace comet

@@ -1,0 +1,147 @@
+#include "hw/gemm_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace comet {
+namespace {
+
+// Reduction depth at which the pipeline reaches half of sustained
+// efficiency. Below ~a few hundred elements of K the mainloop cannot hide
+// global-memory latency behind MMAs.
+constexpr double kHalfEfficiencyK = 192.0;
+
+// Per-dimension tile-shape overhead: a tile of extent d along one dimension
+// sustains d / (d + kTileEdgeOverhead) of the ideal rate along it (fixed
+// prologue/epilogue work and partial tensor-core fragments dominate small
+// extents).
+constexpr double kTileEdgeOverhead = 16.0;
+
+double EdgeEfficiency(int64_t d) {
+  const double dd = static_cast<double>(d);
+  return dd / (dd + kTileEdgeOverhead);
+}
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace
+
+GemmCostModel::GemmCostModel(GpuSpec gpu, int tile_m, int tile_n,
+                             double base_efficiency, double bytes_per_element)
+    : gpu_(std::move(gpu)),
+      tile_m_(tile_m),
+      tile_n_(tile_n),
+      base_efficiency_(base_efficiency),
+      bytes_per_element_(bytes_per_element) {
+  COMET_CHECK_GT(tile_m_, 0);
+  COMET_CHECK_GT(tile_n_, 0);
+  COMET_CHECK_GT(base_efficiency_, 0.0);
+  COMET_CHECK_LE(base_efficiency_, 1.0);
+  COMET_CHECK_GT(gpu_.num_sms, 0);
+  COMET_CHECK_GT(gpu_.peak_flops_per_us, 0.0);
+}
+
+double GemmCostModel::KEfficiency(int64_t k) const {
+  COMET_CHECK_GT(k, 0);
+  const double kd = static_cast<double>(k);
+  return kd / (kd + kHalfEfficiencyK);
+}
+
+double GemmCostModel::TileTimeUs(int64_t k) const {
+  return TileTimeUs(k, tile_m_, tile_n_);
+}
+
+double GemmCostModel::TileShapeEfficiency(int64_t tile_m,
+                                          int64_t tile_n) const {
+  COMET_CHECK_GT(tile_m, 0);
+  COMET_CHECK_GT(tile_n, 0);
+  // Normalized so the model's native shape is exactly 1; larger tiles do
+  // not beat the sustained rate the native shape was calibrated to.
+  const double native = EdgeEfficiency(tile_m_) * EdgeEfficiency(tile_n_);
+  const double shape = EdgeEfficiency(tile_m) * EdgeEfficiency(tile_n);
+  return std::min(1.0, shape / native);
+}
+
+double GemmCostModel::TileTimeUs(int64_t k, int64_t tile_m,
+                                 int64_t tile_n) const {
+  const double flops = 2.0 * static_cast<double>(tile_m) *
+                       static_cast<double>(tile_n) * static_cast<double>(k);
+  const double rate = gpu_.FlopsPerUsPerSm() * base_efficiency_ *
+                      KEfficiency(k) * TileShapeEfficiency(tile_m, tile_n);
+  return flops / rate;
+}
+
+int64_t GemmCostModel::NumTiles(const GemmShape& shape) const {
+  if (shape.m == 0 || shape.n == 0) {
+    return 0;
+  }
+  return CeilDiv(shape.m, tile_m_) * CeilDiv(shape.n, tile_n_);
+}
+
+double GemmCostModel::MemoryFloorUs(const GemmShape& shape, int sms) const {
+  // A (m,k) x (k,n) GEMM reads both operands and writes the output at least
+  // once. SMs share HBM bandwidth roughly proportionally.
+  const double bytes =
+      bytes_per_element_ *
+      (static_cast<double>(shape.m) * static_cast<double>(shape.k) +
+       static_cast<double>(shape.k) * static_cast<double>(shape.n) +
+       static_cast<double>(shape.m) * static_cast<double>(shape.n));
+  const double share =
+      gpu_.hbm_bandwidth_bytes_per_us *
+      (static_cast<double>(sms) / static_cast<double>(gpu_.num_sms));
+  return bytes / share;
+}
+
+double GemmCostModel::TimeUs(const GemmShape& shape, int sms) const {
+  COMET_CHECK_GT(sms, 0);
+  COMET_CHECK_LE(sms, gpu_.num_sms);
+  if (shape.m == 0 || shape.n == 0 || shape.k == 0) {
+    return 0.0;
+  }
+  const int64_t tiles = NumTiles(shape);
+  const int64_t waves = CeilDiv(tiles, sms);
+  const double compute = static_cast<double>(waves) * TileTimeUs(shape.k);
+  return std::max(compute, MemoryFloorUs(shape, sms));
+}
+
+double GemmCostModel::GroupTimeUs(const std::vector<GemmShape>& groups,
+                                  int sms) const {
+  COMET_CHECK_GT(sms, 0);
+  COMET_CHECK_LE(sms, gpu_.num_sms);
+  if (groups.empty()) {
+    return 0.0;
+  }
+  const int64_t n = groups.front().n;
+  const int64_t k = groups.front().k;
+  int64_t tiles = 0;
+  GemmShape mem_total{0, n, k};
+  for (const auto& g : groups) {
+    COMET_CHECK_EQ(g.n, n) << "GroupGEMM groups must share n";
+    COMET_CHECK_EQ(g.k, k) << "GroupGEMM groups must share k";
+    tiles += NumTiles(g);
+    mem_total.m += g.m;
+  }
+  if (tiles == 0 || k == 0 || n == 0) {
+    return 0.0;
+  }
+  const int64_t waves = CeilDiv(tiles, sms);
+  const double compute = static_cast<double>(waves) * TileTimeUs(k);
+  // Weights of every (active) expert are read once regardless of m, so the
+  // memory floor includes one k*n operand per group with m > 0.
+  double bytes = bytes_per_element_ * (static_cast<double>(mem_total.m) *
+                                       static_cast<double>(k + n));
+  for (const auto& g : groups) {
+    if (g.m > 0) {
+      bytes += bytes_per_element_ * static_cast<double>(k) *
+               static_cast<double>(n);
+    }
+  }
+  const double share =
+      gpu_.hbm_bandwidth_bytes_per_us *
+      (static_cast<double>(sms) / static_cast<double>(gpu_.num_sms));
+  return std::max(compute, bytes / share);
+}
+
+}  // namespace comet

@@ -1,0 +1,107 @@
+#include "moe/activation.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace comet {
+
+float GeluScalar(float x) {
+  // tanh approximation: 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x^3))).
+  constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+  const float inner = kC * (x + 0.044715f * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float SiluScalar(float x) { return x / (1.0f + std::exp(-x)); }
+
+void ApplyActivationTile(Tensor& t, ActivationKind kind, int64_t row_begin,
+                         int64_t row_end, int64_t col_begin, int64_t col_end) {
+  COMET_CHECK_EQ(t.shape().rank(), 2u);
+  COMET_CHECK_GE(row_begin, 0);
+  COMET_CHECK_LE(row_end, t.rows());
+  COMET_CHECK_GE(col_begin, 0);
+  COMET_CHECK_LE(col_end, t.cols());
+  if (kind == ActivationKind::kIdentity) {
+    return;
+  }
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    auto row = t.row(r);
+    for (int64_t c = col_begin; c < col_end; ++c) {
+      float& x = row[static_cast<size_t>(c)];
+      switch (kind) {
+        case ActivationKind::kGelu:
+          x = GeluScalar(x);
+          break;
+        case ActivationKind::kSilu:
+          x = SiluScalar(x);
+          break;
+        case ActivationKind::kRelu:
+          x = x > 0.0f ? x : 0.0f;
+          break;
+        case ActivationKind::kIdentity:
+          break;
+      }
+    }
+  }
+}
+
+void ApplyActivation(Tensor& t, ActivationKind kind) {
+  ApplyActivationTile(t, kind, 0, t.rows(), 0, t.cols());
+}
+
+float ActivationGradScalar(ActivationKind kind, float x) {
+  switch (kind) {
+    case ActivationKind::kGelu: {
+      // d/dx of the tanh approximation used by GeluScalar.
+      constexpr float kC = 0.7978845608028654f;  // sqrt(2/pi)
+      const float x3 = x * x * x;
+      const float inner = kC * (x + 0.044715f * x3);
+      const float t = std::tanh(inner);
+      const float sech2 = 1.0f - t * t;
+      const float dinner = kC * (1.0f + 3.0f * 0.044715f * x * x);
+      return 0.5f * (1.0f + t) + 0.5f * x * sech2 * dinner;
+    }
+    case ActivationKind::kSilu: {
+      const float s = 1.0f / (1.0f + std::exp(-x));
+      return s * (1.0f + x * (1.0f - s));
+    }
+    case ActivationKind::kRelu:
+      return x > 0.0f ? 1.0f : 0.0f;
+    case ActivationKind::kIdentity:
+      return 1.0f;
+  }
+  COMET_CHECK(false) << "unknown activation kind";
+  return 0.0f;
+}
+
+void ApplyActivationGradTile(Tensor& grad, const Tensor& pre,
+                             ActivationKind kind, int64_t row_begin,
+                             int64_t row_end, int64_t col_begin,
+                             int64_t col_end) {
+  COMET_CHECK_EQ(grad.shape().rank(), 2u);
+  COMET_CHECK(grad.shape() == pre.shape())
+      << "activation grad/pre shape mismatch";
+  COMET_CHECK_GE(row_begin, 0);
+  COMET_CHECK_LE(row_end, grad.rows());
+  COMET_CHECK_GE(col_begin, 0);
+  COMET_CHECK_LE(col_end, grad.cols());
+  if (kind == ActivationKind::kIdentity) {
+    return;
+  }
+  for (int64_t r = row_begin; r < row_end; ++r) {
+    auto grow = grad.row(r);
+    const auto prow = pre.row(r);
+    for (int64_t c = col_begin; c < col_end; ++c) {
+      grow[static_cast<size_t>(c)] *=
+          ActivationGradScalar(kind, prow[static_cast<size_t>(c)]);
+    }
+  }
+}
+
+void ApplyActivationGrad(Tensor& grad, const Tensor& pre,
+                         ActivationKind kind) {
+  ApplyActivationGradTile(grad, pre, kind, 0, grad.rows(), 0, grad.cols());
+}
+
+}  // namespace comet

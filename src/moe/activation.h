@@ -1,0 +1,41 @@
+// Elementwise activations applied between the two expert feed-forward layers.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace comet {
+
+enum class ActivationKind {
+  kGelu,  // tanh approximation (the variant used by the evaluated models)
+  kSilu,
+  kRelu,
+  kIdentity,
+};
+
+// Applies the activation in place over the whole tensor.
+void ApplyActivation(Tensor& t, ActivationKind kind);
+
+// Applies the activation in place over rows [row_begin, row_end) x cols
+// [col_begin, col_end) only; used by tile-granular executors.
+void ApplyActivationTile(Tensor& t, ActivationKind kind, int64_t row_begin,
+                         int64_t row_end, int64_t col_begin, int64_t col_end);
+
+// Scalar versions, exposed for tests.
+float GeluScalar(float x);
+float SiluScalar(float x);
+
+// Derivative of the activation at pre-activation value `x`.
+float ActivationGradScalar(ActivationKind kind, float x);
+
+// Backward through the activation: grad[r, c] *= act'(pre[r, c]) over the
+// tile. `pre` holds the PRE-activation values (the GEMM output before the
+// forward applied the activation in place); shapes must match.
+void ApplyActivationGradTile(Tensor& grad, const Tensor& pre,
+                             ActivationKind kind, int64_t row_begin,
+                             int64_t row_end, int64_t col_begin,
+                             int64_t col_end);
+
+// Whole-tensor convenience wrapper of ApplyActivationGradTile.
+void ApplyActivationGrad(Tensor& grad, const Tensor& pre, ActivationKind kind);
+
+}  // namespace comet

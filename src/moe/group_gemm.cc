@@ -1,0 +1,186 @@
+#include "moe/group_gemm.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace comet {
+namespace {
+
+// Inner k-blocking keeps the B panel hot in cache; 64 floats = one page of
+// typical L1 lines per row without tuning heroics.
+constexpr int64_t kInnerK = 64;
+
+}  // namespace
+
+void GemmTile(const Tensor& a, const Tensor& b, Tensor& c, int64_t row_begin,
+              int64_t row_end, int64_t col_begin, int64_t col_end) {
+  COMET_CHECK_EQ(a.shape().rank(), 2u);
+  COMET_CHECK_EQ(b.shape().rank(), 2u);
+  COMET_CHECK_EQ(c.shape().rank(), 2u);
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  COMET_CHECK_EQ(b.rows(), k);
+  COMET_CHECK_EQ(c.rows(), m);
+  COMET_CHECK_EQ(c.cols(), n);
+  COMET_CHECK_GE(row_begin, 0);
+  COMET_CHECK_LE(row_end, m);
+  COMET_CHECK_GE(col_begin, 0);
+  COMET_CHECK_LE(col_end, n);
+  COMET_CHECK_LE(row_begin, row_end);
+  COMET_CHECK_LE(col_begin, col_end);
+
+  auto a_data = a.data();
+  auto b_data = b.data();
+  auto c_data = c.data();
+
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    float* c_row = &c_data[static_cast<size_t>(i * n)];
+    for (int64_t j = col_begin; j < col_end; ++j) {
+      c_row[j] = 0.0f;
+    }
+    const float* a_row = &a_data[static_cast<size_t>(i * k)];
+    for (int64_t kk = 0; kk < k; kk += kInnerK) {
+      const int64_t k_hi = std::min(kk + kInnerK, k);
+      for (int64_t p = kk; p < k_hi; ++p) {
+        const float a_ip = a_row[p];
+        if (a_ip == 0.0f) {
+          continue;
+        }
+        const float* b_row = &b_data[static_cast<size_t>(p * n)];
+        for (int64_t j = col_begin; j < col_end; ++j) {
+          c_row[j] += a_ip * b_row[j];
+        }
+      }
+    }
+  }
+}
+
+void Gemm(const Tensor& a, const Tensor& b, Tensor& c) {
+  GemmTile(a, b, c, 0, a.rows(), 0, b.cols());
+}
+
+void GemmNTTile(const Tensor& a, const Tensor& b, Tensor& c,
+                int64_t row_begin, int64_t row_end, int64_t col_begin,
+                int64_t col_end) {
+  COMET_CHECK_EQ(a.shape().rank(), 2u);
+  COMET_CHECK_EQ(b.shape().rank(), 2u);
+  COMET_CHECK_EQ(c.shape().rank(), 2u);
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.rows();
+  COMET_CHECK_EQ(b.cols(), k);
+  COMET_CHECK_EQ(c.rows(), m);
+  COMET_CHECK_EQ(c.cols(), n);
+  COMET_CHECK_GE(row_begin, 0);
+  COMET_CHECK_LE(row_end, m);
+  COMET_CHECK_GE(col_begin, 0);
+  COMET_CHECK_LE(col_end, n);
+
+  auto a_data = a.data();
+  auto b_data = b.data();
+  auto c_data = c.data();
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    const float* a_row = &a_data[static_cast<size_t>(i * k)];
+    float* c_row = &c_data[static_cast<size_t>(i * n)];
+    for (int64_t j = col_begin; j < col_end; ++j) {
+      const float* b_row = &b_data[static_cast<size_t>(j * k)];
+      float acc = 0.0f;
+      for (int64_t p = 0; p < k; ++p) {
+        acc += a_row[p] * b_row[p];
+      }
+      c_row[j] = acc;
+    }
+  }
+}
+
+void GemmNT(const Tensor& a, const Tensor& b, Tensor& c) {
+  GemmNTTile(a, b, c, 0, a.rows(), 0, b.rows());
+}
+
+void GemmTNTile(const Tensor& a, const Tensor& b, Tensor& c,
+                int64_t row_begin, int64_t row_end, int64_t col_begin,
+                int64_t col_end) {
+  COMET_CHECK_EQ(a.shape().rank(), 2u);
+  COMET_CHECK_EQ(b.shape().rank(), 2u);
+  COMET_CHECK_EQ(c.shape().rank(), 2u);
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  COMET_CHECK_EQ(b.rows(), m);
+  COMET_CHECK_EQ(c.rows(), k);
+  COMET_CHECK_EQ(c.cols(), n);
+  COMET_CHECK_GE(row_begin, 0);
+  COMET_CHECK_LE(row_end, k);
+  COMET_CHECK_GE(col_begin, 0);
+  COMET_CHECK_LE(col_end, n);
+
+  auto a_data = a.data();
+  auto b_data = b.data();
+  auto c_data = c.data();
+  for (int64_t q = row_begin; q < row_end; ++q) {
+    float* c_row = &c_data[static_cast<size_t>(q * n)];
+    for (int64_t j = col_begin; j < col_end; ++j) {
+      c_row[j] = 0.0f;
+    }
+  }
+  // Row-reduction in ascending order; the i-loop is outermost so every C
+  // element sees contributions in the same order regardless of tiling.
+  for (int64_t i = 0; i < m; ++i) {
+    const float* a_row = &a_data[static_cast<size_t>(i * k)];
+    const float* b_row = &b_data[static_cast<size_t>(i * n)];
+    for (int64_t q = row_begin; q < row_end; ++q) {
+      const float a_iq = a_row[q];
+      if (a_iq == 0.0f) {
+        continue;
+      }
+      float* c_row = &c_data[static_cast<size_t>(q * n)];
+      for (int64_t j = col_begin; j < col_end; ++j) {
+        c_row[j] += a_iq * b_row[j];
+      }
+    }
+  }
+}
+
+void GemmTN(const Tensor& a, const Tensor& b, Tensor& c) {
+  GemmTNTile(a, b, c, 0, a.cols(), 0, b.cols());
+}
+
+std::vector<GemmTileCoord> EnumerateTiles(const GroupGemmProblem& problem,
+                                          int64_t tile_m, int64_t tile_n) {
+  COMET_CHECK_GT(tile_m, 0);
+  COMET_CHECK_GT(tile_n, 0);
+  COMET_CHECK_EQ(problem.a.size(), problem.b.size());
+  COMET_CHECK_EQ(problem.a.size(), problem.c.size());
+  std::vector<GemmTileCoord> tiles;
+  for (size_t g = 0; g < problem.a.size(); ++g) {
+    const int64_t m = problem.a[g]->rows();
+    const int64_t n = problem.b[g]->cols();
+    for (int64_t r = 0; r < m; r += tile_m) {
+      for (int64_t cc = 0; cc < n; cc += tile_n) {
+        tiles.push_back(GemmTileCoord{static_cast<int64_t>(g), r,
+                                      std::min(r + tile_m, m), cc,
+                                      std::min(cc + tile_n, n)});
+      }
+    }
+  }
+  return tiles;
+}
+
+void RunTile(const GroupGemmProblem& problem, const GemmTileCoord& tile) {
+  COMET_CHECK_GE(tile.group, 0);
+  COMET_CHECK_LT(static_cast<size_t>(tile.group), problem.a.size());
+  const size_t g = static_cast<size_t>(tile.group);
+  GemmTile(*problem.a[g], *problem.b[g], *problem.c[g], tile.row_begin,
+           tile.row_end, tile.col_begin, tile.col_end);
+}
+
+void RunGroupGemm(const GroupGemmProblem& problem,
+                  const std::vector<GemmTileCoord>& tiles) {
+  for (const auto& tile : tiles) {
+    RunTile(problem, tile);
+  }
+}
+
+}  // namespace comet

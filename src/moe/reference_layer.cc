@@ -1,0 +1,129 @@
+#include "moe/reference_layer.h"
+
+#include "moe/group_gemm.h"
+#include "util/check.h"
+
+namespace comet {
+
+ExpertBatch GatherExpertBatch(const MoeWorkload& w, int64_t expert) {
+  ExpertBatch batch;
+  for (int64_t t = 0; t < w.placement.total_tokens(); ++t) {
+    const TokenRoute& route = w.routing.tokens[static_cast<size_t>(t)];
+    for (size_t k = 0; k < route.experts.size(); ++k) {
+      if (route.experts[k] == expert) {
+        batch.tokens.push_back(t);
+        batch.weights.push_back(route.weights[k]);
+        batch.slots.push_back(static_cast<int64_t>(k));
+      }
+    }
+  }
+  batch.rows = Tensor(Shape{static_cast<int64_t>(batch.tokens.size()),
+                            w.model().embedding});
+  for (size_t i = 0; i < batch.tokens.size(); ++i) {
+    batch.rows.SetRow(static_cast<int64_t>(i), w.TokenRow(batch.tokens[i]));
+  }
+  return batch;
+}
+
+namespace {
+
+std::vector<Tensor> SplitPerGroup(const MoeWorkload& w, const Tensor& global) {
+  std::vector<Tensor> outputs;
+  outputs.reserve(static_cast<size_t>(w.placement.parallel().ep));
+  for (int g = 0; g < w.placement.parallel().ep; ++g) {
+    Tensor out(Shape{w.placement.tokens_per_group(), w.model().embedding});
+    const int64_t base = w.placement.FirstTokenOfGroup(g);
+    for (int64_t i = 0; i < out.rows(); ++i) {
+      out.SetRow(i, global.row(base + i));
+    }
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
+}  // namespace
+
+std::vector<Tensor> ReferenceMoeLayer(const MoeWorkload& w) {
+  const int64_t m = w.placement.total_tokens();
+  const int64_t n = w.model().embedding;
+  const int64_t topk = w.model().topk;
+
+  // contributions[t * topk + slot] = weight * expert_output_row
+  Tensor contributions(Shape{m * topk, n});
+  for (int64_t e = 0; e < w.model().num_experts; ++e) {
+    ExpertBatch batch = GatherExpertBatch(w, e);
+    if (batch.tokens.empty()) {
+      continue;
+    }
+    const int64_t rows = batch.rows.rows();
+    Tensor hidden(Shape{rows, w.model().ffn_hidden});
+    Gemm(batch.rows, w.weights->W0(e), hidden);
+    ApplyActivation(hidden, w.activation);
+    Tensor y(Shape{rows, n});
+    Gemm(hidden, w.weights->W1(e), y);
+    for (int64_t i = 0; i < rows; ++i) {
+      const int64_t t = batch.tokens[static_cast<size_t>(i)];
+      const int64_t slot = batch.slots[static_cast<size_t>(i)];
+      contributions.AccumulateRow(t * topk + slot, y.row(i),
+                                  batch.weights[static_cast<size_t>(i)]);
+    }
+  }
+
+  // Combine in canonical slot-ascending order.
+  Tensor global(Shape{m, n});
+  for (int64_t t = 0; t < m; ++t) {
+    for (int64_t k = 0; k < topk; ++k) {
+      global.AccumulateRow(t, contributions.row(t * topk + k), 1.0f);
+    }
+  }
+  return SplitPerGroup(w, global);
+}
+
+std::vector<Tensor> ShardedReferenceMoeLayer(const MoeWorkload& w) {
+  const int64_t m = w.placement.total_tokens();
+  const int64_t n = w.model().embedding;
+  const int64_t topk = w.model().topk;
+  const int tp = w.placement.parallel().tp;
+
+  // One weighted partial per (token, slot, tp rank); reduced canonically:
+  // slot-major outer, TP-rank inner, both ascending.
+  Tensor global(Shape{m, n});
+  std::vector<Tensor> partials;  // indexed by tp, each (m * topk, n)
+  partials.reserve(static_cast<size_t>(tp));
+  for (int t = 0; t < tp; ++t) {
+    partials.emplace_back(Shape{m * topk, n});
+  }
+
+  for (int64_t e = 0; e < w.model().num_experts; ++e) {
+    ExpertBatch batch = GatherExpertBatch(w, e);
+    if (batch.tokens.empty()) {
+      continue;
+    }
+    const int64_t rows = batch.rows.rows();
+    for (int t = 0; t < tp; ++t) {
+      Tensor hidden(Shape{rows, w.placement.HiddenPerTpRank()});
+      Gemm(batch.rows, w.sharded_weights->W0Shard(e, t), hidden);
+      ApplyActivation(hidden, w.activation);
+      Tensor y(Shape{rows, n});
+      Gemm(hidden, w.sharded_weights->W1Shard(e, t), y);
+      for (int64_t i = 0; i < rows; ++i) {
+        const int64_t tok = batch.tokens[static_cast<size_t>(i)];
+        const int64_t slot = batch.slots[static_cast<size_t>(i)];
+        partials[static_cast<size_t>(t)].AccumulateRow(
+            tok * topk + slot, y.row(i), batch.weights[static_cast<size_t>(i)]);
+      }
+    }
+  }
+
+  for (int64_t t = 0; t < m; ++t) {
+    for (int64_t k = 0; k < topk; ++k) {
+      for (int r = 0; r < tp; ++r) {
+        global.AccumulateRow(t, partials[static_cast<size_t>(r)].row(t * topk + k),
+                             1.0f);
+      }
+    }
+  }
+  return SplitPerGroup(w, global);
+}
+
+}  // namespace comet

@@ -1,0 +1,38 @@
+// Ground-truth MoE layer execution.
+//
+// Two references:
+//  * ReferenceMoeLayer -- dense math with FULL (unsharded) expert weights,
+//    ignoring distribution entirely. The gold standard all executors must
+//    approximate (FP reassociation across TP shards causes tiny drift).
+//  * ShardedReferenceMoeLayer -- the same math through the TP-sharded
+//    weights with the canonical accumulation order (topk slot-major, then TP
+//    rank-major). Every distributed executor (Megatron baselines, COMET)
+//    must match this BIT-EXACTLY: they reorder *scheduling*, never the
+//    floating-point reduction tree.
+#pragma once
+
+#include <vector>
+
+#include "moe/workload.h"
+#include "tensor/tensor.h"
+
+namespace comet {
+
+// The input rows of all (token, expert) pairs routed to one expert, gathered
+// token-ascending (the canonical shared-tensor row order of that expert).
+// Shared by the forward references and the backward pass.
+struct ExpertBatch {
+  std::vector<int64_t> tokens;  // global token ids
+  std::vector<float> weights;   // combine weight of each pair
+  std::vector<int64_t> slots;   // topk slot index of each pair
+  Tensor rows;                  // (num_rows, N)
+};
+
+ExpertBatch GatherExpertBatch(const MoeWorkload& workload, int64_t expert);
+
+// Returns one output tensor per EP group, shape (M/EP, N) (TP lanes replicate).
+std::vector<Tensor> ReferenceMoeLayer(const MoeWorkload& workload);
+
+std::vector<Tensor> ShardedReferenceMoeLayer(const MoeWorkload& workload);
+
+}  // namespace comet

@@ -1,0 +1,170 @@
+#include "moe/route_plan.h"
+
+#include "util/check.h"
+
+namespace comet {
+
+int64_t RankPlan::TotalRows() const {
+  int64_t total = 0;
+  for (const auto& slice : experts) {
+    total += static_cast<int64_t>(slice.rows.size());
+  }
+  return total;
+}
+
+int64_t RankPlan::ExpertRowOffset(int64_t local) const {
+  COMET_CHECK_GE(local, 0);
+  COMET_CHECK_LT(local, static_cast<int64_t>(experts.size()));
+  int64_t offset = 0;
+  for (int64_t e = 0; e < local; ++e) {
+    offset += static_cast<int64_t>(experts[static_cast<size_t>(e)].rows.size());
+  }
+  return offset;
+}
+
+RoutePlan::RoutePlan(const Placement& placement, const RoutingTable& routing)
+    : placement_(placement), routing_(routing) {
+  COMET_CHECK_EQ(routing_.size(), placement_.total_tokens());
+  routing_.Validate(placement_.model().num_experts, placement_.model().topk);
+
+  const int ep = placement_.parallel().ep;
+  per_group_.resize(static_cast<size_t>(ep));
+  for (int g = 0; g < ep; ++g) {
+    RankPlan& plan = per_group_[static_cast<size_t>(g)];
+    plan.ep_group = g;
+    plan.experts.resize(static_cast<size_t>(placement_.ExpertsPerGroup()));
+    for (int64_t local = 0; local < placement_.ExpertsPerGroup(); ++local) {
+      plan.experts[static_cast<size_t>(local)].expert =
+          static_cast<int64_t>(g) * placement_.ExpertsPerGroup() + local;
+    }
+  }
+
+  // Walk tokens in global order; rows land per-expert in token order, which
+  // is source-group order because tokens are block-sharded.
+  for (int64_t t = 0; t < placement_.total_tokens(); ++t) {
+    const TokenRoute& route = routing_.tokens[static_cast<size_t>(t)];
+    const int home = placement_.HomeGroupOfToken(t);
+    for (size_t k = 0; k < route.experts.size(); ++k) {
+      const int64_t e = route.experts[k];
+      const int g = placement_.EpGroupOfExpert(e);
+      const int64_t local = placement_.LocalExpertIndex(e);
+      per_group_[static_cast<size_t>(g)]
+          .experts[static_cast<size_t>(local)]
+          .rows.push_back(
+              ExpertRow{t, home, static_cast<int64_t>(k), route.weights[k]});
+    }
+  }
+}
+
+const RankPlan& RoutePlan::ForGroup(int ep_group) const {
+  COMET_CHECK_GE(ep_group, 0);
+  COMET_CHECK_LT(ep_group, placement_.parallel().ep);
+  return per_group_[static_cast<size_t>(ep_group)];
+}
+
+const RankPlan& RoutePlan::ForRank(int rank) const {
+  return ForGroup(placement_.EpGroupOfRank(rank));
+}
+
+int64_t RoutePlan::RemoteRows(int rank) const {
+  const RankPlan& plan = ForRank(rank);
+  const int group = placement_.EpGroupOfRank(rank);
+  int64_t remote = 0;
+  for (const auto& slice : plan.experts) {
+    for (const auto& row : slice.rows) {
+      if (row.source_group != group) {
+        ++remote;
+      }
+    }
+  }
+  return remote;
+}
+
+int64_t RoutePlan::LocalRows(int rank) const {
+  return ForRank(rank).TotalRows() - RemoteRows(rank);
+}
+
+std::vector<std::vector<double>> RoutePlan::DispatchBytes(
+    double bytes_per_row) const {
+  const int world = placement_.world();
+  const int tp = placement_.parallel().tp;
+  std::vector<std::vector<double>> bytes(
+      static_cast<size_t>(world),
+      std::vector<double>(static_cast<size_t>(world), 0.0));
+  for (int g = 0; g < placement_.parallel().ep; ++g) {
+    for (const auto& slice : per_group_[static_cast<size_t>(g)].experts) {
+      for (const auto& row : slice.rows) {
+        if (row.source_group == g) {
+          continue;
+        }
+        for (int lane = 0; lane < tp; ++lane) {
+          const int src = placement_.RankOf(row.source_group, lane);
+          const int dst = placement_.RankOf(g, lane);
+          bytes[static_cast<size_t>(src)][static_cast<size_t>(dst)] +=
+              bytes_per_row;
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
+std::vector<std::vector<double>> RoutePlan::EpReturnBytes(
+    double bytes_per_row) const {
+  const int world = placement_.world();
+  const int tp = placement_.parallel().tp;
+  std::vector<std::vector<double>> bytes(
+      static_cast<size_t>(world),
+      std::vector<double>(static_cast<size_t>(world), 0.0));
+  for (int g = 0; g < placement_.parallel().ep; ++g) {
+    for (const auto& slice : per_group_[static_cast<size_t>(g)].experts) {
+      for (const auto& row : slice.rows) {
+        if (row.source_group == g) {
+          continue;
+        }
+        for (int lane = 0; lane < tp; ++lane) {
+          const int src = placement_.RankOf(g, lane);
+          const int dst = placement_.RankOf(row.source_group, lane);
+          bytes[static_cast<size_t>(src)][static_cast<size_t>(dst)] +=
+              bytes_per_row;
+        }
+      }
+    }
+  }
+  return bytes;
+}
+
+double RoutePlan::TpReduceScatterBytesPerRank(double bytes_per_row) const {
+  const int tp = placement_.parallel().tp;
+  if (tp == 1) {
+    return 0.0;
+  }
+  return (static_cast<double>(tp - 1) / static_cast<double>(tp)) *
+         static_cast<double>(placement_.tokens_per_group()) * bytes_per_row;
+}
+
+std::vector<GemmProblemSize> RoutePlan::Layer0Problems(int rank) const {
+  const RankPlan& plan = ForRank(rank);
+  std::vector<GemmProblemSize> out;
+  out.reserve(plan.experts.size());
+  for (const auto& slice : plan.experts) {
+    out.push_back(GemmProblemSize{static_cast<int64_t>(slice.rows.size()),
+                                  placement_.HiddenPerTpRank(),
+                                  placement_.model().embedding});
+  }
+  return out;
+}
+
+std::vector<GemmProblemSize> RoutePlan::Layer1Problems(int rank) const {
+  const RankPlan& plan = ForRank(rank);
+  std::vector<GemmProblemSize> out;
+  out.reserve(plan.experts.size());
+  for (const auto& slice : plan.experts) {
+    out.push_back(GemmProblemSize{static_cast<int64_t>(slice.rows.size()),
+                                  placement_.model().embedding,
+                                  placement_.HiddenPerTpRank()});
+  }
+  return out;
+}
+
+}  // namespace comet

@@ -1,0 +1,99 @@
+// Distributed dispatch layout: where every (token, expert) pair lands.
+//
+// After gating, each (token, expert) pair becomes one row of the shared
+// tensor on every TP lane of the expert's EP group (paper Figure 2: the
+// shared tensor between dispatch and layer0 GroupGEMM has global size
+// (M * topk, N)). The RoutePlan materializes, for every rank, the ordered
+// list of rows each local expert consumes -- the canonical order is by
+// global token id, which (with block-sharded tokens) equals source-group
+// order. COMET's rescheduling permutes this order per rank; the baselines
+// consume it as-is.
+//
+// Communication accounting (all lane-matched: group s lane l talks to group
+// g lane l):
+//  * layer0 dispatch: one row per (pair, lane) crossing groups,
+//  * layer1 EP return: the partial output row returns to the home group,
+//  * layer1 TP reduce-scatter: partial sums are reduced across each group's
+//    lanes; bytes per rank = (TP-1)/TP * tokens_per_group * N * elt_size.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moe/config.h"
+#include "moe/router.h"
+
+namespace comet {
+
+// One row of a rank's layer0 shared tensor.
+struct ExpertRow {
+  int64_t token = 0;    // global token id
+  int source_group = 0;  // home EP group of the token
+  int64_t slot = 0;     // which of the token's topk slots this pair is
+  float weight = 0.0f;  // combine weight of this (token, expert) pair
+};
+
+// All rows consumed by one local expert on one rank, canonical order.
+struct ExpertSlice {
+  int64_t expert = 0;  // global expert id
+  std::vector<ExpertRow> rows;
+};
+
+// Per-rank view of the plan. All TP lanes of one EP group see identical row
+// layouts (full-N activations are replicated), so the plan is stored per EP
+// group and served per rank.
+struct RankPlan {
+  int ep_group = 0;
+  std::vector<ExpertSlice> experts;  // ExpertsPerGroup() entries in expert order
+
+  int64_t TotalRows() const;
+  // Row offset of local expert `local` in the group's packed shared tensor.
+  int64_t ExpertRowOffset(int64_t local) const;
+};
+
+// Minimal (m, n, k) triple; mirrors hw's GemmShape but lives here so moe does
+// not depend on hw. Converted at the call sites that price time.
+struct GemmProblemSize {
+  int64_t m = 0;
+  int64_t n = 0;
+  int64_t k = 0;
+};
+
+class RoutePlan {
+ public:
+  RoutePlan(const Placement& placement, const RoutingTable& routing);
+
+  const Placement& placement() const { return placement_; }
+  const RoutingTable& routing() const { return routing_; }
+
+  const RankPlan& ForRank(int rank) const;
+  const RankPlan& ForGroup(int ep_group) const;
+
+  // Rows `rank` consumes that originate in a different EP group / its own.
+  int64_t RemoteRows(int rank) const;
+  int64_t LocalRows(int rank) const;
+
+  // Layer0 dispatch traffic: bytes[i][j] over the fabric from rank i to rank
+  // j (lane-matched between groups). Zero diagonal.
+  std::vector<std::vector<double>> DispatchBytes(double bytes_per_row) const;
+
+  // Layer1 EP-return traffic: partial output rows flowing back to the home
+  // group, lane-matched.
+  std::vector<std::vector<double>> EpReturnBytes(double bytes_per_row) const;
+
+  // Layer1 TP reduce-scatter bytes each rank sends:
+  // (TP-1)/TP * tokens_per_group * bytes_per_row. Zero when TP == 1.
+  double TpReduceScatterBytesPerRank(double bytes_per_row) const;
+
+  // GroupGEMM problem sizes for layer0 / layer1 on `rank` (one entry per
+  // local expert; layer0: n = K/TP, k = N; layer1: n = N, k = K/TP).
+  std::vector<GemmProblemSize> Layer0Problems(int rank) const;
+  std::vector<GemmProblemSize> Layer1Problems(int rank) const;
+
+ private:
+  Placement placement_;
+  RoutingTable routing_;
+  std::vector<RankPlan> per_group_;
+};
+
+}  // namespace comet

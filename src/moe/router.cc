@@ -1,0 +1,284 @@
+#include "moe/router.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/check.h"
+#include "util/stats.h"
+
+namespace comet {
+
+std::vector<int64_t> RoutingTable::ExpertLoads(int64_t num_experts) const {
+  std::vector<int64_t> loads(static_cast<size_t>(num_experts), 0);
+  for (const auto& t : tokens) {
+    for (int64_t e : t.experts) {
+      COMET_CHECK_GE(e, 0);
+      COMET_CHECK_LT(e, num_experts);
+      ++loads[static_cast<size_t>(e)];
+    }
+  }
+  return loads;
+}
+
+double RoutingTable::LoadStd(int64_t num_experts) const {
+  const auto loads = ExpertLoads(num_experts);
+  int64_t total = 0;
+  for (int64_t l : loads) {
+    total += l;
+  }
+  if (total == 0) {
+    return 0.0;
+  }
+  std::vector<double> fractions(loads.size());
+  for (size_t i = 0; i < loads.size(); ++i) {
+    fractions[i] = static_cast<double>(loads[i]) / static_cast<double>(total);
+  }
+  return PopulationStddev(fractions);
+}
+
+void RoutingTable::Validate(int64_t num_experts, int64_t topk) const {
+  for (const auto& t : tokens) {
+    COMET_CHECK_LE(static_cast<int64_t>(t.experts.size()), topk);
+    COMET_CHECK_EQ(t.experts.size(), t.weights.size());
+    float sum = 0.0f;
+    for (size_t i = 0; i < t.experts.size(); ++i) {
+      COMET_CHECK_GE(t.experts[i], 0);
+      COMET_CHECK_LT(t.experts[i], num_experts);
+      for (size_t j = i + 1; j < t.experts.size(); ++j) {
+        COMET_CHECK_NE(t.experts[i], t.experts[j])
+            << "token routed twice to expert " << t.experts[i];
+      }
+      COMET_CHECK_GE(t.weights[i], 0.0f);
+      sum += t.weights[i];
+    }
+    COMET_CHECK(t.experts.empty() || std::abs(sum - 1.0f) < 1e-4f)
+        << "combine weights sum to " << sum;
+  }
+}
+
+DropStats ApplyCapacityFactor(RoutingTable& routing, int64_t num_experts,
+                              double capacity_factor) {
+  COMET_CHECK_GT(num_experts, 0);
+  COMET_CHECK_GT(capacity_factor, 0.0);
+  int64_t total_pairs = 0;
+  for (const auto& t : routing.tokens) {
+    total_pairs += static_cast<int64_t>(t.experts.size());
+  }
+  DropStats stats;
+  stats.capacity = static_cast<int64_t>(std::ceil(
+      capacity_factor * static_cast<double>(total_pairs) /
+      static_cast<double>(num_experts)));
+  stats.overflow_per_expert.assign(static_cast<size_t>(num_experts), 0);
+
+  std::vector<int64_t> used(static_cast<size_t>(num_experts), 0);
+  for (auto& token : routing.tokens) {
+    TokenRoute kept;
+    float sum = 0.0f;
+    for (size_t i = 0; i < token.experts.size(); ++i) {
+      const size_t e = static_cast<size_t>(token.experts[i]);
+      COMET_CHECK_LT(token.experts[i], num_experts);
+      if (used[e] < stats.capacity) {
+        ++used[e];
+        kept.experts.push_back(token.experts[i]);
+        kept.weights.push_back(token.weights[i]);
+        sum += token.weights[i];
+      } else {
+        ++stats.dropped_pairs;
+        ++stats.overflow_per_expert[e];
+      }
+    }
+    if (kept.experts.empty() && !token.experts.empty()) {
+      ++stats.fully_dropped_tokens;
+    }
+    if (sum > 0.0f) {
+      for (auto& w : kept.weights) {
+        w /= sum;
+      }
+    }
+    token = std::move(kept);
+  }
+  return stats;
+}
+
+GateNetwork::GateNetwork(Tensor gate_weight)
+    : gate_weight_(std::move(gate_weight)) {
+  COMET_CHECK_EQ(gate_weight_.shape().rank(), 2u);
+}
+
+int64_t GateNetwork::num_experts() const { return gate_weight_.cols(); }
+
+RoutingTable GateNetwork::Route(const Tensor& tokens, int64_t topk) const {
+  COMET_CHECK_EQ(tokens.cols(), gate_weight_.rows());
+  const int64_t e_total = num_experts();
+  COMET_CHECK_GT(topk, 0);
+  COMET_CHECK_LE(topk, e_total);
+
+  RoutingTable table;
+  table.tokens.resize(static_cast<size_t>(tokens.rows()));
+  std::vector<float> logits(static_cast<size_t>(e_total));
+  for (int64_t m = 0; m < tokens.rows(); ++m) {
+    const auto x = tokens.row(m);
+    for (int64_t e = 0; e < e_total; ++e) {
+      float acc = 0.0f;
+      for (int64_t n = 0; n < tokens.cols(); ++n) {
+        acc += x[static_cast<size_t>(n)] *
+               gate_weight_.at({n, e});
+      }
+      logits[static_cast<size_t>(e)] = acc;
+    }
+    // Softmax (max-subtracted) over all experts.
+    const float max_logit = *std::max_element(logits.begin(), logits.end());
+    std::vector<float> probs(logits.size());
+    float z = 0.0f;
+    for (size_t e = 0; e < logits.size(); ++e) {
+      probs[e] = std::exp(logits[e] - max_logit);
+      z += probs[e];
+    }
+    for (auto& p : probs) {
+      p /= z;
+    }
+    // Top-k by probability (stable for ties by expert index).
+    std::vector<int64_t> order(static_cast<size_t>(e_total));
+    for (int64_t e = 0; e < e_total; ++e) {
+      order[static_cast<size_t>(e)] = e;
+    }
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return probs[static_cast<size_t>(a)] > probs[static_cast<size_t>(b)];
+    });
+    TokenRoute route;
+    float selected_sum = 0.0f;
+    for (int64_t k = 0; k < topk; ++k) {
+      route.experts.push_back(order[static_cast<size_t>(k)]);
+      route.weights.push_back(probs[static_cast<size_t>(order[static_cast<size_t>(k)])]);
+      selected_sum += route.weights.back();
+    }
+    for (auto& w : route.weights) {
+      w /= selected_sum;
+    }
+    table.tokens[static_cast<size_t>(m)] = std::move(route);
+  }
+  return table;
+}
+
+ExpertChoiceGate::ExpertChoiceGate(Tensor gate_weight)
+    : gate_weight_(std::move(gate_weight)) {
+  COMET_CHECK_EQ(gate_weight_.shape().rank(), 2u);
+}
+
+int64_t ExpertChoiceGate::num_experts() const { return gate_weight_.cols(); }
+
+RoutingTable ExpertChoiceGate::Route(const Tensor& tokens,
+                                     int64_t avg_topk) const {
+  COMET_CHECK_EQ(tokens.cols(), gate_weight_.rows());
+  const int64_t e_total = num_experts();
+  const int64_t m = tokens.rows();
+  COMET_CHECK_GT(avg_topk, 0);
+  COMET_CHECK_LE(avg_topk, e_total);
+  const int64_t capacity = std::max<int64_t>(
+      1, m * avg_topk / e_total);  // tokens each expert admits
+
+  // Token-major softmax probabilities over experts.
+  std::vector<std::vector<float>> probs(
+      static_cast<size_t>(m), std::vector<float>(static_cast<size_t>(e_total)));
+  for (int64_t t = 0; t < m; ++t) {
+    const auto x = tokens.row(t);
+    auto& row = probs[static_cast<size_t>(t)];
+    float max_logit = -std::numeric_limits<float>::infinity();
+    for (int64_t e = 0; e < e_total; ++e) {
+      float acc = 0.0f;
+      for (int64_t n = 0; n < tokens.cols(); ++n) {
+        acc += x[static_cast<size_t>(n)] * gate_weight_.at({n, e});
+      }
+      row[static_cast<size_t>(e)] = acc;
+      max_logit = std::max(max_logit, acc);
+    }
+    float z = 0.0f;
+    for (auto& p : row) {
+      p = std::exp(p - max_logit);
+      z += p;
+    }
+    for (auto& p : row) {
+      p /= z;
+    }
+  }
+
+  // Each expert takes its top-`capacity` tokens by probability.
+  RoutingTable table;
+  table.tokens.resize(static_cast<size_t>(m));
+  for (int64_t e = 0; e < e_total; ++e) {
+    std::vector<int64_t> order(static_cast<size_t>(m));
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
+      return probs[static_cast<size_t>(a)][static_cast<size_t>(e)] >
+             probs[static_cast<size_t>(b)][static_cast<size_t>(e)];
+    });
+    for (int64_t i = 0; i < std::min(capacity, m); ++i) {
+      const int64_t t = order[static_cast<size_t>(i)];
+      table.tokens[static_cast<size_t>(t)].experts.push_back(e);
+      table.tokens[static_cast<size_t>(t)].weights.push_back(
+          probs[static_cast<size_t>(t)][static_cast<size_t>(e)]);
+    }
+  }
+
+  // Renormalize per-token combine weights.
+  for (auto& token : table.tokens) {
+    float sum = 0.0f;
+    for (float w : token.weights) {
+      sum += w;
+    }
+    if (sum > 0.0f) {
+      for (auto& w : token.weights) {
+        w /= sum;
+      }
+    }
+  }
+  return table;
+}
+
+SyntheticRouter::SyntheticRouter(std::vector<double> load, uint64_t seed)
+    : load_(std::move(load)), rng_(seed) {
+  COMET_CHECK(!load_.empty());
+  double sum = 0.0;
+  for (double p : load_) {
+    COMET_CHECK_GE(p, 0.0);
+    sum += p;
+  }
+  COMET_CHECK_GT(sum, 0.0);
+  for (auto& p : load_) {
+    p /= sum;
+  }
+}
+
+RoutingTable SyntheticRouter::Route(int64_t num_tokens, int64_t topk) {
+  const int64_t e_total = static_cast<int64_t>(load_.size());
+  COMET_CHECK_GT(topk, 0);
+  COMET_CHECK_LE(topk, e_total);
+  RoutingTable table;
+  table.tokens.resize(static_cast<size_t>(num_tokens));
+  for (int64_t m = 0; m < num_tokens; ++m) {
+    // Sample topk distinct experts without replacement.
+    std::vector<double> weights = load_;
+    TokenRoute route;
+    for (int64_t k = 0; k < topk; ++k) {
+      const size_t e = rng_.Categorical(weights);
+      route.experts.push_back(static_cast<int64_t>(e));
+      weights[e] = 0.0;
+    }
+    // Random combine weights, renormalized.
+    float sum = 0.0f;
+    for (int64_t k = 0; k < topk; ++k) {
+      const float w = static_cast<float>(rng_.Uniform(0.5, 1.5));
+      route.weights.push_back(w);
+      sum += w;
+    }
+    for (auto& w : route.weights) {
+      w /= sum;
+    }
+    table.tokens[static_cast<size_t>(m)] = std::move(route);
+  }
+  return table;
+}
+
+}  // namespace comet

@@ -1,0 +1,116 @@
+// Token routing: the learned gate and synthetic load-controlled routing.
+//
+// Two producers of routing decisions:
+//  * GateNetwork -- the standard softmax top-k gate (Shazeer et al.): logits
+//    = x . Wg, softmax over E, keep the topk experts, renormalize their
+//    probabilities as combine weights. Used by the functional examples.
+//  * SyntheticRouter -- draws expert assignments from a target load vector
+//    so benches can control the per-expert load standard deviation exactly
+//    the way the paper's Figure 14 does (std of the fraction of tokens per
+//    expert; std = 0 is uniform, production average is 0.032).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "moe/config.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace comet {
+
+// One token's routing decision: up to `topk` distinct experts with combine
+// weights summing to 1. Fewer than topk entries (possibly zero) occur when
+// capacity-limited routing dropped pairs or under expert-choice routing.
+struct TokenRoute {
+  std::vector<int64_t> experts;
+  std::vector<float> weights;
+};
+
+// Routing for all M tokens (global token id -> decision).
+struct RoutingTable {
+  std::vector<TokenRoute> tokens;
+
+  int64_t size() const { return static_cast<int64_t>(tokens.size()); }
+
+  // Tokens assigned to each expert (counting (token, expert) pairs).
+  std::vector<int64_t> ExpertLoads(int64_t num_experts) const;
+  // Population std of the per-expert token *fraction* (Figure 14's x-axis).
+  double LoadStd(int64_t num_experts) const;
+
+  // Validates structural invariants: at most `topk` distinct experts per
+  // token, weights ~ sum to 1 for non-empty routes.
+  void Validate(int64_t num_experts, int64_t topk) const;
+};
+
+// Result of capacity enforcement (GShard-style token dropping).
+struct DropStats {
+  int64_t capacity = 0;  // per-expert pair budget
+  int64_t dropped_pairs = 0;
+  int64_t fully_dropped_tokens = 0;  // tokens that lost ALL their experts
+  std::vector<int64_t> overflow_per_expert;
+
+  double DropFraction(int64_t total_pairs) const {
+    return total_pairs > 0 ? static_cast<double>(dropped_pairs) /
+                                 static_cast<double>(total_pairs)
+                           : 0.0;
+  }
+};
+
+// Enforces a per-expert capacity of ceil(capacity_factor * pairs / E) pairs,
+// processing tokens in order (the standard GShard/Switch discipline): pairs
+// routed to a full expert are dropped and the token's surviving combine
+// weights renormalized. Tokens may end with an empty route (they contribute
+// zero to the layer output, exactly like the real systems).
+DropStats ApplyCapacityFactor(RoutingTable& routing, int64_t num_experts,
+                              double capacity_factor);
+
+// Softmax top-k gate with weight matrix `gate_weight` of shape (N, E).
+class GateNetwork {
+ public:
+  explicit GateNetwork(Tensor gate_weight);
+
+  // Routes each row of `tokens` (shape (m, N)). Offsets do not matter: the
+  // result is positional (row i -> tokens[i]).
+  RoutingTable Route(const Tensor& tokens, int64_t topk) const;
+
+  int64_t num_experts() const;
+
+ private:
+  Tensor gate_weight_;  // (N, E)
+};
+
+// Expert-choice gate (Zhou et al., cited as [40] in the paper): instead of
+// each token picking its topk experts, each EXPERT picks its top-C tokens by
+// gate score, C = M * avg_topk / E. Loads are perfectly balanced by
+// construction (LoadStd == 0 when E divides M * avg_topk), at the price of a
+// variable number of experts per token.
+class ExpertChoiceGate {
+ public:
+  explicit ExpertChoiceGate(Tensor gate_weight);  // (N, E)
+
+  RoutingTable Route(const Tensor& tokens, int64_t avg_topk) const;
+
+  int64_t num_experts() const;
+
+ private:
+  Tensor gate_weight_;
+};
+
+// Load-controlled synthetic router.
+class SyntheticRouter {
+ public:
+  // `load` is a probability vector over experts (see Rng::LoadVectorWithStd).
+  SyntheticRouter(std::vector<double> load, uint64_t seed);
+
+  // Routes `num_tokens` tokens, each to `topk` distinct experts sampled
+  // without replacement proportionally to the load vector; combine weights
+  // are random and renormalized.
+  RoutingTable Route(int64_t num_tokens, int64_t topk);
+
+ private:
+  std::vector<double> load_;
+  Rng rng_;
+};
+
+}  // namespace comet

@@ -1,0 +1,33 @@
+#include "sim/event_queue.h"
+
+#include "util/check.h"
+
+namespace comet {
+
+void EventQueue::Schedule(double t, Callback fn) {
+  COMET_CHECK_GE(t, now_) << "cannot schedule into the past";
+  heap_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+double EventQueue::RunAll() {
+  while (!heap_.empty()) {
+    // The callback may schedule more events, so copy out before popping.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+  return now_;
+}
+
+void EventQueue::RunUntil(double t_end) {
+  while (!heap_.empty() && heap_.top().time <= t_end) {
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    now_ = ev.time;
+    ev.fn();
+  }
+  now_ = std::max(now_, t_end);
+}
+
+}  // namespace comet

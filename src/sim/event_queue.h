@@ -1,0 +1,57 @@
+// Minimal discrete-event core: a time-ordered queue of callbacks.
+//
+// Deterministic: events at equal timestamps fire in scheduling order.
+// Higher-level components (slot pools, bandwidth channels, the stream
+// executor) are built as deterministic schedules; the event queue is the
+// substrate for the cases where execution order genuinely depends on
+// simulated time (out-of-order tile issue, network flow completion).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace comet {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  // Schedules `fn` at absolute time `t` (us). Requires t >= now().
+  void Schedule(double t, Callback fn);
+
+  // Schedules `fn` `dt` after now.
+  void ScheduleAfter(double dt, Callback fn) { Schedule(now_ + dt, std::move(fn)); }
+
+  // Runs events until the queue drains. Returns the final time.
+  double RunAll();
+
+  // Runs events with time <= t_end; leaves later events queued.
+  void RunUntil(double t_end);
+
+  double now() const { return now_; }
+  bool empty() const { return heap_.empty(); }
+  size_t pending() const { return heap_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) {
+        return a.time > b.time;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+  double now_ = 0.0;
+  uint64_t next_seq_ = 0;
+};
+
+}  // namespace comet

@@ -1,0 +1,184 @@
+#include "sim/network.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace comet {
+
+FluidNetwork::FluidNetwork(int num_ports, double egress_bytes_per_us,
+                           double ingress_bytes_per_us, double latency_us)
+    : num_ports_(num_ports),
+      egress_(egress_bytes_per_us),
+      ingress_(ingress_bytes_per_us),
+      latency_us_(latency_us) {
+  COMET_CHECK_GT(num_ports_, 0);
+  COMET_CHECK_GT(egress_, 0.0);
+  COMET_CHECK_GT(ingress_, 0.0);
+  COMET_CHECK_GE(latency_us_, 0.0);
+}
+
+std::vector<FlowCompletion> FluidNetwork::Run(
+    const std::vector<Flow>& flows) const {
+  std::vector<FlowCompletion> out(flows.size());
+  std::vector<double> remaining(flows.size());
+  std::vector<bool> done(flows.size(), false);
+  size_t active_or_pending = 0;
+  for (size_t i = 0; i < flows.size(); ++i) {
+    const auto& f = flows[i];
+    COMET_CHECK_GE(f.src, 0);
+    COMET_CHECK_LT(f.src, num_ports_);
+    COMET_CHECK_GE(f.dst, 0);
+    COMET_CHECK_LT(f.dst, num_ports_);
+    COMET_CHECK_NE(f.src, f.dst) << "local flows do not use the fabric";
+    COMET_CHECK_GE(f.bytes, 0.0);
+    remaining[i] = f.bytes;
+    out[i].start_us = f.ready_us;
+    if (f.bytes <= 0.0) {
+      out[i].end_us = f.ready_us + latency_us_;
+      done[i] = true;
+    } else {
+      ++active_or_pending;
+    }
+  }
+
+  double now = 0.0;
+  // Start simulation at the earliest ready time.
+  {
+    double earliest = std::numeric_limits<double>::infinity();
+    for (size_t i = 0; i < flows.size(); ++i) {
+      if (!done[i]) {
+        earliest = std::min(earliest, flows[i].ready_us);
+      }
+    }
+    if (active_or_pending > 0) {
+      now = earliest;
+    }
+  }
+
+  while (active_or_pending > 0) {
+    // Max-min fair rates via iterative water-filling over ports.
+    std::vector<double> rate(flows.size(), 0.0);
+    std::vector<bool> fixed(flows.size(), true);
+    std::vector<size_t> active;
+    for (size_t i = 0; i < flows.size(); ++i) {
+      if (!done[i] && flows[i].ready_us <= now) {
+        active.push_back(i);
+        fixed[i] = false;
+      }
+    }
+    if (active.empty()) {
+      // Jump to the next arrival.
+      double next = std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < flows.size(); ++i) {
+        if (!done[i]) {
+          next = std::min(next, flows[i].ready_us);
+        }
+      }
+      now = next;
+      continue;
+    }
+
+    std::vector<double> egress_cap(static_cast<size_t>(num_ports_), egress_);
+    std::vector<double> ingress_cap(static_cast<size_t>(num_ports_), ingress_);
+    size_t unfixed = active.size();
+    while (unfixed > 0) {
+      // Find the tightest port: min(cap / #unfixed flows through it).
+      double best_share = std::numeric_limits<double>::infinity();
+      for (int p = 0; p < num_ports_; ++p) {
+        int out_n = 0;
+        int in_n = 0;
+        for (size_t i : active) {
+          if (fixed[i]) {
+            continue;
+          }
+          if (flows[i].src == p) {
+            ++out_n;
+          }
+          if (flows[i].dst == p) {
+            ++in_n;
+          }
+        }
+        if (out_n > 0) {
+          best_share = std::min(best_share, egress_cap[static_cast<size_t>(p)] /
+                                                out_n);
+        }
+        if (in_n > 0) {
+          best_share = std::min(
+              best_share, ingress_cap[static_cast<size_t>(p)] / in_n);
+        }
+      }
+      COMET_CHECK(best_share < std::numeric_limits<double>::infinity());
+      // Fix every unfixed flow passing through a port saturated at this
+      // share. (Conservative: fix ALL unfixed flows at best_share whose src
+      // or dst port attains the bottleneck.)
+      bool fixed_any = false;
+      for (int p = 0; p < num_ports_; ++p) {
+        int out_n = 0;
+        int in_n = 0;
+        for (size_t i : active) {
+          if (!fixed[i] && flows[i].src == p) {
+            ++out_n;
+          }
+          if (!fixed[i] && flows[i].dst == p) {
+            ++in_n;
+          }
+        }
+        const bool out_tight =
+            out_n > 0 &&
+            egress_cap[static_cast<size_t>(p)] / out_n <= best_share * (1 + 1e-12);
+        const bool in_tight =
+            in_n > 0 && ingress_cap[static_cast<size_t>(p)] / in_n <=
+                            best_share * (1 + 1e-12);
+        if (!out_tight && !in_tight) {
+          continue;
+        }
+        for (size_t i : active) {
+          if (fixed[i]) {
+            continue;
+          }
+          if ((out_tight && flows[i].src == p) ||
+              (in_tight && flows[i].dst == p)) {
+            rate[i] = best_share;
+            fixed[i] = true;
+            --unfixed;
+            fixed_any = true;
+            egress_cap[static_cast<size_t>(flows[i].src)] -= best_share;
+            ingress_cap[static_cast<size_t>(flows[i].dst)] -= best_share;
+          }
+        }
+      }
+      COMET_CHECK(fixed_any) << "water-filling failed to make progress";
+    }
+
+    // Step length: min over active flows of remaining/rate, and the next
+    // arrival of a pending flow.
+    double dt = std::numeric_limits<double>::infinity();
+    for (size_t i : active) {
+      if (rate[i] > 0.0) {
+        dt = std::min(dt, remaining[i] / rate[i]);
+      }
+    }
+    for (size_t i = 0; i < flows.size(); ++i) {
+      if (!done[i] && flows[i].ready_us > now) {
+        dt = std::min(dt, flows[i].ready_us - now);
+      }
+    }
+    COMET_CHECK(dt > 0.0 && dt < std::numeric_limits<double>::infinity());
+
+    for (size_t i : active) {
+      remaining[i] -= rate[i] * dt;
+      if (remaining[i] <= 1e-9) {
+        remaining[i] = 0.0;
+        done[i] = true;
+        --active_or_pending;
+        out[i].end_us = now + dt + latency_us_;
+      }
+    }
+    now += dt;
+  }
+  return out;
+}
+
+}  // namespace comet

@@ -1,0 +1,82 @@
+// Timeline recording and breakdown reports.
+//
+// Every executor (COMET and all baselines) emits labelled intervals into a
+// Timeline. The benches derive the paper's plots from it: per-category busy
+// time (Figure 11's breakdown), overlapped communication fraction (the
+// "Comet hides 86.5% of communication latency" claim), and end-to-end spans.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace comet {
+
+// Work categories matching the paper's Figure 11 legend.
+enum class OpCategory {
+  kGating,
+  kLayer0Comm,
+  kLayer0Comp,
+  kActivation,
+  kLayer1Comp,
+  kLayer1Comm,
+  kHost,       // host-side kernel launch / framework overhead
+  kAttention,  // non-MoE layers in end-to-end runs
+  kOther,
+};
+
+std::string OpCategoryName(OpCategory category);
+bool IsCommCategory(OpCategory category);
+bool IsCompCategory(OpCategory category);
+
+struct TimeInterval {
+  std::string label;
+  OpCategory category = OpCategory::kOther;
+  int lane = 0;  // visual/logical lane, e.g. stream id or block-group id
+  double start_us = 0.0;
+  double end_us = 0.0;
+
+  double Duration() const { return end_us - start_us; }
+};
+
+class Timeline {
+ public:
+  void Add(TimeInterval interval);
+  void Add(std::string label, OpCategory category, int lane, double start_us,
+           double end_us);
+
+  // Appends all intervals of `other`, shifted by `offset_us`.
+  void Merge(const Timeline& other, double offset_us = 0.0);
+
+  const std::vector<TimeInterval>& intervals() const { return intervals_; }
+  bool empty() const { return intervals_.empty(); }
+
+  // Earliest start / latest end over all intervals (0 when empty).
+  double SpanStart() const;
+  double SpanEnd() const;
+  double Span() const { return SpanEnd() - SpanStart(); }
+
+  // Sum of durations of intervals in `category` (may double-count parallel
+  // lanes; use UnionTime for wall-clock questions).
+  double CategoryBusy(OpCategory category) const;
+
+  // Length of the union of intervals in `category` (wall-clock time during
+  // which at least one such interval is active).
+  double UnionTime(OpCategory category) const;
+
+  // Wall-clock time during which at least one comm interval AND at least one
+  // comp interval are simultaneously active: the overlapped communication.
+  double CommCompOverlap() const;
+
+  // Fraction of communication wall-clock hidden behind computation:
+  // overlap / union(comm). Returns 0 when there is no communication.
+  double HiddenCommFraction() const;
+
+  // Compact textual report of per-category busy times.
+  std::string BreakdownString() const;
+
+ private:
+  std::vector<TimeInterval> intervals_;
+};
+
+}  // namespace comet

@@ -1,0 +1,32 @@
+#include "tensor/dtype.h"
+
+#include "util/check.h"
+
+namespace comet {
+
+size_t DTypeSize(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return 4;
+    case DType::kBF16:
+    case DType::kF16:
+      return 2;
+  }
+  COMET_CHECK(false) << "unknown dtype";
+  return 0;
+}
+
+std::string DTypeName(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return "f32";
+    case DType::kBF16:
+      return "bf16";
+    case DType::kF16:
+      return "f16";
+  }
+  COMET_CHECK(false) << "unknown dtype";
+  return "";
+}
+
+}  // namespace comet

@@ -1,0 +1,25 @@
+// Element types. The functional plane computes in float32 for determinism and
+// portability; BF16/FP16 exist so the timing plane and the memory planner can
+// account bytes exactly the way the paper does (Table 3 assumes 2-byte
+// elements for the NVSHMEM buffer: "For datatype of BF16 or FP16, the
+// allocated memory size is 2MN").
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace comet {
+
+enum class DType {
+  kF32,
+  kBF16,
+  kF16,
+};
+
+// Bytes per element.
+size_t DTypeSize(DType dtype);
+
+// "f32", "bf16", "f16".
+std::string DTypeName(DType dtype);
+
+}  // namespace comet

@@ -1,0 +1,67 @@
+#include "tensor/shape.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace comet {
+
+Shape::Shape(std::initializer_list<int64_t> dims) : dims_(dims) {
+  for (int64_t d : dims_) {
+    COMET_CHECK_GE(d, 0) << "negative dimension in shape";
+  }
+}
+
+Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
+  for (int64_t d : dims_) {
+    COMET_CHECK_GE(d, 0) << "negative dimension in shape";
+  }
+}
+
+int64_t Shape::dim(size_t i) const {
+  COMET_CHECK_LT(i, dims_.size());
+  return dims_[i];
+}
+
+int64_t Shape::NumElements() const {
+  int64_t n = 1;
+  for (int64_t d : dims_) {
+    n *= d;
+  }
+  return n;
+}
+
+std::vector<int64_t> Shape::Strides() const {
+  std::vector<int64_t> strides(dims_.size(), 1);
+  for (size_t i = dims_.size(); i-- > 1;) {
+    strides[i - 1] = strides[i] * dims_[i];
+  }
+  return strides;
+}
+
+int64_t Shape::FlatIndex(const std::vector<int64_t>& index) const {
+  COMET_CHECK_EQ(index.size(), dims_.size());
+  const auto strides = Strides();
+  int64_t flat = 0;
+  for (size_t i = 0; i < index.size(); ++i) {
+    COMET_CHECK_GE(index[i], 0);
+    COMET_CHECK_LT(index[i], dims_[i]);
+    flat += index[i] * strides[i];
+  }
+  return flat;
+}
+
+std::string Shape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace comet

@@ -1,0 +1,147 @@
+#include "tensor/tensor.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace comet {
+
+Tensor::Tensor(Shape shape, DType logical_dtype)
+    : shape_(std::move(shape)),
+      dtype_(logical_dtype),
+      data_(static_cast<size_t>(shape_.NumElements()), 0.0f) {}
+
+Tensor Tensor::Zeros(Shape shape, DType logical_dtype) {
+  return Tensor(std::move(shape), logical_dtype);
+}
+
+Tensor Tensor::Full(Shape shape, float value, DType logical_dtype) {
+  Tensor t(std::move(shape), logical_dtype);
+  for (auto& x : t.data_) {
+    x = value;
+  }
+  return t;
+}
+
+Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev, DType logical_dtype) {
+  Tensor t(std::move(shape), logical_dtype);
+  for (auto& x : t.data_) {
+    x = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Tensor::Iota(Shape shape, float scale, DType logical_dtype) {
+  Tensor t(std::move(shape), logical_dtype);
+  for (size_t i = 0; i < t.data_.size(); ++i) {
+    t.data_[i] = scale * static_cast<float>(i);
+  }
+  return t;
+}
+
+double Tensor::LogicalBytes() const {
+  return static_cast<double>(NumElements()) *
+         static_cast<double>(DTypeSize(dtype_));
+}
+
+float& Tensor::at(std::initializer_list<int64_t> index) {
+  return data_[static_cast<size_t>(
+      shape_.FlatIndex(std::vector<int64_t>(index)))];
+}
+
+float Tensor::at(std::initializer_list<int64_t> index) const {
+  return data_[static_cast<size_t>(
+      shape_.FlatIndex(std::vector<int64_t>(index)))];
+}
+
+int64_t Tensor::rows() const {
+  COMET_CHECK_EQ(shape_.rank(), 2u) << "rows() requires a rank-2 tensor";
+  return shape_.dim(0);
+}
+
+int64_t Tensor::cols() const {
+  COMET_CHECK_EQ(shape_.rank(), 2u) << "cols() requires a rank-2 tensor";
+  return shape_.dim(1);
+}
+
+std::span<float> Tensor::row(int64_t r) {
+  COMET_CHECK_GE(r, 0);
+  COMET_CHECK_LT(r, rows());
+  return std::span<float>(data_).subspan(static_cast<size_t>(r * cols()),
+                                         static_cast<size_t>(cols()));
+}
+
+std::span<const float> Tensor::row(int64_t r) const {
+  COMET_CHECK_GE(r, 0);
+  COMET_CHECK_LT(r, rows());
+  return std::span<const float>(data_).subspan(static_cast<size_t>(r * cols()),
+                                               static_cast<size_t>(cols()));
+}
+
+Tensor Tensor::GatherRows(const Tensor& src, const std::vector<int64_t>& indices) {
+  COMET_CHECK_EQ(src.shape().rank(), 2u);
+  Tensor out(Shape{static_cast<int64_t>(indices.size()), src.cols()},
+             src.dtype());
+  for (size_t i = 0; i < indices.size(); ++i) {
+    out.SetRow(static_cast<int64_t>(i), src.row(indices[i]));
+  }
+  return out;
+}
+
+void Tensor::SetRow(int64_t r, std::span<const float> src_row) {
+  auto dst = row(r);
+  COMET_CHECK_EQ(dst.size(), src_row.size());
+  std::copy(src_row.begin(), src_row.end(), dst.begin());
+}
+
+void Tensor::AccumulateRow(int64_t r, std::span<const float> src_row,
+                           float weight) {
+  auto dst = row(r);
+  COMET_CHECK_EQ(dst.size(), src_row.size());
+  for (size_t i = 0; i < dst.size(); ++i) {
+    dst[i] += weight * src_row[i];
+  }
+}
+
+float Tensor::MaxAbsDiff(const Tensor& a, const Tensor& b) {
+  COMET_CHECK(a.shape() == b.shape())
+      << a.shape().ToString() << " vs " << b.shape().ToString();
+  float worst = 0.0f;
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst, std::abs(a.data_[i] - b.data_[i]));
+  }
+  return worst;
+}
+
+bool Tensor::AllClose(const Tensor& a, const Tensor& b, float rtol, float atol) {
+  COMET_CHECK(a.shape() == b.shape())
+      << a.shape().ToString() << " vs " << b.shape().ToString();
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    const float diff = std::abs(a.data_[i] - b.data_[i]);
+    if (diff > atol + rtol * std::abs(b.data_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::string Tensor::DebugString(int64_t max_elements) const {
+  std::ostringstream os;
+  os << "Tensor" << shape_.ToString() << " " << DTypeName(dtype_) << " {";
+  const int64_t n = std::min<int64_t>(max_elements, NumElements());
+  for (int64_t i = 0; i < n; ++i) {
+    if (i > 0) {
+      os << ", ";
+    }
+    os << data_[static_cast<size_t>(i)];
+  }
+  if (n < NumElements()) {
+    os << ", ...";
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace comet

@@ -1,0 +1,77 @@
+// Owning dense float32 tensor plus lightweight row views.
+//
+// The functional plane only needs: allocation, random/constant fill, 2-D
+// row access (tokens are rows), row gather/scatter, and elementwise
+// comparison with tolerance. Compute stays in f32; the logical dtype is
+// carried alongside for byte accounting in the timing plane.
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/dtype.h"
+#include "tensor/shape.h"
+
+namespace comet {
+
+class Rng;
+
+class Tensor {
+ public:
+  Tensor() = default;
+  // Allocates zero-initialized storage of the given shape.
+  explicit Tensor(Shape shape, DType logical_dtype = DType::kF32);
+
+  static Tensor Zeros(Shape shape, DType logical_dtype = DType::kF32);
+  static Tensor Full(Shape shape, float value, DType logical_dtype = DType::kF32);
+  // iid N(0, stddev^2) entries.
+  static Tensor Randn(Shape shape, Rng& rng, float stddev = 1.0f,
+                      DType logical_dtype = DType::kF32);
+  // Row-major iota scaled by `scale`; handy for deterministic tests.
+  static Tensor Iota(Shape shape, float scale = 1.0f,
+                     DType logical_dtype = DType::kF32);
+
+  const Shape& shape() const { return shape_; }
+  DType dtype() const { return dtype_; }
+  int64_t NumElements() const { return shape_.NumElements(); }
+  // Bytes this tensor would occupy at its *logical* dtype (used by the
+  // memory planner and comm cost models).
+  double LogicalBytes() const;
+
+  std::span<float> data() { return std::span<float>(data_); }
+  std::span<const float> data() const { return std::span<const float>(data_); }
+
+  float& at(std::initializer_list<int64_t> index);
+  float at(std::initializer_list<int64_t> index) const;
+
+  // Rank-2 helpers. Row views are spans over contiguous storage.
+  int64_t rows() const;
+  int64_t cols() const;
+  std::span<float> row(int64_t r);
+  std::span<const float> row(int64_t r) const;
+
+  // Gathers rows of `src` at `indices` into a new tensor (rank-2).
+  static Tensor GatherRows(const Tensor& src, const std::vector<int64_t>& indices);
+
+  // Copies `src_row` (a row span) into row `r` of this tensor.
+  void SetRow(int64_t r, std::span<const float> src_row);
+
+  // Adds `src_row` scaled by `weight` into row `r` (used by top-k combine).
+  void AccumulateRow(int64_t r, std::span<const float> src_row, float weight);
+
+  // Max absolute difference; shapes must match.
+  static float MaxAbsDiff(const Tensor& a, const Tensor& b);
+  // True if all elements differ by at most atol + rtol * |b|.
+  static bool AllClose(const Tensor& a, const Tensor& b, float rtol = 1e-5f,
+                       float atol = 1e-6f);
+
+  std::string DebugString(int64_t max_elements = 16) const;
+
+ private:
+  Shape shape_;
+  DType dtype_ = DType::kF32;
+  std::vector<float> data_;
+};
+
+}  // namespace comet

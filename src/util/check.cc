@@ -1,0 +1,15 @@
+#include "util/check.h"
+
+namespace comet::internal {
+
+void FailCheck(const char* file, int line, const char* expr,
+               const std::string& extra) {
+  std::ostringstream os;
+  os << "COMET_CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!extra.empty()) {
+    os << " " << extra;
+  }
+  throw CheckError(os.str());
+}
+
+}  // namespace comet::internal

@@ -1,0 +1,67 @@
+// Lightweight runtime-check macros used across the COMET codebase.
+//
+// All checks are active in every build type: this library is a research
+// runtime where silent corruption is far more expensive than the cost of a
+// predictable branch. Failed checks throw comet::CheckError carrying the
+// source location and a formatted message, so tests can assert on failures
+// and callers can recover if they choose to.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace comet {
+
+// Error thrown by COMET_CHECK* macros. Derives from std::logic_error since a
+// failed check always indicates a programming error, not an environmental one.
+class CheckError : public std::logic_error {
+ public:
+  explicit CheckError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace internal {
+
+// Builds the final message for a failed check; used by the macros below.
+// Kept out-of-line so the macro expansion stays small.
+[[noreturn]] void FailCheck(const char* file, int line, const char* expr,
+                            const std::string& extra);
+
+// Stream-collector so call sites can append context with operator<<.
+class CheckMessageBuilder {
+ public:
+  CheckMessageBuilder(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+
+  template <typename T>
+  CheckMessageBuilder& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+  [[noreturn]] ~CheckMessageBuilder() noexcept(false) {
+    FailCheck(file_, line_, expr_, stream_.str());
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace comet
+
+// COMET_CHECK(cond) << "context";  -- throws comet::CheckError when !cond.
+#define COMET_CHECK(cond)                                            \
+  if (cond) {                                                        \
+  } else                                                             \
+    ::comet::internal::CheckMessageBuilder(__FILE__, __LINE__, #cond)
+
+#define COMET_CHECK_EQ(a, b) COMET_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define COMET_CHECK_NE(a, b) COMET_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define COMET_CHECK_LT(a, b) COMET_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define COMET_CHECK_LE(a, b) COMET_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define COMET_CHECK_GT(a, b) COMET_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define COMET_CHECK_GE(a, b) COMET_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "

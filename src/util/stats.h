@@ -1,0 +1,65 @@
+// Summary statistics used by the benchmark harnesses and the adaptive
+// profiler: online mean/variance (Welford), percentiles over stored samples,
+// and geometric-mean speedup aggregation as reported in the paper's §5.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace comet {
+
+// Online mean/variance accumulator (Welford's algorithm). O(1) memory.
+class OnlineStats {
+ public:
+  void Add(double x);
+
+  size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  // Population variance/std (divide by N). Zero when count() < 1.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+// Sample container with percentile queries. Stores all samples.
+class SampleSet {
+ public:
+  void Add(double x);
+  size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  double Mean() const;
+  double Stddev() const;  // population stddev
+  double Min() const;
+  double Max() const;
+  // Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void EnsureSorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+};
+
+// Geometric mean of a set of positive ratios; the paper's "1.71x average
+// speedup" style aggregate. Requires all values > 0.
+double GeometricMean(const std::vector<double>& values);
+
+// Population standard deviation of a vector (used to report achieved expert
+// load std in Figure 14 workloads).
+double PopulationStddev(const std::vector<double>& values);
+
+}  // namespace comet

@@ -1,0 +1,78 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace comet {
+
+AsciiTable::AsciiTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  COMET_CHECK(!headers_.empty());
+}
+
+void AsciiTable::AddRow(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string AsciiTable::Render() const {
+  std::vector<size_t> widths(headers_.size());
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (c > 0) {
+        os << " | ";
+      }
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+    }
+    return os.str();
+  };
+
+  std::ostringstream out;
+  out << render_row(headers_) << "\n";
+  for (size_t c = 0; c < headers_.size(); ++c) {
+    if (c > 0) {
+      out << "-+-";
+    }
+    out << std::string(widths[c], '-');
+  }
+  out << "\n";
+  for (const auto& row : rows_) {
+    out << render_row(row) << "\n";
+  }
+  return out.str();
+}
+
+std::string FormatDouble(double value, int digits) {
+  COMET_CHECK_GE(digits, 0);
+  COMET_CHECK_LE(digits, 17);
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(digits) << value;
+  return os.str();
+}
+
+std::string FormatUsAsMs(double us, int digits) {
+  return FormatDouble(us / 1000.0, digits);
+}
+
+std::string FormatSpeedup(double ratio, int digits) {
+  return FormatDouble(ratio, digits) + "x";
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  return FormatDouble(fraction * 100.0, digits) + "%";
+}
+
+}  // namespace comet

@@ -1,0 +1,47 @@
+// ASCII table rendering for the benchmark harnesses. Every bench binary
+// prints the rows/series of one paper table or figure; this formatter keeps
+// their output uniform and diff-friendly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace comet {
+
+// Column-aligned ASCII table. Rows are added as strings; numeric helpers
+// format with fixed precision so bench output is stable across runs.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> headers);
+
+  // Adds a row. The row is padded with empty cells (or truncated) to the
+  // header width.
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders the table with a header separator, e.g.:
+  //   M      | Comet (ms) | Tutel (ms)
+  //   -------+------------+-----------
+  //   4096   | 1.23       | 2.31
+  std::string Render() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Fixed-precision float formatting ("1.234"). digits in [0, 17].
+std::string FormatDouble(double value, int digits = 3);
+
+// Formats microseconds as milliseconds with 3 decimals ("1.234 ms" -> value
+// only, unit left to the column header).
+std::string FormatUsAsMs(double us, int digits = 3);
+
+// "1.96x" style speedup formatting.
+std::string FormatSpeedup(double ratio, int digits = 2);
+
+// Percentage with one decimal: 0.865 -> "86.5%".
+std::string FormatPercent(double fraction, int digits = 1);
+
+}  // namespace comet

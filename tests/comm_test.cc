@@ -1,0 +1,225 @@
+// Unit tests for the communication substrate: symmetric heap, functional
+// collectives, collective cost models and the Table 3 memory planner.
+#include <gtest/gtest.h>
+
+#include "comm/collectives.h"
+#include "comm/memory_planner.h"
+#include "comm/symmetric_heap.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace comet {
+namespace {
+
+// ---- symmetric heap ---------------------------------------------------------
+
+TEST(SymmetricHeap, AllocatePerRankCopies) {
+  SymmetricHeap heap(4);
+  const auto buf = heap.Allocate("x", Shape{2, 3});
+  EXPECT_EQ(heap.num_buffers(), 1u);
+  EXPECT_EQ(heap.BufferName(buf), "x");
+  for (int r = 0; r < 4; ++r) {
+    EXPECT_EQ(heap.Local(buf, r).shape(), Shape({2, 3}));
+  }
+}
+
+TEST(SymmetricHeap, PutRowMovesDataAndCountsTraffic) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("x", Shape{2, 4});
+  const std::vector<float> row = {1, 2, 3, 4};
+  heap.PutRow(buf, /*src=*/0, /*dst=*/1, /*dst_row=*/1, row);
+  EXPECT_EQ(heap.Local(buf, 1).at({1, 2}), 3.0f);
+  EXPECT_EQ(heap.Local(buf, 0).at({1, 2}), 0.0f);  // rank 0 copy untouched
+  EXPECT_DOUBLE_EQ(heap.Traffic(0, 1), 16.0);      // 4 floats x 4 bytes
+  EXPECT_DOUBLE_EQ(heap.Traffic(1, 0), 0.0);
+}
+
+TEST(SymmetricHeap, LocalAccessIsFree) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("x", Shape{1, 4});
+  const std::vector<float> row = {1, 2, 3, 4};
+  heap.PutRow(buf, 0, 0, 0, row);
+  auto got = heap.GetRow(buf, 0, 0, 0);
+  EXPECT_EQ(got[3], 4.0f);
+  EXPECT_DOUBLE_EQ(heap.TotalTraffic(), 0.0);
+}
+
+TEST(SymmetricHeap, GetRowCountsOwnerToReader) {
+  SymmetricHeap heap(3);
+  const auto buf = heap.Allocate("x", Shape{1, 8});
+  heap.GetRow(buf, /*reader=*/2, /*owner=*/0, 0);
+  EXPECT_DOUBLE_EQ(heap.Traffic(0, 2), 32.0);
+}
+
+TEST(SymmetricHeap, AccumulateRowAddsWeighted) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("x", Shape{1, 2});
+  const std::vector<float> row = {2.0f, 4.0f};
+  heap.AccumulateRow(buf, 0, 1, 0, row, 0.5f);
+  heap.AccumulateRow(buf, 0, 1, 0, row, 1.0f);
+  EXPECT_EQ(heap.Local(buf, 1).at({0, 0}), 3.0f);
+}
+
+TEST(SymmetricHeap, ResetTraffic) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("x", Shape{1, 4});
+  heap.GetRow(buf, 1, 0, 0);
+  EXPECT_GT(heap.TotalTraffic(), 0.0);
+  heap.ResetTraffic();
+  EXPECT_DOUBLE_EQ(heap.TotalTraffic(), 0.0);
+}
+
+TEST(SymmetricHeap, AllocatedBytesPerRank) {
+  SymmetricHeap heap(2);
+  heap.Allocate("a", Shape{4, 4});                 // 64 bytes f32
+  heap.Allocate("b", Shape{2, 2}, DType::kBF16);   // 8 bytes logical
+  EXPECT_DOUBLE_EQ(heap.AllocatedBytesPerRank(), 64.0 + 8.0);
+}
+
+// ---- functional collectives ---------------------------------------------------
+
+TEST(Collectives, AllToAllRowsRoutesByCounts) {
+  // 2 ranks; rank 0 sends 1 row to itself and 2 to rank 1; rank 1 sends 1
+  // row to each.
+  std::vector<Tensor> inputs;
+  inputs.push_back(Tensor::Iota(Shape{3, 2}));        // rows 0,1,2
+  inputs.push_back(Tensor::Iota(Shape{2, 2}, 10.0f)); // rows 0',1'
+  const std::vector<std::vector<int64_t>> counts = {{1, 2}, {1, 1}};
+  const auto out = AllToAllRows(inputs, counts);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rows(), 2);  // 1 from rank 0 + 1 from rank 1
+  EXPECT_EQ(out[1].rows(), 3);
+  // Rank 1 receives rank 0's rows 1,2 then rank 1's row 1'.
+  EXPECT_EQ(out[1].at({0, 0}), 2.0f);
+  EXPECT_EQ(out[1].at({1, 0}), 4.0f);
+  EXPECT_EQ(out[1].at({2, 0}), 20.0f);
+}
+
+TEST(Collectives, AllToAllRejectsBadCounts) {
+  std::vector<Tensor> inputs;
+  inputs.push_back(Tensor::Zeros(Shape{3, 2}));
+  inputs.push_back(Tensor::Zeros(Shape{2, 2}));
+  EXPECT_THROW(AllToAllRows(inputs, {{1, 1}, {1, 1}}), CheckError);
+}
+
+TEST(Collectives, AllGatherRowsConcatenatesEverywhere) {
+  std::vector<Tensor> inputs;
+  inputs.push_back(Tensor::Full(Shape{1, 2}, 1.0f));
+  inputs.push_back(Tensor::Full(Shape{2, 2}, 2.0f));
+  const auto out = AllGatherRows(inputs);
+  for (const auto& t : out) {
+    EXPECT_EQ(t.rows(), 3);
+    EXPECT_EQ(t.at({0, 0}), 1.0f);
+    EXPECT_EQ(t.at({2, 1}), 2.0f);
+  }
+}
+
+TEST(Collectives, ReduceScatterRowsSumsShards) {
+  std::vector<Tensor> inputs;
+  inputs.push_back(Tensor::Full(Shape{4, 2}, 1.0f));
+  inputs.push_back(Tensor::Full(Shape{4, 2}, 2.0f));
+  const auto out = ReduceScatterRows(inputs, 2);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].rows(), 2);
+  EXPECT_EQ(out[0].at({0, 0}), 3.0f);
+  EXPECT_EQ(out[1].at({1, 1}), 3.0f);
+}
+
+// ---- cost models ---------------------------------------------------------------
+
+TEST(CollectiveCost, UniformAllToAllScalesWithBytes) {
+  const ClusterSpec cluster = H800Cluster(8);
+  const double t1 = UniformAllToAllCostUs(cluster, 1.0e6);
+  const double t2 = UniformAllToAllCostUs(cluster, 2.0e6);
+  EXPECT_GT(t2, t1);
+  EXPECT_LT(t2, 2.5 * t1);
+}
+
+TEST(CollectiveCost, EmptyAllToAllIsFree) {
+  const ClusterSpec cluster = H800Cluster(4);
+  EXPECT_DOUBLE_EQ(UniformAllToAllCostUs(cluster, 0.0), 0.0);
+}
+
+TEST(CollectiveCost, AsymmetricMatrixHonoursHotPort) {
+  const ClusterSpec cluster = H800Cluster(4);
+  // All traffic into port 0: makespan bound by port 0's ingress.
+  std::vector<std::vector<double>> bytes(4, std::vector<double>(4, 0.0));
+  bytes[1][0] = bytes[2][0] = bytes[3][0] = 1.0e7;
+  const double hot = AllToAllCostUs(cluster, bytes);
+  std::vector<std::vector<double>> spread(4, std::vector<double>(4, 0.0));
+  spread[1][0] = spread[2][3] = spread[3][2] = 1.0e7;
+  const double balanced = AllToAllCostUs(cluster, spread);
+  EXPECT_GT(hot, 2.0 * balanced);
+}
+
+TEST(CollectiveCost, RingCollectives) {
+  const ClusterSpec cluster = H800Cluster(8);
+  EXPECT_DOUBLE_EQ(RingAllGatherCostUs(cluster, 0.0), 0.0);
+  EXPECT_GT(RingAllGatherCostUs(cluster, 1.0e6), 0.0);
+  EXPECT_GT(RingReduceScatterCostUs(cluster, 8.0e6), 0.0);
+  // One-rank "cluster": no communication.
+  EXPECT_DOUBLE_EQ(RingReduceScatterCostUs(H800Cluster(1), 1.0e6), 0.0);
+}
+
+// ---- memory planner (Table 3) ---------------------------------------------------
+
+TEST(MemoryPlanner, MatchesTable3Exactly) {
+  // Paper Table 3, BF16: 2 * M * N bytes.
+  EXPECT_DOUBLE_EQ(PlanCommBuffer(4096, 4096).MiBs(), 32.0);   // Mixtral
+  EXPECT_DOUBLE_EQ(PlanCommBuffer(8192, 4096).MiBs(), 64.0);
+  EXPECT_DOUBLE_EQ(PlanCommBuffer(4096, 2048).MiBs(), 16.0);   // Qwen2
+  EXPECT_DOUBLE_EQ(PlanCommBuffer(8192, 2048).MiBs(), 32.0);
+  EXPECT_DOUBLE_EQ(PlanCommBuffer(4096, 4096).MiBs(), 32.0);   // Phi-3.5
+}
+
+TEST(MemoryPlanner, DtypeChangesFootprint) {
+  EXPECT_DOUBLE_EQ(PlanCommBuffer(4096, 4096, DType::kF32).MiBs(), 64.0);
+}
+
+TEST(MemoryPlanner, RejectsNonPositive) {
+  EXPECT_THROW(PlanCommBuffer(0, 4096), CheckError);
+  EXPECT_THROW(PlanCommBuffer(4096, -1), CheckError);
+}
+
+// ---- signaling -------------------------------------------------------------
+
+TEST(SymmetricHeapSignals, PutWithSignalBumpsDestinationWord) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("data", Shape{4, 8});
+  const auto sig = heap.AllocateSignals("ready", 4);
+  const std::vector<float> row(8, 1.5f);
+  EXPECT_EQ(heap.SignalValue(sig, 1, 2), 0u);
+  heap.PutRowWithSignal(buf, 0, 1, 2, row, sig, 2);
+  EXPECT_EQ(heap.SignalValue(sig, 1, 2), 1u);
+  EXPECT_EQ(heap.SignalValue(sig, 0, 2), 0u);  // source rank untouched
+  heap.PutRowWithSignal(buf, 0, 1, 2, row, sig, 2);
+  EXPECT_EQ(heap.SignalValue(sig, 1, 2), 2u);
+}
+
+TEST(SymmetricHeapSignals, WaitThrowsWhenUnsignalled) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("data", Shape{4, 8});
+  const auto sig = heap.AllocateSignals("ready", 4);
+  EXPECT_THROW(heap.WaitSignalGe(sig, 1, 0, 1), CheckError);
+  heap.PutRowWithSignal(buf, 0, 1, 0, std::vector<float>(8, 0.0f), sig, 0);
+  heap.WaitSignalGe(sig, 1, 0, 1);  // satisfied now
+  EXPECT_THROW(heap.WaitSignalGe(sig, 1, 0, 2), CheckError);
+}
+
+TEST(SymmetricHeapSignals, SignalTrafficNotCounted) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("data", Shape{1, 16});
+  const auto sig = heap.AllocateSignals("ready", 1);
+  heap.PutRowWithSignal(buf, 0, 1, 0, std::vector<float>(16, 1.0f), sig, 0);
+  EXPECT_DOUBLE_EQ(heap.Traffic(0, 1), 16.0 * 4.0);  // payload only (f32)
+}
+
+TEST(SymmetricHeapSignals, DataBufferIsNotASignalBuffer) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("data", Shape{1, 4});
+  EXPECT_THROW(heap.SignalValue(buf, 0, 0), CheckError);
+  EXPECT_THROW(heap.AllocateSignals("bad", 0), CheckError);
+}
+
+}  // namespace
+}  // namespace comet

@@ -1,0 +1,325 @@
+// Unit tests for the COMET core: shared-tensor dependency resolving,
+// rescheduling, the fused-kernel simulator and adaptive workload assignment.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/adaptive.h"
+#include "core/fused_kernel.h"
+#include "core/reschedule.h"
+#include "core/shared_tensor.h"
+#include "exec/op_costs.h"
+#include "moe/workload.h"
+#include "util/check.h"
+
+namespace comet {
+namespace {
+
+MoeWorkload SmallWorkload(int tp, int ep, int64_t tokens, double std = 0.0) {
+  ModelConfig model;
+  model.name = "core-test";
+  model.layers = 1;
+  model.num_experts = 8;
+  model.topk = 2;
+  model.embedding = 512;
+  model.ffn_hidden = 1024;
+  WorkloadOptions options;
+  options.seed = 9;
+  options.load_std = std;
+  options.materialize = false;
+  return MakeWorkload(model, ParallelConfig{tp, ep}, tokens, options);
+}
+
+// ---- shared tensor analysis -----------------------------------------------
+
+TEST(SharedTensor, Layer0DecomposesAlongM) {
+  EXPECT_EQ(ResolveDecomposition(Layer0SharedTensor(1024, 4096)),
+            DecomposeDim::kM);
+}
+
+TEST(SharedTensor, Layer1DecomposesAlongN) {
+  EXPECT_EQ(ResolveDecomposition(Layer1SharedTensor(1024, 4096)),
+            DecomposeDim::kN);
+}
+
+TEST(SharedTensor, GemmConsumerIndependentAlongRowsOnly) {
+  EXPECT_TRUE(ConsumerIndependentAlong(TensorAccess::kGemmConsume,
+                                       DecomposeDim::kM));
+  EXPECT_FALSE(ConsumerIndependentAlong(TensorAccess::kGemmConsume,
+                                        DecomposeDim::kN));
+}
+
+TEST(SharedTensor, TopKReduceIndependentAlongColsOnly) {
+  EXPECT_FALSE(ConsumerIndependentAlong(TensorAccess::kTopKReduceConsume,
+                                        DecomposeDim::kM));
+  EXPECT_TRUE(ConsumerIndependentAlong(TensorAccess::kTopKReduceConsume,
+                                       DecomposeDim::kN));
+}
+
+TEST(SharedTensor, DimNames) {
+  EXPECT_EQ(DecomposeDimName(DecomposeDim::kM), "M");
+  EXPECT_EQ(DecomposeDimName(DecomposeDim::kN), "N");
+}
+
+// ---- rescheduling -----------------------------------------------------------
+
+TEST(Reschedule, ArrivalClassRingDistance) {
+  EXPECT_EQ(RowArrivalClass(2, 2, 4), 0);
+  EXPECT_EQ(RowArrivalClass(3, 2, 4), 1);
+  EXPECT_EQ(RowArrivalClass(0, 2, 4), 2);
+  EXPECT_EQ(RowArrivalClass(1, 2, 4), 3);
+}
+
+TEST(Reschedule, Layer0RowsSortedLocalsFirst) {
+  const MoeWorkload w = SmallWorkload(1, 4, 256);
+  const int rank = 1;
+  const RankPlan& plan = w.plan.ForRank(rank);
+  const auto schedule = BuildLayer0Schedule(plan, /*ep_group=*/1, 4,
+                                            /*out_cols=*/1024, 32, 32, true);
+  for (size_t le = 0; le < plan.experts.size(); ++le) {
+    const auto& rows = plan.experts[le].rows;
+    const auto& order = schedule.row_order[le];
+    int prev_class = -1;
+    for (int64_t idx : order) {
+      const int cls = RowArrivalClass(
+          rows[static_cast<size_t>(idx)].source_group, 1, 4);
+      EXPECT_GE(cls, prev_class);
+      prev_class = std::max(prev_class, cls);
+    }
+  }
+}
+
+TEST(Reschedule, Layer0TileOrderByArrivalClass) {
+  // Large enough that every expert has at least one full tile of local rows
+  // (~64 local rows per expert vs tile_m=32), so an all-local tile exists
+  // and must be scheduled first.
+  const MoeWorkload w = SmallWorkload(1, 4, 1024);
+  const auto schedule = BuildLayer0Schedule(w.plan.ForRank(0), 0, 4, 1024, 32,
+                                            32, true);
+  int prev = -1;
+  for (const TileRef& tile : schedule.tiles) {
+    EXPECT_GE(tile.arrival_class, prev);
+    prev = tile.arrival_class;
+  }
+  EXPECT_EQ(schedule.tiles.front().arrival_class, 0);
+}
+
+TEST(Reschedule, Layer0OffKeepsIdentityRowOrder) {
+  const MoeWorkload w = SmallWorkload(1, 4, 256);
+  const auto schedule = BuildLayer0Schedule(w.plan.ForRank(0), 0, 4, 1024, 32,
+                                            32, false);
+  for (const auto& order : schedule.row_order) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      EXPECT_EQ(order[i], static_cast<int64_t>(i));
+    }
+  }
+}
+
+TEST(Reschedule, SchedulesCoverEveryTileExactlyOnce) {
+  const MoeWorkload w = SmallWorkload(2, 2, 128);
+  for (bool resched : {true, false}) {
+    const auto s0 = BuildLayer0Schedule(w.plan.ForRank(0), 0, 2,
+                                        w.placement.HiddenPerTpRank(), 32, 32,
+                                        resched);
+    const auto s1 = BuildLayer1Schedule(w.plan.ForRank(0), 512, 32, 32,
+                                        resched);
+    auto count_cells = [](const std::vector<TileRef>& tiles) {
+      int64_t cells = 0;
+      for (const auto& t : tiles) {
+        cells += (t.row_end - t.row_begin) * (t.col_end - t.col_begin);
+      }
+      return cells;
+    };
+    const int64_t rows = w.plan.ForRank(0).TotalRows();
+    EXPECT_EQ(count_cells(s0.tiles), rows * w.placement.HiddenPerTpRank());
+    EXPECT_EQ(count_cells(s1.tiles), rows * 512);
+  }
+}
+
+TEST(Reschedule, Layer1ColumnPanelMajor) {
+  const MoeWorkload w = SmallWorkload(1, 2, 128);
+  const auto schedule =
+      BuildLayer1Schedule(w.plan.ForRank(0), 512, 32, 64, true);
+  EXPECT_EQ(schedule.num_col_panels, 8);
+  int64_t prev_panel = 0;
+  for (const TileRef& tile : schedule.tiles) {
+    const int64_t panel = tile.col_begin / 64;
+    EXPECT_GE(panel, prev_panel);
+    prev_panel = panel;
+  }
+}
+
+TEST(Reschedule, Layer1OffIsExpertMajor) {
+  const MoeWorkload w = SmallWorkload(1, 2, 128);
+  const auto schedule =
+      BuildLayer1Schedule(w.plan.ForRank(0), 512, 32, 64, false);
+  int64_t prev_expert = 0;
+  for (const TileRef& tile : schedule.tiles) {
+    EXPECT_GE(tile.expert_local, prev_expert);
+    prev_expert = tile.expert_local;
+  }
+}
+
+// ---- fused kernel simulator ------------------------------------------------
+
+class FusedKernelTest : public ::testing::Test {
+ protected:
+  const ClusterSpec cluster_ = H800Cluster(4);
+  const OpCostModel costs_{cluster_};
+
+  FusedKernelConfig Config(int nc, bool resched = true) const {
+    FusedKernelConfig config;
+    config.total_blocks = cluster_.gpu.num_sms;
+    config.comm_blocks = nc;
+    config.reschedule = resched;
+    return config;
+  }
+};
+
+TEST_F(FusedKernelTest, Layer0DurationPositiveAndConsistent) {
+  const MoeWorkload w = SmallWorkload(1, 4, 1024);
+  const auto r = SimulateLayer0Fused(w.plan, 0, costs_, Config(16));
+  EXPECT_GT(r.duration_us, 0.0);
+  EXPECT_GE(r.duration_us, r.compute_makespan_us - 1e-9);
+  EXPECT_GE(r.duration_us, r.comm_makespan_us - 1e-9);
+  EXPECT_GT(r.comm_bytes, 0.0);
+}
+
+TEST_F(FusedKernelTest, RescheduleNeverSlower) {
+  for (int64_t m : {256, 1024, 4096}) {
+    const MoeWorkload w = SmallWorkload(1, 4, m);
+    const auto on = SimulateLayer0Fused(w.plan, 0, costs_, Config(16, true));
+    const auto off = SimulateLayer0Fused(w.plan, 0, costs_, Config(16, false));
+    EXPECT_LE(on.duration_us, off.duration_us * (1.0 + 1e-9)) << "M=" << m;
+  }
+}
+
+TEST_F(FusedKernelTest, Layer1RescheduleEnablesEarlyComm) {
+  // Needs several compute waves (tiles >> np blocks); with a single wave all
+  // tiles finish together and the tile order is irrelevant by construction.
+  const MoeWorkload w = SmallWorkload(1, 4, 16384);
+  const auto on = SimulateLayer1Fused(w.plan, 0, costs_, Config(16, true));
+  const auto off = SimulateLayer1Fused(w.plan, 0, costs_, Config(16, false));
+  EXPECT_LT(on.duration_us, off.duration_us);
+}
+
+TEST_F(FusedKernelTest, VerticalFusionSlowerThanSpecialized) {
+  const MoeWorkload w = SmallWorkload(1, 4, 4096);
+  FusedKernelConfig vertical = Config(0);
+  vertical.vertical_fusion = true;
+  const auto v0 = SimulateLayer0Fused(w.plan, 0, costs_, vertical);
+  const auto s0 = SimulateLayer0Fused(w.plan, 0, costs_, Config(16));
+  EXPECT_GT(v0.duration_us, s0.duration_us);
+}
+
+TEST_F(FusedKernelTest, NoCommBlocksWithTrafficRejected) {
+  const MoeWorkload w = SmallWorkload(1, 4, 1024);
+  EXPECT_THROW(SimulateLayer0Fused(w.plan, 0, costs_, Config(0)), CheckError);
+}
+
+TEST_F(FusedKernelTest, PureTpLayer0HasNoComm) {
+  const MoeWorkload w = SmallWorkload(4, 1, 1024);
+  const auto r = SimulateLayer0Fused(w.plan, 0, costs_, Config(2));
+  EXPECT_DOUBLE_EQ(r.comm_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(r.comm_makespan_us, 0.0);
+}
+
+TEST_F(FusedKernelTest, PureTpLayer1CommIsReduceScatterOnly) {
+  const MoeWorkload w = SmallWorkload(4, 1, 1024);
+  const auto r = SimulateLayer1Fused(w.plan, 0, costs_, Config(8));
+  const double expected =
+      w.plan.TpReduceScatterBytesPerRank(512.0 * costs_.bytes_per_element());
+  EXPECT_DOUBLE_EQ(r.comm_bytes, expected);
+  EXPECT_GT(r.comm_bytes, 0.0);
+}
+
+TEST_F(FusedKernelTest, MoreCommBlocksTradeComputeForComm) {
+  const MoeWorkload w = SmallWorkload(1, 4, 4096);
+  const auto few = SimulateLayer1Fused(w.plan, 0, costs_, Config(4));
+  const auto many = SimulateLayer1Fused(w.plan, 0, costs_, Config(100));
+  // The layer1 send of the final column panel can only start once its
+  // compute completes, so comm_makespan >= compute_makespan always; what
+  // shifting blocks to comm buys is a shorter comm *tail* past compute.
+  const double few_tail = few.comm_makespan_us - few.compute_makespan_us;
+  const double many_tail = many.comm_makespan_us - many.compute_makespan_us;
+  EXPECT_GT(few_tail, 0.0);
+  EXPECT_LT(many_tail, few_tail);
+  // Fewer compute blocks stretch the compute makespan.
+  EXPECT_GT(many.compute_makespan_us, few.compute_makespan_us);
+}
+
+// ---- adaptive assignment ------------------------------------------------------
+
+TEST(Adaptive, CandidatesRespectStrideAndBounds) {
+  const AdaptiveAssigner assigner(4);
+  const auto candidates = assigner.Candidates(132);
+  EXPECT_FALSE(candidates.empty());
+  EXPECT_EQ(candidates.front(), 4);
+  for (size_t i = 1; i < candidates.size(); ++i) {
+    EXPECT_EQ(candidates[i] - candidates[i - 1], 4);
+  }
+  EXPECT_LE(candidates.back(), 131);
+}
+
+TEST(Adaptive, SweepIsUShapedAroundOptimum) {
+  const MoeWorkload w = SmallWorkload(1, 4, 8192);
+  const ClusterSpec cluster = H800Cluster(4);
+  const OpCostModel costs(cluster);
+  const AdaptiveAssigner assigner(2);
+  FusedKernelConfig base;
+  base.total_blocks = cluster.gpu.num_sms;
+  const auto samples =
+      assigner.Sweep(MoePipelineStage::kLayer1, w.plan, 0, costs, base);
+  ASSERT_GT(samples.size(), 4u);
+  size_t best = 0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    if (samples[i].duration_us < samples[best].duration_us) {
+      best = i;
+    }
+  }
+  // Strictly worse at both extremes than at the optimum.
+  EXPECT_GT(samples.front().duration_us, samples[best].duration_us);
+  EXPECT_GT(samples.back().duration_us, samples[best].duration_us);
+}
+
+TEST(Adaptive, SelectionCachedInMetadataStore) {
+  const MoeWorkload w = SmallWorkload(1, 4, 2048);
+  const ClusterSpec cluster = H800Cluster(4);
+  const OpCostModel costs(cluster);
+  const AdaptiveAssigner assigner(2);
+  FusedKernelConfig base;
+  base.total_blocks = cluster.gpu.num_sms;
+
+  MetadataStore store;
+  const int nc = assigner.SelectCommBlocks(MoePipelineStage::kLayer1, w.plan,
+                                           0, costs, base, &store);
+  EXPECT_GT(nc, 0);
+  const std::string key =
+      AdaptiveAssigner::ProfileKey(cluster, w.placement,
+                                   MoePipelineStage::kLayer1);
+  ASSERT_TRUE(store.Contains(key));
+  // Poison the cache; selection must honour it (cache hit, no re-profile).
+  store.PutInt(key, 77);
+  EXPECT_EQ(assigner.SelectCommBlocks(MoePipelineStage::kLayer1, w.plan, 0,
+                                      costs, base, &store),
+            77);
+}
+
+TEST(Adaptive, ProfileKeyDistinguishesSetups) {
+  const ClusterSpec cluster = H800Cluster(8);
+  const MoeWorkload a = SmallWorkload(1, 4, 2048);
+  const MoeWorkload b = SmallWorkload(2, 2, 2048);
+  const MoeWorkload c = SmallWorkload(1, 4, 4096);
+  const auto key = [&](const MoeWorkload& w, MoePipelineStage s) {
+    return AdaptiveAssigner::ProfileKey(cluster, w.placement, s);
+  };
+  EXPECT_NE(key(a, MoePipelineStage::kLayer0),
+            key(a, MoePipelineStage::kLayer1));
+  EXPECT_NE(key(a, MoePipelineStage::kLayer0),
+            key(b, MoePipelineStage::kLayer0));
+  EXPECT_NE(key(a, MoePipelineStage::kLayer0),
+            key(c, MoePipelineStage::kLayer0));
+}
+
+}  // namespace
+}  // namespace comet

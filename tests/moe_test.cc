@@ -1,0 +1,575 @@
+// Unit tests for the MoE substrate: configs/placement, routers, route plans,
+// GroupGEMM tiles, activations, sharded weights and the reference layers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "moe/activation.h"
+#include "moe/config.h"
+#include "moe/expert_weights.h"
+#include "moe/group_gemm.h"
+#include "moe/reference_layer.h"
+#include "moe/route_plan.h"
+#include "moe/router.h"
+#include "moe/workload.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace comet {
+namespace {
+
+// ---- config / placement ------------------------------------------------------
+
+TEST(ModelConfig, Table2Presets) {
+  const ModelConfig mixtral = Mixtral8x7B();
+  EXPECT_EQ(mixtral.layers, 32);
+  EXPECT_EQ(mixtral.num_experts, 8);
+  EXPECT_EQ(mixtral.topk, 2);
+  EXPECT_EQ(mixtral.embedding, 4096);
+  EXPECT_EQ(mixtral.ffn_hidden, 14336);
+
+  const ModelConfig qwen = Qwen2Moe();
+  EXPECT_EQ(qwen.layers, 24);
+  EXPECT_EQ(qwen.num_experts, 64);
+  EXPECT_EQ(qwen.topk, 4);
+  EXPECT_EQ(qwen.embedding, 2048);
+  EXPECT_EQ(qwen.ffn_hidden, 1408);
+
+  const ModelConfig phi = Phi35Moe();
+  EXPECT_EQ(phi.layers, 32);
+  EXPECT_EQ(phi.num_experts, 16);
+  EXPECT_EQ(phi.topk, 2);
+  EXPECT_EQ(phi.embedding, 4096);
+  EXPECT_EQ(phi.ffn_hidden, 6400);
+}
+
+TEST(Placement, RankAndGroupArithmetic) {
+  const Placement p(Mixtral8x7B(), ParallelConfig{2, 4}, 1024);
+  EXPECT_EQ(p.world(), 8);
+  EXPECT_EQ(p.tokens_per_group(), 256);
+  EXPECT_EQ(p.EpGroupOfRank(5), 2);
+  EXPECT_EQ(p.TpLaneOfRank(5), 1);
+  EXPECT_EQ(p.RankOf(2, 1), 5);
+  EXPECT_EQ(p.ExpertsPerGroup(), 2);
+  EXPECT_EQ(p.EpGroupOfExpert(5), 2);
+  EXPECT_EQ(p.FirstRankOfExpert(5), 4);
+  EXPECT_TRUE(p.RankOwnsExpert(5, 5));
+  EXPECT_FALSE(p.RankOwnsExpert(0, 5));
+  EXPECT_EQ(p.LocalExpertIndex(5), 1);
+  EXPECT_EQ(p.GlobalExpertIndex(5, 1), 5);
+  EXPECT_EQ(p.HiddenPerTpRank(), 14336 / 2);
+  EXPECT_EQ(p.HomeGroupOfToken(700), 2);
+  EXPECT_EQ(p.FirstTokenOfGroup(2), 512);
+}
+
+TEST(Placement, ValidatesDivisibility) {
+  EXPECT_THROW(Placement(Mixtral8x7B(), ParallelConfig{1, 3}, 1024),
+               CheckError);  // E=8 not divisible by EP=3
+  EXPECT_THROW(Placement(Mixtral8x7B(), ParallelConfig{1, 8}, 1021),
+               CheckError);  // M not divisible by EP
+  ModelConfig odd = Mixtral8x7B();
+  odd.ffn_hidden = 14337;
+  EXPECT_THROW(Placement(odd, ParallelConfig{2, 4}, 1024), CheckError);
+}
+
+// ---- routers -------------------------------------------------------------------
+
+TEST(GateNetwork, SelectsTopKByProbability) {
+  // Gate weight designed so expert j's logit = j * sum(x) for positive x.
+  Tensor gate(Shape{2, 4});
+  for (int64_t n = 0; n < 2; ++n) {
+    for (int64_t e = 0; e < 4; ++e) {
+      gate.at({n, e}) = static_cast<float>(e);
+    }
+  }
+  GateNetwork network(std::move(gate));
+  Tensor tokens = Tensor::Full(Shape{3, 2}, 1.0f);
+  const RoutingTable table = network.Route(tokens, 2);
+  table.Validate(4, 2);
+  for (const auto& t : table.tokens) {
+    EXPECT_EQ(t.experts[0], 3);  // highest logit
+    EXPECT_EQ(t.experts[1], 2);
+    EXPECT_GT(t.weights[0], t.weights[1]);
+  }
+}
+
+TEST(GateNetwork, WeightsAreNormalized) {
+  Rng rng(3);
+  GateNetwork network(Tensor::Randn(Shape{8, 6}, rng));
+  const Tensor tokens = Tensor::Randn(Shape{5, 8}, rng);
+  const RoutingTable table = network.Route(tokens, 3);
+  table.Validate(6, 3);
+}
+
+TEST(SyntheticRouter, UniformLoadGivesLowStd) {
+  SyntheticRouter router(std::vector<double>(8, 1.0 / 8), 11);
+  const RoutingTable table = router.Route(20000, 2);
+  table.Validate(8, 2);
+  EXPECT_LT(table.LoadStd(8), 0.01);
+}
+
+TEST(SyntheticRouter, SkewedLoadTracksTarget) {
+  Rng rng(12);
+  const double target = 0.04;
+  SyntheticRouter router(rng.LoadVectorWithStd(8, target), 13);
+  const RoutingTable table = router.Route(20000, 2);
+  // Sampling without replacement flattens the distribution a little, so the
+  // achieved std is close to but usually under the target.
+  EXPECT_NEAR(table.LoadStd(8), target, 0.02);
+  EXPECT_GT(table.LoadStd(8), 0.015);
+}
+
+TEST(RoutingTable, ValidateCatchesDuplicates) {
+  RoutingTable table;
+  table.tokens.push_back(TokenRoute{{1, 1}, {0.5f, 0.5f}});
+  EXPECT_THROW(table.Validate(4, 2), CheckError);
+}
+
+TEST(RoutingTable, ValidateCatchesBadWeightSum) {
+  RoutingTable table;
+  table.tokens.push_back(TokenRoute{{0, 1}, {0.9f, 0.5f}});
+  EXPECT_THROW(table.Validate(4, 2), CheckError);
+}
+
+TEST(RoutingTable, ExpertLoadsCountPairs) {
+  RoutingTable table;
+  table.tokens.push_back(TokenRoute{{0, 1}, {0.5f, 0.5f}});
+  table.tokens.push_back(TokenRoute{{0, 2}, {0.5f, 0.5f}});
+  const auto loads = table.ExpertLoads(4);
+  EXPECT_EQ(loads[0], 2);
+  EXPECT_EQ(loads[1], 1);
+  EXPECT_EQ(loads[3], 0);
+}
+
+// ---- route plan -----------------------------------------------------------------
+
+class RoutePlanTest : public ::testing::Test {
+ protected:
+  static MoeWorkload Make(int tp, int ep, int64_t tokens) {
+    ModelConfig model;
+    model.name = "t";
+    model.layers = 1;
+    model.num_experts = 8;
+    model.topk = 2;
+    model.embedding = 16;
+    model.ffn_hidden = 32;
+    WorkloadOptions options;
+    options.seed = 5;
+    options.materialize = false;
+    return MakeWorkload(model, ParallelConfig{tp, ep}, tokens, options);
+  }
+};
+
+TEST_F(RoutePlanTest, RowsCoverEveryPairExactlyOnce) {
+  const MoeWorkload w = Make(1, 4, 64);
+  int64_t total_rows = 0;
+  for (int g = 0; g < 4; ++g) {
+    total_rows += w.plan.ForGroup(g).TotalRows();
+  }
+  EXPECT_EQ(total_rows, 64 * 2);  // M * topk
+}
+
+TEST_F(RoutePlanTest, RowsAreTokenSortedPerExpert) {
+  const MoeWorkload w = Make(1, 4, 64);
+  for (int g = 0; g < 4; ++g) {
+    for (const auto& slice : w.plan.ForGroup(g).experts) {
+      for (size_t i = 1; i < slice.rows.size(); ++i) {
+        EXPECT_LT(slice.rows[i - 1].token, slice.rows[i].token);
+      }
+    }
+  }
+}
+
+TEST_F(RoutePlanTest, TpLanesShareThePlan) {
+  const MoeWorkload w = Make(2, 2, 32);
+  EXPECT_EQ(&w.plan.ForRank(0), &w.plan.ForRank(1));  // lanes of group 0
+  EXPECT_EQ(&w.plan.ForRank(2), &w.plan.ForRank(3));
+  EXPECT_NE(&w.plan.ForRank(0), &w.plan.ForRank(2));
+}
+
+TEST_F(RoutePlanTest, DispatchBytesLaneMatched) {
+  const MoeWorkload w = Make(2, 2, 32);
+  const auto bytes = w.plan.DispatchBytes(1.0);
+  const int world = 4;
+  for (int i = 0; i < world; ++i) {
+    EXPECT_DOUBLE_EQ(bytes[static_cast<size_t>(i)][static_cast<size_t>(i)], 0.0);
+    for (int j = 0; j < world; ++j) {
+      if (i % 2 != j % 2) {
+        // Cross-lane traffic never happens.
+        EXPECT_DOUBLE_EQ(bytes[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                         0.0);
+      }
+    }
+  }
+}
+
+TEST_F(RoutePlanTest, DispatchTotalsMatchRemoteRows) {
+  const MoeWorkload w = Make(1, 4, 64);
+  const auto bytes = w.plan.DispatchBytes(1.0);
+  for (int r = 0; r < 4; ++r) {
+    double incoming = 0.0;
+    for (int s = 0; s < 4; ++s) {
+      incoming += bytes[static_cast<size_t>(s)][static_cast<size_t>(r)];
+    }
+    EXPECT_DOUBLE_EQ(incoming, static_cast<double>(w.plan.RemoteRows(r)));
+  }
+}
+
+TEST_F(RoutePlanTest, EpReturnMirrorsDispatch) {
+  const MoeWorkload w = Make(1, 4, 64);
+  const auto dispatch = w.plan.DispatchBytes(2.0);
+  const auto ret = w.plan.EpReturnBytes(2.0);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(ret[static_cast<size_t>(i)][static_cast<size_t>(j)],
+                       dispatch[static_cast<size_t>(j)][static_cast<size_t>(i)]);
+    }
+  }
+}
+
+TEST_F(RoutePlanTest, TpReduceScatterBytes) {
+  const MoeWorkload w2 = Make(2, 2, 32);
+  // (TP-1)/TP * tokens_per_group * bytes_per_row = 1/2 * 16 * 4.
+  EXPECT_DOUBLE_EQ(w2.plan.TpReduceScatterBytesPerRank(4.0), 32.0);
+  const MoeWorkload w1 = Make(1, 4, 64);
+  EXPECT_DOUBLE_EQ(w1.plan.TpReduceScatterBytesPerRank(4.0), 0.0);
+}
+
+TEST_F(RoutePlanTest, GemmProblemShapes) {
+  const MoeWorkload w = Make(2, 2, 32);
+  const auto p0 = w.plan.Layer0Problems(0);
+  const auto p1 = w.plan.Layer1Problems(0);
+  ASSERT_EQ(p0.size(), 4u);  // E/EP = 4 local experts
+  EXPECT_EQ(p0[0].n, 16);    // K/TP = 32/2
+  EXPECT_EQ(p0[0].k, 16);    // N
+  EXPECT_EQ(p1[0].n, 16);    // N
+  EXPECT_EQ(p1[0].k, 16);    // K/TP
+  EXPECT_EQ(p0[0].m, p1[0].m);
+}
+
+// ---- group gemm -----------------------------------------------------------------
+
+TEST(GroupGemm, MatchesNaiveGemm) {
+  Rng rng(21);
+  const Tensor a = Tensor::Randn(Shape{7, 5}, rng);
+  const Tensor b = Tensor::Randn(Shape{5, 9}, rng);
+  Tensor c(Shape{7, 9});
+  Gemm(a, b, c);
+  for (int64_t i = 0; i < 7; ++i) {
+    for (int64_t j = 0; j < 9; ++j) {
+      float acc = 0.0f;
+      for (int64_t k = 0; k < 5; ++k) {
+        acc += a.at({i, k}) * b.at({k, j});
+      }
+      EXPECT_NEAR(c.at({i, j}), acc, 1e-4f);
+    }
+  }
+}
+
+TEST(GroupGemm, TileExecutionEqualsWhole) {
+  Rng rng(22);
+  const Tensor a = Tensor::Randn(Shape{13, 8}, rng);
+  const Tensor b = Tensor::Randn(Shape{8, 11}, rng);
+  Tensor whole(Shape{13, 11});
+  Gemm(a, b, whole);
+  Tensor tiled(Shape{13, 11});
+  for (int64_t r = 0; r < 13; r += 4) {
+    for (int64_t cc = 0; cc < 11; cc += 3) {
+      GemmTile(a, b, tiled, r, std::min<int64_t>(r + 4, 13), cc,
+               std::min<int64_t>(cc + 3, 11));
+    }
+  }
+  EXPECT_EQ(Tensor::MaxAbsDiff(whole, tiled), 0.0f);
+}
+
+TEST(GroupGemm, TileOrderDoesNotChangeResult) {
+  Rng rng(23);
+  const Tensor a = Tensor::Randn(Shape{12, 6}, rng);
+  const Tensor b = Tensor::Randn(Shape{6, 10}, rng);
+  GroupGemmProblem problem;
+  Tensor c1(Shape{12, 10});
+  problem.a = {&a};
+  problem.b = {&b};
+  problem.c = {&c1};
+  const auto tiles = EnumerateTiles(problem, 4, 4);
+  RunGroupGemm(problem, tiles);
+
+  Tensor c2(Shape{12, 10});
+  problem.c = {&c2};
+  auto reversed = tiles;
+  std::reverse(reversed.begin(), reversed.end());
+  RunGroupGemm(problem, reversed);
+  EXPECT_EQ(Tensor::MaxAbsDiff(c1, c2), 0.0f);
+}
+
+TEST(GroupGemm, EnumerateCountsTiles) {
+  const Tensor a = Tensor::Zeros(Shape{10, 4});
+  const Tensor b = Tensor::Zeros(Shape{4, 6});
+  Tensor c(Shape{10, 6});
+  GroupGemmProblem problem;
+  problem.a = {&a};
+  problem.b = {&b};
+  problem.c = {&c};
+  EXPECT_EQ(EnumerateTiles(problem, 4, 4).size(), 6u);  // ceil(10/4)*ceil(6/4)
+}
+
+// ---- activation ------------------------------------------------------------------
+
+TEST(Activation, GeluValues) {
+  EXPECT_NEAR(GeluScalar(0.0f), 0.0f, 1e-6f);
+  EXPECT_NEAR(GeluScalar(1.0f), 0.8412f, 1e-3f);
+  EXPECT_NEAR(GeluScalar(-1.0f), -0.1588f, 1e-3f);
+}
+
+TEST(Activation, SiluValues) {
+  EXPECT_NEAR(SiluScalar(0.0f), 0.0f, 1e-6f);
+  EXPECT_NEAR(SiluScalar(1.0f), 0.7311f, 1e-3f);
+}
+
+TEST(Activation, TileApplicationMatchesWhole) {
+  Rng rng(31);
+  Tensor whole = Tensor::Randn(Shape{6, 8}, rng);
+  Tensor tiled = whole;
+  ApplyActivation(whole, ActivationKind::kGelu);
+  for (int64_t r = 0; r < 6; r += 2) {
+    for (int64_t c = 0; c < 8; c += 3) {
+      ApplyActivationTile(tiled, ActivationKind::kGelu, r,
+                          std::min<int64_t>(r + 2, 6), c,
+                          std::min<int64_t>(c + 3, 8));
+    }
+  }
+  EXPECT_EQ(Tensor::MaxAbsDiff(whole, tiled), 0.0f);
+}
+
+TEST(Activation, ReluAndIdentity) {
+  Tensor t = Tensor::Full(Shape{1, 2}, -1.0f);
+  Tensor id = t;
+  ApplyActivation(t, ActivationKind::kRelu);
+  EXPECT_EQ(t.at({0, 0}), 0.0f);
+  ApplyActivation(id, ActivationKind::kIdentity);
+  EXPECT_EQ(id.at({0, 0}), -1.0f);
+}
+
+// ---- sharded weights --------------------------------------------------------------
+
+TEST(ShardedWeights, ShardsTileTheFullMatrices) {
+  ModelConfig model;
+  model.num_experts = 2;
+  model.topk = 1;
+  model.embedding = 4;
+  model.ffn_hidden = 8;
+  Rng rng(41);
+  const ExpertWeights full = ExpertWeights::Random(model, rng);
+  const ShardedExpertWeights sharded(full, 2);
+  for (int64_t e = 0; e < 2; ++e) {
+    for (int t = 0; t < 2; ++t) {
+      const Tensor& w0 = sharded.W0Shard(e, t);
+      EXPECT_EQ(w0.shape(), Shape({4, 4}));
+      for (int64_t r = 0; r < 4; ++r) {
+        for (int64_t c = 0; c < 4; ++c) {
+          EXPECT_EQ(w0.at({r, c}), full.W0(e).at({r, t * 4 + c}));
+        }
+      }
+      const Tensor& w1 = sharded.W1Shard(e, t);
+      EXPECT_EQ(w1.shape(), Shape({4, 4}));
+      for (int64_t r = 0; r < 4; ++r) {
+        for (int64_t c = 0; c < 4; ++c) {
+          EXPECT_EQ(w1.at({r, c}), full.W1(e).at({t * 4 + r, c}));
+        }
+      }
+    }
+  }
+}
+
+// ---- reference layers ---------------------------------------------------------------
+
+TEST(ReferenceLayer, DenseAndShardedAgreeClosely) {
+  ModelConfig model;
+  model.name = "t";
+  model.layers = 1;
+  model.num_experts = 4;
+  model.topk = 2;
+  model.embedding = 16;
+  model.ffn_hidden = 32;
+  WorkloadOptions options;
+  options.seed = 51;
+  const MoeWorkload w =
+      MakeWorkload(model, ParallelConfig{2, 2}, 32, options);
+  const auto dense = ReferenceMoeLayer(w);
+  const auto sharded = ShardedReferenceMoeLayer(w);
+  ASSERT_EQ(dense.size(), sharded.size());
+  for (size_t g = 0; g < dense.size(); ++g) {
+    EXPECT_TRUE(Tensor::AllClose(dense[g], sharded[g], 1e-4f, 1e-4f));
+  }
+}
+
+TEST(ReferenceLayer, TokensWithSameRouteGetSameOutput) {
+  ModelConfig model;
+  model.name = "t";
+  model.layers = 1;
+  model.num_experts = 2;
+  model.topk = 1;
+  model.embedding = 8;
+  model.ffn_hidden = 16;
+  WorkloadOptions options;
+  options.seed = 52;
+  MoeWorkload w = MakeWorkload(model, ParallelConfig{1, 1}, 8, options);
+  // Force token 0 and 1 identical in input and routing.
+  w.inputs[0].SetRow(1, w.inputs[0].row(0));
+  w.routing.tokens[1] = w.routing.tokens[0];
+  w.plan = RoutePlan(w.placement, w.routing);
+  const auto out = ReferenceMoeLayer(w);
+  for (int64_t c = 0; c < 8; ++c) {
+    EXPECT_EQ(out[0].at({0, c}), out[0].at({1, c}));
+  }
+}
+
+// ---- capacity-limited routing ---------------------------------------------------
+
+TEST(CapacityFactor, EnforcesPerExpertBudget) {
+  SyntheticRouter router(std::vector<double>{0.7, 0.1, 0.1, 0.1}, 17);
+  RoutingTable table = router.Route(1000, 2);
+  const DropStats stats = ApplyCapacityFactor(table, 4, 1.0);
+  // capacity = ceil(1.0 * 2000 / 4) = 500 pairs per expert.
+  EXPECT_EQ(stats.capacity, 500);
+  const auto loads = table.ExpertLoads(4);
+  for (int64_t l : loads) {
+    EXPECT_LE(l, stats.capacity);
+  }
+  // The hot expert (p = 0.7) must have overflowed.
+  EXPECT_GT(stats.dropped_pairs, 0);
+  EXPECT_GT(stats.overflow_per_expert[0], 0);
+  table.Validate(4, 2);
+}
+
+TEST(CapacityFactor, LargeFactorDropsNothing) {
+  SyntheticRouter router(std::vector<double>{0.7, 0.1, 0.1, 0.1}, 17);
+  RoutingTable table = router.Route(500, 2);
+  const RoutingTable before = table;
+  const DropStats stats = ApplyCapacityFactor(table, 4, 8.0);
+  EXPECT_EQ(stats.dropped_pairs, 0);
+  EXPECT_EQ(stats.fully_dropped_tokens, 0);
+  for (size_t t = 0; t < table.tokens.size(); ++t) {
+    EXPECT_EQ(table.tokens[t].experts, before.tokens[t].experts);
+  }
+}
+
+TEST(CapacityFactor, SurvivingWeightsRenormalized) {
+  RoutingTable table;
+  table.tokens.push_back(TokenRoute{{0, 1}, {0.75f, 0.25f}});
+  table.tokens.push_back(TokenRoute{{0, 1}, {0.6f, 0.4f}});
+  table.tokens.push_back(TokenRoute{{0, 2}, {0.5f, 0.5f}});
+  // 6 pairs, 3 experts, cf = 1/2 -> capacity ceil(6 * 0.5 / 3) = 1.
+  const DropStats stats = ApplyCapacityFactor(table, 3, 0.5);
+  EXPECT_EQ(stats.capacity, 1);
+  // Token 0 keeps both (first come), token 1 loses both to capacity,
+  // token 2 keeps only expert 2.
+  EXPECT_EQ(table.tokens[0].experts.size(), 2u);
+  EXPECT_TRUE(table.tokens[1].experts.empty());
+  ASSERT_EQ(table.tokens[2].experts.size(), 1u);
+  EXPECT_EQ(table.tokens[2].experts[0], 2);
+  EXPECT_FLOAT_EQ(table.tokens[2].weights[0], 1.0f);
+  EXPECT_EQ(stats.fully_dropped_tokens, 1);
+  EXPECT_EQ(stats.dropped_pairs, 3);
+}
+
+TEST(CapacityFactor, DropFraction) {
+  DropStats stats;
+  stats.dropped_pairs = 25;
+  EXPECT_DOUBLE_EQ(stats.DropFraction(100), 0.25);
+  EXPECT_DOUBLE_EQ(stats.DropFraction(0), 0.0);
+}
+
+TEST(CapacityFactor, DroppedRoutingStillExecutesFunctionally) {
+  ModelConfig model;
+  model.name = "cap-test";
+  model.layers = 1;
+  model.num_experts = 4;
+  model.topk = 2;
+  model.embedding = 16;
+  model.ffn_hidden = 24;
+  WorkloadOptions options;
+  options.seed = 23;
+  options.load_std = 0.08;  // heavy imbalance so drops actually happen
+  MoeWorkload w = MakeWorkload(model, ParallelConfig{1, 2}, 32, options);
+  const DropStats stats = ApplyCapacityFactor(w.routing, 4, 0.75);
+  ASSERT_GT(stats.dropped_pairs, 0);
+  w.plan = RoutePlan(w.placement, w.routing);
+
+  const auto dense = ReferenceMoeLayer(w);
+  const auto sharded = ShardedReferenceMoeLayer(w);
+  ASSERT_EQ(dense.size(), 2u);
+  for (size_t g = 0; g < dense.size(); ++g) {
+    EXPECT_TRUE(Tensor::AllClose(dense[g], sharded[g], 1e-4f, 1e-5f));
+  }
+}
+
+TEST(CapacityFactor, FullyDroppedTokenOutputsZero) {
+  ModelConfig model;
+  model.name = "cap-zero";
+  model.layers = 1;
+  model.num_experts = 2;
+  model.topk = 1;
+  model.embedding = 8;
+  model.ffn_hidden = 8;
+  WorkloadOptions options;
+  options.seed = 5;
+  MoeWorkload w = MakeWorkload(model, ParallelConfig{1, 1}, 4, options);
+  // Route everything to expert 0 then cap at 1 pair: tokens 1..3 drop fully.
+  for (auto& t : w.routing.tokens) {
+    t = TokenRoute{{0}, {1.0f}};
+  }
+  const DropStats stats = ApplyCapacityFactor(w.routing, 2, 0.5);
+  EXPECT_EQ(stats.fully_dropped_tokens, 3);
+  w.plan = RoutePlan(w.placement, w.routing);
+  const auto out = ReferenceMoeLayer(w);
+  for (int64_t t = 1; t < 4; ++t) {
+    for (int64_t c = 0; c < 8; ++c) {
+      EXPECT_EQ(out[0].at({t, c}), 0.0f);
+    }
+  }
+}
+
+// ---- expert-choice routing ------------------------------------------------------
+
+TEST(ExpertChoice, LoadsPerfectlyBalanced) {
+  Rng rng(9);
+  ExpertChoiceGate gate(Tensor::Randn(Shape{16, 8}, rng));
+  const Tensor tokens = Tensor::Randn(Shape{64, 16}, rng);
+  const RoutingTable table = gate.Route(tokens, 2);
+  // capacity = 64 * 2 / 8 = 16 tokens per expert, exactly.
+  const auto loads = table.ExpertLoads(8);
+  for (int64_t l : loads) {
+    EXPECT_EQ(l, 16);
+  }
+  EXPECT_DOUBLE_EQ(table.LoadStd(8), 0.0);
+}
+
+TEST(ExpertChoice, WeightsNormalizedAndDistinct) {
+  Rng rng(10);
+  ExpertChoiceGate gate(Tensor::Randn(Shape{8, 4}, rng));
+  const Tensor tokens = Tensor::Randn(Shape{32, 8}, rng);
+  const RoutingTable table = gate.Route(tokens, 2);
+  // A token may be chosen by up to all 4 experts; validate with topk = E.
+  table.Validate(4, 4);
+}
+
+TEST(ExpertChoice, SomeTokensMayGetNoExpert) {
+  // With strong skew, unpopular tokens can end up unrouted -- the documented
+  // trade-off of expert choice.
+  Rng rng(11);
+  ExpertChoiceGate gate(Tensor::Randn(Shape{8, 4}, rng, 2.0f));
+  const Tensor tokens = Tensor::Randn(Shape{64, 8}, rng, 2.0f);
+  const RoutingTable table = gate.Route(tokens, 1);
+  int64_t unrouted = 0;
+  int64_t pairs = 0;
+  for (const auto& t : table.tokens) {
+    unrouted += t.experts.empty() ? 1 : 0;
+    pairs += static_cast<int64_t>(t.experts.size());
+  }
+  EXPECT_EQ(pairs, 64);  // every expert filled its quota
+  EXPECT_GT(unrouted, 0);
+}
+
+}  // namespace
+}  // namespace comet

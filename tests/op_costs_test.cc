@@ -1,0 +1,80 @@
+// Unit tests of the shared operator cost model (exec/op_costs): the terms
+// every executor composes from must scale sensibly, because Figure 9/11
+// comparisons only hold if identical work is priced identically.
+#include <gtest/gtest.h>
+
+#include "exec/op_costs.h"
+
+namespace comet {
+namespace {
+
+class OpCostTest : public ::testing::Test {
+ protected:
+  const ClusterSpec cluster_ = H800Cluster(8);
+  const OpCostModel costs_{cluster_};
+};
+
+TEST_F(OpCostTest, GatingScalesWithTokensAndExperts) {
+  const double base = costs_.GatingUs(4096, 4096, 8);
+  EXPECT_GT(base, 0.0);
+  EXPECT_GT(costs_.GatingUs(8192, 4096, 8), base);
+  EXPECT_GT(costs_.GatingUs(4096, 4096, 64), base);
+}
+
+TEST_F(OpCostTest, ActivationLinearInElements) {
+  const double one = costs_.ActivationUs(1024, 1024);
+  const double four = costs_.ActivationUs(2048, 2048);
+  EXPECT_NEAR(four, 4.0 * one, 4.0 * one * 1e-9);
+}
+
+TEST_F(OpCostTest, PermuteCostsMoreThanActivation) {
+  // Gather + scatter through HBM vs a single read-write pass.
+  EXPECT_GT(costs_.PermuteUs(4096, 4096), costs_.ActivationUs(4096, 4096));
+}
+
+TEST_F(OpCostTest, CombineReduceScalesWithTopk) {
+  // `rows` is the CONTRIBUTION row count (M * topk): for a fixed token
+  // count, larger topk means more rows reduced into the same outputs.
+  const int64_t tokens = 8192;
+  const double top2 = costs_.CombineReduceUs(tokens * 2, 4096, 2);
+  const double top8 = costs_.CombineReduceUs(tokens * 8, 4096, 8);
+  EXPECT_GT(top8, top2);
+}
+
+TEST_F(OpCostTest, AttentionGrowsSuperlinearlyInSequence) {
+  // The score/value term is quadratic in tokens: doubling the sequence must
+  // more than double the time.
+  const double t1 = costs_.AttentionUs(2048, 4096, 1);
+  const double t2 = costs_.AttentionUs(4096, 4096, 1);
+  EXPECT_GT(t2, 2.0 * t1);
+}
+
+TEST_F(OpCostTest, AttentionTpAddsAllReduceButCutsGemms) {
+  // With TP the projections shard (faster) but an all-reduce appears; both
+  // configurations must be positive and differ.
+  const double tp1 = costs_.AttentionUs(4096, 4096, 1);
+  const double tp8 = costs_.AttentionUs(4096, 4096, 8);
+  EXPECT_GT(tp1, 0.0);
+  EXPECT_GT(tp8, 0.0);
+  EXPECT_NE(tp1, tp8);
+}
+
+TEST_F(OpCostTest, LaunchMatchesGpuSpec) {
+  EXPECT_DOUBLE_EQ(costs_.LaunchUs(), cluster_.gpu.kernel_launch_us);
+}
+
+TEST_F(OpCostTest, BytesPerElementDefaultsToBf16) {
+  EXPECT_DOUBLE_EQ(costs_.bytes_per_element(), 2.0);
+  const OpCostModel fp32(cluster_, 4.0);
+  EXPECT_DOUBLE_EQ(fp32.bytes_per_element(), 4.0);
+}
+
+TEST_F(OpCostTest, L20SlowerThanH800Everywhere) {
+  const OpCostModel l20{L20Cluster(8)};
+  EXPECT_GT(l20.GatingUs(8192, 4096, 8), costs_.GatingUs(8192, 4096, 8));
+  EXPECT_GT(l20.ActivationUs(8192, 4096), costs_.ActivationUs(8192, 4096));
+  EXPECT_GT(l20.AttentionUs(8192, 4096, 1), costs_.AttentionUs(8192, 4096, 1));
+}
+
+}  // namespace
+}  // namespace comet

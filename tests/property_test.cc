@@ -1,0 +1,265 @@
+// Property-based tests: parameterized sweeps over the configuration space
+// asserting the invariants the system's correctness rests on.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "baselines/common.h"
+#include "baselines/fastermoe.h"
+#include "baselines/megatron.h"
+#include "baselines/tutel.h"
+#include "core/comet_executor.h"
+#include "moe/reference_layer.h"
+#include "sim/slot_pool.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace comet {
+namespace {
+
+// =======================================================================
+// Property: COMET's functional execution is bit-exact vs the sharded
+// reference for EVERY parallelism / topk / imbalance combination.
+// =======================================================================
+
+using ExactnessParam = std::tuple<int /*tp*/, int /*ep*/, int64_t /*topk*/,
+                                  double /*load_std*/, bool /*reschedule*/>;
+
+class CometExactness : public ::testing::TestWithParam<ExactnessParam> {};
+
+TEST_P(CometExactness, BitExactVsShardedReference) {
+  const auto [tp, ep, topk, load_std, reschedule] = GetParam();
+  ModelConfig model;
+  model.name = "prop";
+  model.layers = 1;
+  model.num_experts = 8;
+  model.topk = topk;
+  model.embedding = 24;
+  model.ffn_hidden = 48;
+  WorkloadOptions options;
+  options.seed = 1000 + static_cast<uint64_t>(tp * 100 + ep * 10 + topk);
+  options.load_std = load_std;
+  const MoeWorkload w =
+      MakeWorkload(model, ParallelConfig{tp, ep}, 48, options);
+
+  const auto reference = ShardedReferenceMoeLayer(w);
+  CometOptions comet_options;
+  comet_options.reschedule = reschedule;
+  comet_options.tile_m = 8;
+  comet_options.tile_n = 8;
+  CometExecutor comet{comet_options};
+  const auto run =
+      comet.Run(w, H800Cluster(tp * ep), ExecMode::kFunctional);
+  ASSERT_EQ(run.outputs.size(), reference.size());
+  for (size_t g = 0; g < reference.size(); ++g) {
+    EXPECT_EQ(Tensor::MaxAbsDiff(run.outputs[g], reference[g]), 0.0f)
+        << "group " << g;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParallelismSweep, CometExactness,
+    ::testing::Values(
+        ExactnessParam{1, 1, 2, 0.0, true}, ExactnessParam{1, 2, 2, 0.0, true},
+        ExactnessParam{1, 4, 2, 0.03, true},
+        ExactnessParam{1, 8, 2, 0.05, true},
+        ExactnessParam{2, 1, 2, 0.0, true}, ExactnessParam{4, 1, 2, 0.0, true},
+        ExactnessParam{2, 2, 2, 0.03, true},
+        ExactnessParam{2, 4, 4, 0.0, true},
+        ExactnessParam{4, 2, 4, 0.03, true},
+        ExactnessParam{1, 4, 1, 0.0, true},
+        ExactnessParam{2, 2, 8, 0.0, true},
+        ExactnessParam{1, 4, 2, 0.03, false},
+        ExactnessParam{2, 2, 4, 0.0, false},
+        ExactnessParam{4, 2, 2, 0.05, false}));
+
+// =======================================================================
+// Property: the baselines' canonical functional path equals the reference
+// for every parallelism.
+// =======================================================================
+
+using CanonicalParam = std::tuple<int, int, int64_t>;
+
+class CanonicalExactness : public ::testing::TestWithParam<CanonicalParam> {};
+
+TEST_P(CanonicalExactness, MatchesShardedReference) {
+  const auto [tp, ep, topk] = GetParam();
+  ModelConfig model;
+  model.name = "prop";
+  model.layers = 1;
+  model.num_experts = 8;
+  model.topk = topk;
+  model.embedding = 24;
+  model.ffn_hidden = 48;
+  WorkloadOptions options;
+  options.seed = 7;
+  options.load_std = 0.02;
+  const MoeWorkload w =
+      MakeWorkload(model, ParallelConfig{tp, ep}, 48, options);
+  const auto canonical = CanonicalFunctionalMoe(w);
+  const auto reference = ShardedReferenceMoeLayer(w);
+  ASSERT_EQ(canonical.size(), reference.size());
+  for (size_t g = 0; g < canonical.size(); ++g) {
+    EXPECT_EQ(Tensor::MaxAbsDiff(canonical[g], reference[g]), 0.0f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(ParallelismSweep, CanonicalExactness,
+                         ::testing::Values(CanonicalParam{1, 4, 2},
+                                           CanonicalParam{2, 2, 2},
+                                           CanonicalParam{4, 2, 4},
+                                           CanonicalParam{8, 1, 2},
+                                           CanonicalParam{1, 8, 4}));
+
+// =======================================================================
+// Property: slot-pool schedules respect resource and readiness invariants
+// under random task sets.
+// =======================================================================
+
+class SlotPoolProperty : public ::testing::TestWithParam<int /*slots*/> {};
+
+TEST_P(SlotPoolProperty, SchedulesAreFeasible) {
+  const int slots = GetParam();
+  Rng rng(77 + static_cast<uint64_t>(slots));
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<SlotTask> tasks;
+    const int n = static_cast<int>(rng.UniformInt(1, 60));
+    for (int i = 0; i < n; ++i) {
+      tasks.push_back(SlotTask{rng.Uniform(0.0, 50.0), rng.Uniform(0.1, 5.0)});
+    }
+    for (auto* schedule_fn : {&ScheduleInOrder, &ScheduleEarliestReady}) {
+      const SlotSchedule s = (*schedule_fn)(tasks, slots, 0.0);
+      ASSERT_EQ(s.tasks.size(), tasks.size());
+      // (1) No task starts before it is ready.
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        EXPECT_GE(s.tasks[i].start_us, tasks[i].ready_us - 1e-9);
+        EXPECT_NEAR(s.tasks[i].end_us - s.tasks[i].start_us,
+                    tasks[i].duration_us, 1e-9);
+      }
+      // (2) At no time do more than `slots` tasks run concurrently: check
+      // at every start point.
+      for (size_t i = 0; i < tasks.size(); ++i) {
+        int running = 0;
+        const double t = s.tasks[i].start_us;
+        for (size_t j = 0; j < tasks.size(); ++j) {
+          if (s.tasks[j].start_us <= t && t < s.tasks[j].end_us) {
+            ++running;
+          }
+        }
+        EXPECT_LE(running, slots);
+      }
+      // (3) Makespan is the max end time.
+      double max_end = 0.0;
+      for (const auto& st : s.tasks) {
+        max_end = std::max(max_end, st.end_us);
+      }
+      EXPECT_DOUBLE_EQ(s.makespan_us, max_end);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SlotCounts, SlotPoolProperty,
+                         ::testing::Values(1, 2, 7, 32));
+
+// =======================================================================
+// Property: work conservation -- the slot-pool makespan is bounded below by
+// both the critical path and total-work/slots, and above by the 2x greedy
+// bound (list scheduling).
+// =======================================================================
+
+TEST(SlotPoolBounds, GreedyWithinClassicBounds) {
+  Rng rng(123);
+  for (int trial = 0; trial < 50; ++trial) {
+    const int slots = static_cast<int>(rng.UniformInt(1, 16));
+    std::vector<SlotTask> tasks;
+    const int n = static_cast<int>(rng.UniformInt(1, 100));
+    double total = 0.0;
+    double longest = 0.0;
+    for (int i = 0; i < n; ++i) {
+      const double d = rng.Uniform(0.1, 3.0);
+      tasks.push_back(SlotTask{0.0, d});
+      total += d;
+      longest = std::max(longest, d);
+    }
+    const SlotSchedule s = ScheduleInOrder(tasks, slots);
+    EXPECT_GE(s.makespan_us + 1e-9, total / slots);
+    EXPECT_GE(s.makespan_us + 1e-9, longest);
+    EXPECT_LE(s.makespan_us, total / slots + longest + 1e-9);
+  }
+}
+
+// =======================================================================
+// Property: the load-vector generator hits its std target across sizes.
+// =======================================================================
+
+using LoadParam = std::tuple<size_t /*n*/, double /*std*/>;
+
+class LoadVectorProperty : public ::testing::TestWithParam<LoadParam> {};
+
+TEST_P(LoadVectorProperty, SumsToOneAndTracksStd) {
+  const auto [n, target] = GetParam();
+  Rng rng(5 + n);
+  const auto v = rng.LoadVectorWithStd(n, target);
+  ASSERT_EQ(v.size(), n);
+  double sum = 0.0;
+  for (double p : v) {
+    EXPECT_GE(p, 0.0);
+    sum += p;
+  }
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  if (target > 0.0) {
+    EXPECT_NEAR(PopulationStddev(v), target, target * 0.3);
+  } else {
+    EXPECT_DOUBLE_EQ(PopulationStddev(v), 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LoadVectorProperty,
+                         ::testing::Values(LoadParam{8, 0.0},
+                                           LoadParam{8, 0.032},
+                                           LoadParam{16, 0.02},
+                                           LoadParam{64, 0.005},
+                                           LoadParam{64, 0.01}));
+
+// =======================================================================
+// Property: timing duration is monotone in token count for every executor.
+// =======================================================================
+
+class MonotoneDuration : public ::testing::TestWithParam<int /*which*/> {};
+
+TEST_P(MonotoneDuration, MoreTokensNeverFaster) {
+  ModelConfig model;
+  model.name = "prop";
+  model.layers = 1;
+  model.num_experts = 8;
+  model.topk = 2;
+  model.embedding = 512;
+  model.ffn_hidden = 1024;
+  const auto cluster = H800Cluster(4);
+
+  MegatronExecutor cutlass = MakeMegatronCutlass();
+  MegatronExecutor te = MakeMegatronTe();
+  FasterMoeExecutor fastermoe;
+  TutelExecutor tutel;
+  CometExecutor comet;
+  MoeLayerExecutor* executors[] = {&cutlass, &te, &fastermoe, &tutel, &comet};
+  MoeLayerExecutor* exec = executors[GetParam()];
+
+  double prev = 0.0;
+  for (int64_t m : {512, 2048, 8192}) {
+    WorkloadOptions options;
+    options.seed = 4;
+    options.materialize = false;
+    const MoeWorkload w =
+        MakeWorkload(model, ParallelConfig{1, 4}, m, options);
+    const double us = exec->Run(w, cluster, ExecMode::kTimedOnly).duration_us;
+    EXPECT_GE(us, prev) << exec->name() << " at M=" << m;
+    prev = us;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllExecutors, MonotoneDuration,
+                         ::testing::Range(0, 5));
+
+}  // namespace
+}  // namespace comet

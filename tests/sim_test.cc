@@ -1,0 +1,371 @@
+// Unit tests for the simulator substrate: event queue, timeline, slot pools,
+// bandwidth queue, fluid network and the host/stream executor.
+#include <gtest/gtest.h>
+
+#include "sim/bandwidth_queue.h"
+#include "sim/event_queue.h"
+#include "sim/network.h"
+#include "sim/slot_pool.h"
+#include "sim/stream_sim.h"
+#include "sim/timeline.h"
+#include "sim/trace_export.h"
+#include "util/check.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace comet {
+namespace {
+
+// ---- event queue -----------------------------------------------------------
+
+TEST(EventQueue, FiresInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.Schedule(3.0, [&] { order.push_back(3); });
+  q.Schedule(1.0, [&] { order.push_back(1); });
+  q.Schedule(2.0, [&] { order.push_back(2); });
+  EXPECT_EQ(q.RunAll(), 3.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFifo) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    q.Schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  q.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CallbacksMayScheduleMore) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(1.0, [&] {
+    ++fired;
+    q.ScheduleAfter(1.0, [&] { ++fired; });
+  });
+  EXPECT_EQ(q.RunAll(), 2.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, RunUntilLeavesLaterEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.Schedule(1.0, [&] { ++fired; });
+  q.Schedule(5.0, [&] { ++fired; });
+  q.RunUntil(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(q.pending(), 1u);
+  EXPECT_EQ(q.now(), 2.0);
+}
+
+TEST(EventQueue, RejectsPastScheduling) {
+  EventQueue q;
+  q.Schedule(2.0, [] {});
+  q.RunAll();
+  EXPECT_THROW(q.Schedule(1.0, [] {}), CheckError);
+}
+
+// ---- timeline ---------------------------------------------------------------
+
+TEST(Timeline, SpanAndBusy) {
+  Timeline tl;
+  tl.Add("a", OpCategory::kLayer0Comp, 0, 0.0, 10.0);
+  tl.Add("b", OpCategory::kLayer0Comm, 1, 5.0, 15.0);
+  EXPECT_DOUBLE_EQ(tl.Span(), 15.0);
+  EXPECT_DOUBLE_EQ(tl.CategoryBusy(OpCategory::kLayer0Comp), 10.0);
+  EXPECT_DOUBLE_EQ(tl.CategoryBusy(OpCategory::kLayer0Comm), 10.0);
+}
+
+TEST(Timeline, UnionMergesOverlaps) {
+  Timeline tl;
+  tl.Add("a", OpCategory::kLayer0Comp, 0, 0.0, 10.0);
+  tl.Add("b", OpCategory::kLayer0Comp, 1, 5.0, 12.0);
+  tl.Add("c", OpCategory::kLayer0Comp, 2, 20.0, 22.0);
+  EXPECT_DOUBLE_EQ(tl.UnionTime(OpCategory::kLayer0Comp), 14.0);
+}
+
+TEST(Timeline, CommCompOverlapAndHiddenFraction) {
+  Timeline tl;
+  tl.Add("comm", OpCategory::kLayer0Comm, 1, 0.0, 10.0);
+  tl.Add("comp", OpCategory::kLayer0Comp, 0, 4.0, 12.0);
+  EXPECT_DOUBLE_EQ(tl.CommCompOverlap(), 6.0);
+  EXPECT_DOUBLE_EQ(tl.HiddenCommFraction(), 0.6);
+}
+
+TEST(Timeline, NoCommMeansZeroHidden) {
+  Timeline tl;
+  tl.Add("comp", OpCategory::kLayer0Comp, 0, 0.0, 5.0);
+  EXPECT_DOUBLE_EQ(tl.HiddenCommFraction(), 0.0);
+}
+
+TEST(Timeline, MergeWithOffset) {
+  Timeline a;
+  a.Add("x", OpCategory::kGating, 0, 0.0, 1.0);
+  Timeline b;
+  b.Add("y", OpCategory::kGating, 0, 0.0, 2.0);
+  a.Merge(b, 10.0);
+  EXPECT_DOUBLE_EQ(a.SpanEnd(), 12.0);
+  EXPECT_EQ(a.intervals().size(), 2u);
+}
+
+TEST(Timeline, RejectsNegativeDuration) {
+  Timeline tl;
+  EXPECT_THROW(tl.Add("bad", OpCategory::kOther, 0, 5.0, 4.0), CheckError);
+}
+
+// ---- slot pool ---------------------------------------------------------------
+
+TEST(SlotPool, SingleSlotSerializes) {
+  const std::vector<SlotTask> tasks = {{0.0, 2.0}, {0.0, 3.0}, {0.0, 1.0}};
+  const SlotSchedule s = ScheduleInOrder(tasks, 1);
+  EXPECT_DOUBLE_EQ(s.tasks[0].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.tasks[1].start_us, 2.0);
+  EXPECT_DOUBLE_EQ(s.tasks[2].start_us, 5.0);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 6.0);
+}
+
+TEST(SlotPool, ParallelSlotsOverlap) {
+  const std::vector<SlotTask> tasks(4, SlotTask{0.0, 2.0});
+  const SlotSchedule s = ScheduleInOrder(tasks, 2);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 4.0);
+}
+
+TEST(SlotPool, InOrderIssueStallsOnNotReadyTask) {
+  // Task 0 is not ready until t=10; with in-order issue it blocks the single
+  // slot even though task 1 is ready immediately.
+  const std::vector<SlotTask> tasks = {{10.0, 1.0}, {0.0, 1.0}};
+  const SlotSchedule s = ScheduleInOrder(tasks, 1);
+  EXPECT_DOUBLE_EQ(s.tasks[0].start_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.tasks[1].start_us, 11.0);
+  EXPECT_GT(s.stall_us, 0.0);
+}
+
+TEST(SlotPool, EarliestReadyReordersAroundStall) {
+  const std::vector<SlotTask> tasks = {{10.0, 1.0}, {0.0, 1.0}};
+  const SlotSchedule s = ScheduleEarliestReady(tasks, 1);
+  EXPECT_DOUBLE_EQ(s.tasks[1].start_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.tasks[0].start_us, 10.0);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 11.0);
+}
+
+TEST(SlotPool, EmptyTaskList) {
+  const SlotSchedule s = ScheduleInOrder({}, 4, 7.0);
+  EXPECT_DOUBLE_EQ(s.makespan_us, 7.0);
+  EXPECT_TRUE(s.tasks.empty());
+}
+
+TEST(SlotPool, RespectsStartTime) {
+  const std::vector<SlotTask> tasks = {{0.0, 1.0}};
+  const SlotSchedule s = ScheduleInOrder(tasks, 1, 5.0);
+  EXPECT_DOUBLE_EQ(s.tasks[0].start_us, 5.0);
+}
+
+TEST(SlotPool, RejectsZeroSlots) {
+  EXPECT_THROW(ScheduleInOrder({{0.0, 1.0}}, 0), CheckError);
+}
+
+// ---- bandwidth queue ---------------------------------------------------------
+
+TEST(BandwidthQueue, SerializesBytesButPipelinesLatency) {
+  BandwidthQueue q(/*bw=*/100.0, /*latency=*/1.0);
+  const auto r = q.Schedule({{0.0, 1000.0}, {0.0, 500.0}});
+  EXPECT_DOUBLE_EQ(r[0].end_us, 11.0);   // 1000/100 drained, +1 in flight
+  EXPECT_DOUBLE_EQ(r[1].start_us, 10.0);  // injects as soon as bytes drain
+  EXPECT_DOUBLE_EQ(r[1].end_us, 16.0);
+}
+
+TEST(BandwidthQueue, LatencyPaidOncePerBurstTail) {
+  // 32 small messages: total time = bytes/bw + ONE latency, not 32.
+  BandwidthQueue q(100.0, 1.0);
+  std::vector<TransferJob> jobs(32, TransferJob{0.0, 100.0});
+  EXPECT_DOUBLE_EQ(q.Makespan(jobs), 32.0 * 1.0 + 1.0);
+}
+
+TEST(BandwidthQueue, WaitsForReadyTime) {
+  BandwidthQueue q(100.0, 0.0);
+  const auto r = q.Schedule({{50.0, 100.0}});
+  EXPECT_DOUBLE_EQ(r[0].start_us, 50.0);
+  EXPECT_DOUBLE_EQ(r[0].end_us, 51.0);
+}
+
+TEST(BandwidthQueue, MakespanOfEmpty) {
+  BandwidthQueue q(100.0, 1.0);
+  EXPECT_DOUBLE_EQ(q.Makespan({}, 3.0), 3.0);
+}
+
+// ---- fluid network -------------------------------------------------------------
+
+TEST(FluidNetwork, SingleFlowAtFullRate) {
+  FluidNetwork net(2, 100.0, 100.0, 0.5);
+  const auto r = net.Run({{0, 1, 1000.0, 0.0}});
+  ASSERT_EQ(r.size(), 1u);
+  EXPECT_NEAR(r[0].end_us, 10.5, 1e-9);
+}
+
+TEST(FluidNetwork, EgressSharedBetweenFlows) {
+  // Two flows from port 0: each gets half the egress.
+  FluidNetwork net(3, 100.0, 100.0, 0.0);
+  const auto r = net.Run({{0, 1, 1000.0, 0.0}, {0, 2, 1000.0, 0.0}});
+  EXPECT_NEAR(r[0].end_us, 20.0, 1e-6);
+  EXPECT_NEAR(r[1].end_us, 20.0, 1e-6);
+}
+
+TEST(FluidNetwork, IngressBottleneck) {
+  // Two sources into one destination: ingress caps the sum.
+  FluidNetwork net(3, 100.0, 100.0, 0.0);
+  const auto r = net.Run({{0, 2, 1000.0, 0.0}, {1, 2, 1000.0, 0.0}});
+  EXPECT_NEAR(r[0].end_us, 20.0, 1e-6);
+}
+
+TEST(FluidNetwork, ShortFlowFreesBandwidth) {
+  // After the short flow finishes, the long one speeds up.
+  FluidNetwork net(3, 100.0, 100.0, 0.0);
+  const auto r = net.Run({{0, 1, 500.0, 0.0}, {0, 2, 1500.0, 0.0}});
+  EXPECT_NEAR(r[0].end_us, 10.0, 1e-6);   // 500 at 50/us
+  EXPECT_NEAR(r[1].end_us, 20.0, 1e-6);   // 500 at 50 + 1000 at 100
+}
+
+TEST(FluidNetwork, UniformAllToAllSymmetric) {
+  const int world = 4;
+  FluidNetwork net(world, 100.0, 100.0, 0.0);
+  std::vector<Flow> flows;
+  for (int i = 0; i < world; ++i) {
+    for (int j = 0; j < world; ++j) {
+      if (i != j) {
+        flows.push_back(Flow{i, j, 300.0, 0.0});
+      }
+    }
+  }
+  const auto r = net.Run(flows);
+  // Each port sends 3 x 300 bytes at 100 B/us egress -> 9 us for everyone.
+  for (const auto& c : r) {
+    EXPECT_NEAR(c.end_us, 9.0, 1e-6);
+  }
+}
+
+TEST(FluidNetwork, LateFlowStartsAtReadyTime) {
+  FluidNetwork net(2, 100.0, 100.0, 0.0);
+  const auto r = net.Run({{0, 1, 100.0, 42.0}});
+  EXPECT_NEAR(r[0].end_us, 43.0, 1e-9);
+}
+
+TEST(FluidNetwork, RejectsSelfFlow) {
+  FluidNetwork net(2, 100.0, 100.0, 0.0);
+  EXPECT_THROW(net.Run({{1, 1, 10.0, 0.0}}), CheckError);
+}
+
+// ---- stream sim -----------------------------------------------------------------
+
+TEST(StreamSim, HostSerializesLaunches) {
+  StreamSim sim(/*launch=*/2.0);
+  const int s = sim.AddStream("s");
+  const KernelId a = sim.Launch(s, "a", OpCategory::kOther, 10.0);
+  const KernelId b = sim.Launch(s, "b", OpCategory::kOther, 10.0);
+  EXPECT_DOUBLE_EQ(sim.KernelStart(a), 2.0);
+  // b starts when a finishes (same stream), not when the host issues it.
+  EXPECT_DOUBLE_EQ(sim.KernelStart(b), 12.0);
+  EXPECT_DOUBLE_EQ(sim.Finish(), 22.0);
+}
+
+TEST(StreamSim, StreamsOverlap) {
+  StreamSim sim(0.0);
+  const int s0 = sim.AddStream("comp");
+  const int s1 = sim.AddStream("comm");
+  const KernelId a = sim.Launch(s0, "a", OpCategory::kOther, 10.0);
+  const KernelId b = sim.Launch(s1, "b", OpCategory::kOther, 10.0);
+  EXPECT_DOUBLE_EQ(sim.KernelStart(a), 0.0);
+  EXPECT_DOUBLE_EQ(sim.KernelStart(b), 0.0);
+  EXPECT_DOUBLE_EQ(sim.Finish(), 10.0);
+}
+
+TEST(StreamSim, DependenciesCrossStreams) {
+  StreamSim sim(0.0);
+  const int s0 = sim.AddStream("comp");
+  const int s1 = sim.AddStream("comm");
+  const KernelId a = sim.Launch(s0, "a", OpCategory::kOther, 10.0);
+  const KernelId b = sim.Launch(s1, "b", OpCategory::kOther, 5.0, {a});
+  EXPECT_DOUBLE_EQ(sim.KernelStart(b), 10.0);
+  EXPECT_DOUBLE_EQ(sim.Finish(), 15.0);
+}
+
+TEST(StreamSim, HostWorkDelaysLaterLaunches) {
+  StreamSim sim(1.0);
+  const int s = sim.AddStream("s");
+  sim.HostWork("api", 7.0);
+  const KernelId a = sim.Launch(s, "a", OpCategory::kOther, 1.0);
+  EXPECT_DOUBLE_EQ(sim.KernelStart(a), 8.0);
+}
+
+TEST(StreamSim, LaunchOverheadRecordedAsHost) {
+  StreamSim sim(2.0);
+  const int s = sim.AddStream("s");
+  sim.Launch(s, "a", OpCategory::kOther, 1.0);
+  EXPECT_DOUBLE_EQ(sim.timeline().CategoryBusy(OpCategory::kHost), 2.0);
+}
+
+TEST(StreamSim, InvalidDependencyRejected) {
+  StreamSim sim(0.0);
+  const int s = sim.AddStream("s");
+  EXPECT_THROW(sim.Launch(s, "a", OpCategory::kOther, 1.0, {5}), CheckError);
+}
+
+// ---- chrome trace export -----------------------------------------------------
+
+TEST(TraceExport, EmitsCompleteEventsWithMetadata) {
+  Timeline tl;
+  tl.Add("gemm-tile", OpCategory::kLayer0Comp, 0, 1.5, 4.0);
+  tl.Add("token-recv", OpCategory::kLayer0Comm, 1, 0.0, 2.5);
+  const std::string json = ToChromeTraceJson(tl, "moe-layer");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"gemm-tile\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"token-recv\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":2.5"), std::string::npos);
+  EXPECT_NE(json.find("moe-layer"), std::string::npos);
+}
+
+TEST(TraceExport, EmptyTimelineIsValidEnvelope) {
+  const std::string json = ToChromeTraceJson(Timeline{});
+  EXPECT_EQ(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity without a parser).
+  int braces = 0, brackets = 0;
+  for (char c : json) {
+    braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+    brackets += c == '[' ? 1 : (c == ']' ? -1 : 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceExport, EscapesLabelCharacters) {
+  Timeline tl;
+  tl.Add("bad\"label\\with\nnoise", OpCategory::kOther, 0, 0.0, 1.0);
+  const std::string json = ToChromeTraceJson(tl);
+  EXPECT_NE(json.find("bad\\\"label\\\\with\\nnoise"), std::string::npos);
+}
+
+TEST(TraceExport, WritesFileRoundTrip) {
+  Timeline tl;
+  tl.Add("op", OpCategory::kLayer1Comm, 2, 0.0, 3.0);
+  const std::string path = "trace_export_test.json";
+  WriteChromeTrace(tl, path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string content((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, ToChromeTraceJson(tl));
+  std::remove(path.c_str());
+}
+
+TEST(TraceExport, RejectsUnwritablePath) {
+  EXPECT_THROW(WriteChromeTrace(Timeline{}, "/nonexistent-dir/x.json"),
+               CheckError);
+}
+
+}  // namespace
+}  // namespace comet

@@ -1,0 +1,284 @@
+// Unit tests for the utility substrate: checks, RNG, statistics, tables,
+// metadata store and string helpers.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "util/check.h"
+#include "util/metadata_store.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/string_util.h"
+#include "util/table.h"
+#include "util/units.h"
+
+namespace comet {
+namespace {
+
+// ---- check ----------------------------------------------------------------
+
+TEST(Check, PassingCheckDoesNotThrow) {
+  EXPECT_NO_THROW(COMET_CHECK(1 + 1 == 2) << "math works");
+}
+
+TEST(Check, FailingCheckThrowsWithContext) {
+  try {
+    COMET_CHECK_EQ(2, 3) << "custom context";
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("custom context"), std::string::npos);
+    EXPECT_NE(what.find("util_test.cc"), std::string::npos);
+  }
+}
+
+TEST(Check, ComparisonMacros) {
+  EXPECT_THROW(COMET_CHECK_LT(3, 3), CheckError);
+  EXPECT_NO_THROW(COMET_CHECK_LE(3, 3));
+  EXPECT_THROW(COMET_CHECK_GT(2, 3), CheckError);
+  EXPECT_NO_THROW(COMET_CHECK_GE(3, 3));
+  EXPECT_THROW(COMET_CHECK_NE(5, 5), CheckError);
+}
+
+// ---- rng -------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextU64() == b.NextU64()) {
+      ++equal;
+    }
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(4);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t v = rng.UniformInt(2, 5);
+    EXPECT_GE(v, 2);
+    EXPECT_LE(v, 5);
+    saw_lo |= (v == 2);
+    saw_hi |= (v == 5);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(5);
+  OnlineStats stats;
+  for (int i = 0; i < 20000; ++i) {
+    stats.Add(rng.Normal(3.0, 2.0));
+  }
+  EXPECT_NEAR(stats.mean(), 3.0, 0.1);
+  EXPECT_NEAR(stats.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, CategoricalFollowsWeights) {
+  Rng rng(6);
+  const std::vector<double> weights = {1.0, 3.0};
+  int count1 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Categorical(weights) == 1) {
+      ++count1;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(count1) / n, 0.75, 0.02);
+}
+
+TEST(Rng, CategoricalRejectsAllZero) {
+  Rng rng(7);
+  EXPECT_THROW(rng.Categorical({0.0, 0.0}), CheckError);
+}
+
+TEST(Rng, LoadVectorZeroStdIsUniform) {
+  Rng rng(8);
+  const auto v = rng.LoadVectorWithStd(8, 0.0);
+  for (double p : v) {
+    EXPECT_DOUBLE_EQ(p, 1.0 / 8.0);
+  }
+}
+
+TEST(Rng, LoadVectorHitsTargetStd) {
+  Rng rng(9);
+  for (double target : {0.01, 0.032, 0.05}) {
+    const auto v = rng.LoadVectorWithStd(8, target);
+    double sum = 0.0;
+    for (double p : v) {
+      EXPECT_GE(p, 0.0);
+      sum += p;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    EXPECT_NEAR(PopulationStddev(v), target, target * 0.25 + 1e-9);
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(10);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto copy = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+// ---- stats -----------------------------------------------------------------
+
+TEST(OnlineStats, BasicMoments) {
+  OnlineStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.Add(x);
+  }
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.stddev(), 2.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+  EXPECT_EQ(s.count(), 8u);
+}
+
+TEST(SampleSet, Percentiles) {
+  SampleSet s;
+  for (int i = 1; i <= 100; ++i) {
+    s.Add(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(s.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 100.0);
+  EXPECT_NEAR(s.Median(), 50.5, 1e-9);
+  EXPECT_NEAR(s.Percentile(90), 90.1, 0.2);
+}
+
+TEST(SampleSet, PercentileOfSingleton) {
+  SampleSet s;
+  s.Add(7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
+  EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+}
+
+TEST(Stats, GeometricMean) {
+  EXPECT_NEAR(GeometricMean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(GeometricMean({1.5}), 1.5, 1e-12);
+  EXPECT_THROW(GeometricMean({1.0, -1.0}), CheckError);
+}
+
+TEST(Stats, PopulationStddev) {
+  EXPECT_DOUBLE_EQ(PopulationStddev({1.0, 1.0, 1.0}), 0.0);
+  EXPECT_NEAR(PopulationStddev({1.0, 3.0}), 1.0, 1e-12);
+}
+
+// ---- table -----------------------------------------------------------------
+
+TEST(AsciiTable, RendersAlignedColumns) {
+  AsciiTable t({"name", "value"});
+  t.AddRow({"alpha", "1"});
+  t.AddRow({"b", "22"});
+  const std::string rendered = t.Render();
+  EXPECT_NE(rendered.find("name  | value"), std::string::npos);
+  EXPECT_NE(rendered.find("alpha | 1"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(AsciiTable, PadsShortRows) {
+  AsciiTable t({"a", "b", "c"});
+  t.AddRow({"only"});
+  EXPECT_NO_THROW(t.Render());
+}
+
+TEST(Format, Helpers) {
+  EXPECT_EQ(FormatDouble(1.23456, 2), "1.23");
+  EXPECT_EQ(FormatUsAsMs(1234.0), "1.234");
+  EXPECT_EQ(FormatSpeedup(1.959), "1.96x");
+  EXPECT_EQ(FormatPercent(0.865), "86.5%");
+}
+
+// ---- units -----------------------------------------------------------------
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(MsToUs(1.5), 1500.0);
+  EXPECT_DOUBLE_EQ(UsToMs(2500.0), 2.5);
+  EXPECT_DOUBLE_EQ(GBps(1.0), 1000.0);         // 1 GB/s = 1000 B/us
+  EXPECT_DOUBLE_EQ(TFlops(1.0), 1e6);          // 1 TFLOP/s = 1e6 flop/us
+  EXPECT_DOUBLE_EQ(TransferUs(2000.0, 1000.0), 2.0);
+  EXPECT_DOUBLE_EQ(MiB(1.0), 1048576.0);
+}
+
+// ---- metadata store --------------------------------------------------------
+
+class MetadataStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = std::filesystem::temp_directory_path() /
+            ("comet_meta_test_" + std::to_string(::getpid()) + ".txt");
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+  std::filesystem::path path_;
+};
+
+TEST_F(MetadataStoreTest, RoundTrip) {
+  MetadataStore store;
+  store.Put("cluster|model|layer0", "26");
+  store.PutInt("nc", 46);
+  store.PutDouble("duration", 123.456);
+  store.Save(path_.string());
+
+  const MetadataStore loaded = MetadataStore::Load(path_.string());
+  EXPECT_EQ(loaded.Get("cluster|model|layer0"), "26");
+  EXPECT_EQ(loaded.GetInt("nc"), 46);
+  EXPECT_NEAR(*loaded.GetDouble("duration"), 123.456, 1e-9);
+  EXPECT_EQ(loaded.size(), 3u);
+}
+
+TEST_F(MetadataStoreTest, MissingFileYieldsEmptyStore) {
+  const MetadataStore loaded = MetadataStore::Load("/nonexistent/meta.txt");
+  EXPECT_EQ(loaded.size(), 0u);
+  EXPECT_FALSE(loaded.Get("anything").has_value());
+}
+
+TEST_F(MetadataStoreTest, RejectsKeysWithEquals) {
+  MetadataStore store;
+  EXPECT_THROW(store.Put("bad=key", "v"), CheckError);
+}
+
+// ---- string utils ----------------------------------------------------------
+
+TEST(StringUtil, SplitAndJoin) {
+  const auto parts = Split("a|b||c", '|');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "");
+  EXPECT_EQ(Join({"x", "y", "z"}, ", "), "x, y, z");
+}
+
+TEST(StringUtil, PrefixSuffixTrim) {
+  EXPECT_TRUE(StartsWith("comet-core", "comet"));
+  EXPECT_FALSE(StartsWith("co", "comet"));
+  EXPECT_TRUE(EndsWith("layer0.cc", ".cc"));
+  EXPECT_EQ(Trim("  pad  "), "pad");
+  EXPECT_EQ(Trim(""), "");
+}
+
+}  // namespace
+}  // namespace comet
