@@ -10,7 +10,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(abl_adaptive, "Ablation: adaptive vs fixed thread-block assignment (paper 3.2.2)") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 2;

@@ -15,7 +15,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(abl_granularity, "Ablation: shared-tensor decomposition granularity (paper 3.1.2)") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 2;

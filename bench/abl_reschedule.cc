@@ -11,7 +11,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(abl_reschedule, "Ablation: shared-tensor rescheduling on/off (paper 3.1.2)") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 2;

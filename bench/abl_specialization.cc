@@ -10,7 +10,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(abl_specialization, "Ablation: thread-block specialization vs vertical fusion (paper 3.2.1)") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 2;

@@ -1,16 +1,24 @@
-// Shared helpers for the paper-figure bench binaries.
+// Shared infrastructure for the paper-figure benches.
 //
-// Every binary regenerates one table or figure from the paper's evaluation:
+// Every bench regenerates one table or figure from the paper's evaluation:
 // it builds the paper's workload (timing plane only -- tensor contents are
 // never touched), runs COMET and the baselines, and prints the same
 // rows/series the paper reports, plus the paper's reference numbers where
 // the text states them.
+//
+// Benches self-register with REGISTER_BENCH (one per translation unit) so a
+// single `comet_bench` driver can list, filter and time all of them and emit
+// machine-readable JSON, while each figure keeps a thin standalone binary
+// built from the same object file.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
 #include <functional>
 #include <iostream>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/fastermoe.h"
@@ -22,6 +30,106 @@
 #include "util/table.h"
 
 namespace comet::bench {
+
+// ---- metric reporting ------------------------------------------------------
+
+struct BenchMetric {
+  std::string metric;
+  double value = 0.0;
+  std::string unit;  // "ms", "ns/op", "%", ... empty = dimensionless
+};
+
+// Collects the numbers a bench wants in the JSON output, alongside whatever
+// human-readable tables it prints. The driver adds a `wall_ms` record per run
+// on top of these.
+class BenchReporter {
+ public:
+  void Report(std::string metric, double value, std::string unit = {}) {
+    results_.push_back({std::move(metric), value, std::move(unit)});
+  }
+  const std::vector<BenchMetric>& results() const { return results_; }
+  void Clear() { results_.clear(); }
+
+ private:
+  std::vector<BenchMetric> results_;
+};
+
+// ---- registry --------------------------------------------------------------
+
+using BenchFn = int (*)(BenchReporter&);
+
+struct BenchInfo {
+  std::string name;
+  std::string description;
+  BenchFn fn = nullptr;
+};
+
+// Registered benches, in registration order (the driver sorts by name).
+std::vector<BenchInfo>& Registry();
+
+struct BenchRegistrar {
+  BenchRegistrar(const char* name, const char* description, BenchFn fn);
+};
+
+// CLI entry point of the `comet_bench` driver (the thin per-figure binaries
+// call RunSingleBench below instead).
+//   --list            print registered benches and exit
+//   --only SUBSTR     comma-separated substring filters
+//   --repeat N        run each selected bench N times
+//   --json PATH       write name/metric/value records as JSON
+int BenchMain(int argc, char** argv);
+
+// Runs exactly one bench by full name (used by the per-figure binaries).
+int RunSingleBench(const std::string& name);
+
+// Declares + registers a bench in one go. One per translation unit:
+//
+//   REGISTER_BENCH(fig09_end_to_end, "Figure 9: end-to-end model latency") {
+//     ...;           // `reporter` is in scope for BenchReporter::Report
+//     return 0;
+//   }
+#define REGISTER_BENCH(ident, description)                                 \
+  static int CometBenchBody(::comet::bench::BenchReporter&);               \
+  static const ::comet::bench::BenchRegistrar kCometBenchRegistrar{        \
+      #ident, description, &CometBenchBody};                               \
+  static int CometBenchBody(                                               \
+      [[maybe_unused]] ::comet::bench::BenchReporter& reporter)
+
+// ---- micro-timing helpers --------------------------------------------------
+
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+struct TimedLoop {
+  double ns_per_iter = 0.0;
+  int64_t iters = 0;
+};
+
+// Runs `fn` in growing batches until `min_time_s` of wall clock has been
+// spent, then reports mean ns per call -- a no-dependency stand-in for
+// google-benchmark, good enough for the host-side metadata ops we time.
+template <typename F>
+TimedLoop TimeIt(F&& fn, double min_time_s = 0.2) {
+  using Clock = std::chrono::steady_clock;
+  TimedLoop out;
+  int64_t batch = 1;
+  double elapsed_s = 0.0;
+  while (elapsed_s < min_time_s) {
+    const auto start = Clock::now();
+    for (int64_t i = 0; i < batch; ++i) {
+      fn();
+    }
+    elapsed_s += std::chrono::duration<double>(Clock::now() - start).count();
+    out.iters += batch;
+    batch *= 2;
+  }
+  out.ns_per_iter = elapsed_s * 1e9 / static_cast<double>(out.iters);
+  return out;
+}
+
+// ---- paper-workload helpers (unchanged from the standalone binaries) -------
 
 // Builds a timing-plane workload (no tensor materialization).
 inline MoeWorkload TimedWorkload(const ModelConfig& model,

@@ -1,0 +1,6 @@
+// The unified driver: all paper-figure benches behind one binary.
+#include "bench/bench_common.h"
+
+int main(int argc, char** argv) {
+  return comet::bench::BenchMain(argc, argv);
+}

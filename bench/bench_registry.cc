@@ -1,0 +1,250 @@
+// Bench registry + the comet_bench driver loop: list, filter, repeat, time
+// and JSON-export the registered paper-figure benches.
+#include "bench/bench_common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace comet::bench {
+namespace {
+
+struct RunRecord {
+  std::string bench;
+  int repeat = 0;
+  BenchMetric metric;
+};
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatJsonDouble(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  const std::string s = os.str();
+  // JSON has no inf/nan literals.
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos) {
+    return "null";
+  }
+  return s;
+}
+
+bool WriteJson(const std::string& path, const std::vector<RunRecord>& records,
+               int repeat) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "comet_bench: cannot open --json path " << path << "\n";
+    return false;
+  }
+  out << "{\n  \"schema\": \"comet_bench/v1\",\n  \"repeat\": " << repeat
+      << ",\n  \"records\": [\n";
+  for (size_t i = 0; i < records.size(); ++i) {
+    const RunRecord& r = records[i];
+    out << "    {\"bench\": \"" << JsonEscape(r.bench)
+        << "\", \"repeat\": " << r.repeat << ", \"metric\": \""
+        << JsonEscape(r.metric.metric)
+        << "\", \"value\": " << FormatJsonDouble(r.metric.value)
+        << ", \"unit\": \"" << JsonEscape(r.metric.unit) << "\"}"
+        << (i + 1 < records.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return static_cast<bool>(out);
+}
+
+void PrintUsage() {
+  std::cout <<
+      "usage: comet_bench [options]\n"
+      "  --list           print registered benches and exit\n"
+      "  --only SUBSTR    run only benches whose name contains SUBSTR\n"
+      "                   (comma-separated for several filters)\n"
+      "  --repeat N       run each selected bench N times (default 1)\n"
+      "  --json PATH      write per-bench name/metric/value records\n"
+      "  --help           this message\n";
+}
+
+}  // namespace
+
+std::vector<BenchInfo>& Registry() {
+  static std::vector<BenchInfo>* registry = new std::vector<BenchInfo>();
+  return *registry;
+}
+
+BenchRegistrar::BenchRegistrar(const char* name, const char* description,
+                               BenchFn fn) {
+  Registry().push_back({name, description, fn});
+}
+
+int RunSingleBench(const std::string& name) {
+  for (const BenchInfo& info : Registry()) {
+    if (info.name == name) {
+      BenchReporter reporter;
+      return info.fn(reporter);
+    }
+  }
+  std::cerr << "comet_bench: unknown bench '" << name << "'\n";
+  return 1;
+}
+
+int BenchMain(int argc, char** argv) {
+  bool list_only = false;
+  std::vector<std::string> filters;
+  int repeat = 1;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "comet_bench: " << arg << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list_only = true;
+    } else if (arg == "--only") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      bool any = false;
+      for (const std::string& f : Split(v, ',')) {
+        if (!f.empty()) {
+          filters.push_back(f);
+          any = true;
+        }
+      }
+      if (!any) {
+        std::cerr << "comet_bench: --only got an empty filter\n";
+        return 2;
+      }
+    } else if (arg == "--repeat") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      if (end == v || *end != '\0' || n < 1) {
+        std::cerr << "comet_bench: --repeat needs a positive integer, got '"
+                  << v << "'\n";
+        return 2;
+      }
+      repeat = static_cast<int>(n);
+    } else if (arg == "--json") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      json_path = v;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage();
+      return 0;
+    } else {
+      std::cerr << "comet_bench: unknown option '" << arg << "'\n";
+      PrintUsage();
+      return 2;
+    }
+  }
+
+  // Fail on an unwritable --json path up front, not after the whole run.
+  // Append mode: probing must not truncate a previous run's results.
+  if (!json_path.empty()) {
+    std::ofstream probe(json_path, std::ios::app);
+    if (!probe) {
+      std::cerr << "comet_bench: cannot open --json path " << json_path
+                << "\n";
+      return 2;
+    }
+  }
+
+  std::vector<BenchInfo> benches = Registry();
+  std::sort(benches.begin(), benches.end(),
+            [](const BenchInfo& a, const BenchInfo& b) {
+              return a.name < b.name;
+            });
+
+  if (list_only) {
+    for (const BenchInfo& info : benches) {
+      std::cout << info.name << "  -  " << info.description << "\n";
+    }
+    std::cout << benches.size() << " benches registered\n";
+    return 0;
+  }
+
+  std::vector<BenchInfo> selected;
+  for (const BenchInfo& info : benches) {
+    if (filters.empty()) {
+      selected.push_back(info);
+      continue;
+    }
+    for (const std::string& f : filters) {
+      if (info.name.find(f) != std::string::npos) {
+        selected.push_back(info);
+        break;
+      }
+    }
+  }
+  if (selected.empty()) {
+    std::cerr << "comet_bench: no bench matches the --only filters "
+              << "(try --list)\n";
+    return 1;
+  }
+
+  std::vector<RunRecord> records;
+  int failures = 0;
+  for (size_t b = 0; b < selected.size(); ++b) {
+    const BenchInfo& info = selected[b];
+    for (int rep = 0; rep < repeat; ++rep) {
+      std::cout << "[" << (b + 1) << "/" << selected.size() << "] "
+                << info.name;
+      if (repeat > 1) std::cout << " (repeat " << rep + 1 << "/" << repeat << ")";
+      std::cout << "\n";
+
+      BenchReporter reporter;
+      const auto start = std::chrono::steady_clock::now();
+      const int rc = info.fn(reporter);
+      const double wall_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      if (rc != 0) {
+        std::cerr << "comet_bench: " << info.name << " exited with " << rc
+                  << "\n";
+        ++failures;
+      }
+      records.push_back({info.name, rep, {"wall_ms", wall_ms, "ms"}});
+      for (const BenchMetric& m : reporter.results()) {
+        records.push_back({info.name, rep, m});
+      }
+    }
+  }
+
+  if (!json_path.empty() && !WriteJson(json_path, records, repeat)) {
+    return 1;
+  }
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace comet::bench

@@ -1,0 +1,9 @@
+// Thin per-figure binary: compiled once per bench with COMET_BENCH_ONLY set
+// to the bench's registered name, linked against that bench's object file.
+#include "bench/bench_common.h"
+
+#ifndef COMET_BENCH_ONLY
+#error "COMET_BENCH_ONLY must name the registered bench"
+#endif
+
+int main() { return comet::bench::RunSingleBench(COMET_BENCH_ONLY); }

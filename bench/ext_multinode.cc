@@ -15,7 +15,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(ext_multinode, "Extension: multi-node expert parallelism over InfiniBand") {
   ModelConfig model = Qwen2Moe();  // E=64 supports EP up to 64
   const int64_t tokens_per_gpu = 1024;
 

@@ -15,7 +15,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(ext_training_step, "Extension: full training step (forward + backward)") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 2;

@@ -12,7 +12,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(fig01_breakdown, "Figure 1(a): MoE time breakdown under Megatron-LM") {
   const auto cluster = H800Cluster(8);
   PrintHeader("Figure 1(a): time breakdown of MoE models (Megatron-LM)",
               "8x H800, EP=8 TP=1; fractions of end-to-end time");

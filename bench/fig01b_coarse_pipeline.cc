@@ -58,7 +58,7 @@ double ChunkedLayerUs(const MoeWorkload& w, const OpCostModel& costs,
 
 }  // namespace
 
-int main() {
+REGISTER_BENCH(fig01b_coarse_pipeline, "Figure 1(b): coarse-grained overlap by chunking") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 2;

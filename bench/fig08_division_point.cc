@@ -12,7 +12,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(fig08_division_point, "Figure 8: fused kernel duration vs communication thread blocks (nc)") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 2;

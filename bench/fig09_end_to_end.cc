@@ -15,7 +15,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(fig09_end_to_end, "Figure 9: end-to-end model latency, five systems") {
   const auto cluster = H800Cluster(8);
   PrintHeader("Figure 9: end-to-end model latency",
               "8x H800; whole-model latency in ms (attention identical "
@@ -78,6 +78,7 @@ int main() {
     }
     mean /= static_cast<double>(vals.size());
     std::cout << "  vs " << name << ": " << FormatPercent(mean) << "\n";
+    reporter.Report("mean_latency_reduction_vs_" + name, mean * 100.0, "%");
   }
   std::cout << "\n";
   PrintPaperNote("latency reduced by 34.1% (Megatron-Cutlass), 42.6% "

@@ -60,7 +60,7 @@ void RunPanel(int64_t experts, int64_t topk) {
 
 }  // namespace
 
-int main() {
+REGISTER_BENCH(fig10_token_length, "Figure 10: MoE layer duration vs input token length") {
   PrintHeader("Figure 10: single MoE layer duration vs token length",
               "EP=8 TP=1, Mixtral expert shapes, H800x8");
   RunPanel(8, 2);

@@ -11,7 +11,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(fig11_layer_breakdown, "Figure 11: MoE layer time breakdown + hidden communication") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 2;

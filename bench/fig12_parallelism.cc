@@ -10,7 +10,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(fig12_parallelism, "Figure 12: MoE layer duration across hybrid parallelisms") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 2;

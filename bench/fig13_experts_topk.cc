@@ -9,7 +9,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(fig13_experts_topk, "Figure 13: MoE layer duration vs experts and top-k") {
   const int64_t m_tokens = 16384;
   const ParallelConfig parallel{1, 8};
   const auto cluster = H800Cluster(8);

@@ -10,7 +10,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(fig14_imbalance, "Figure 14 (left): MoE layer duration under imbalanced routing") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 2;

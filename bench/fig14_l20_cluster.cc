@@ -9,7 +9,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(fig14_l20_cluster, "Figure 14 (right): bandwidth-limited 8x L20 cluster") {
   ModelConfig model = Mixtral8x7B();
   model.num_experts = 8;
   model.topk = 4;

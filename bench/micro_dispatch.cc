@@ -1,78 +1,76 @@
-// Microbenchmark (google-benchmark): routing, plan construction and the
-// schedule builders -- the host-side metadata work COMET performs per layer.
-#include <benchmark/benchmark.h>
-
+// Microbenchmark: routing, plan construction and the schedule builders --
+// the host-side metadata work COMET performs per layer.
+#include "bench/bench_common.h"
 #include "core/reschedule.h"
 #include "moe/route_plan.h"
 #include "moe/router.h"
 #include "moe/workload.h"
 #include "util/rng.h"
 
-namespace comet {
-namespace {
+using namespace comet;
+using namespace comet::bench;
 
-void BM_SyntheticRouting(benchmark::State& state) {
-  const int64_t tokens = state.range(0);
-  Rng rng(1);
-  const auto load = rng.LoadVectorWithStd(8, 0.032);
-  for (auto _ : state) {
-    SyntheticRouter router(load, 42);
-    RoutingTable table = router.Route(tokens, 2);
-    benchmark::DoNotOptimize(table.tokens.data());
+REGISTER_BENCH(micro_dispatch, "Micro: routing, route-plan and schedule construction") {
+  PrintHeader("Micro: dispatch metadata ops",
+              "host-side per-layer metadata work; mean ns per call");
+  AsciiTable table({"op", "tokens", "ns/op", "Mitems/s"});
+
+  auto record = [&](const std::string& op, int64_t tokens,
+                    const TimedLoop& loop) {
+    const double mitems_s = tokens > 0
+        ? static_cast<double>(tokens) * 1e3 / loop.ns_per_iter
+        : 0.0;
+    table.AddRow({op, std::to_string(tokens),
+                  FormatDouble(loop.ns_per_iter, 0),
+                  tokens > 0 ? FormatDouble(mitems_s, 1) : "-"});
+    reporter.Report(op + "/" + std::to_string(tokens) + "/ns_per_op",
+                    loop.ns_per_iter, "ns");
+  };
+
+  for (int64_t tokens : {int64_t{4096}, int64_t{16384}}) {
+    Rng rng(1);
+    const auto load = rng.LoadVectorWithStd(8, 0.032);
+    record("synthetic_routing", tokens, TimeIt([&] {
+             SyntheticRouter router(load, 42);
+             RoutingTable routing = router.Route(tokens, 2);
+             DoNotOptimize(routing.tokens.data());
+           }));
   }
-  state.SetItemsProcessed(state.iterations() * tokens);
-}
-BENCHMARK(BM_SyntheticRouting)->Arg(4096)->Arg(16384);
 
-void BM_RoutePlanBuild(benchmark::State& state) {
-  const int64_t tokens = state.range(0);
-  ModelConfig model = Mixtral8x7B();
-  const ParallelConfig parallel{1, 8};
-  Placement placement(model, parallel, tokens);
-  Rng rng(2);
-  SyntheticRouter router(rng.LoadVectorWithStd(8, 0.0), 7);
-  const RoutingTable routing = router.Route(tokens, model.topk);
-  for (auto _ : state) {
-    RoutePlan plan(placement, routing);
-    benchmark::DoNotOptimize(plan.ForRank(0).TotalRows());
+  for (int64_t tokens : {int64_t{4096}, int64_t{16384}}) {
+    ModelConfig model = Mixtral8x7B();
+    const ParallelConfig parallel{1, 8};
+    Placement placement(model, parallel, tokens);
+    Rng rng(2);
+    SyntheticRouter router(rng.LoadVectorWithStd(8, 0.0), 7);
+    const RoutingTable routing = router.Route(tokens, model.topk);
+    record("route_plan_build", tokens, TimeIt([&] {
+             RoutePlan plan(placement, routing);
+             DoNotOptimize(plan.ForRank(0).TotalRows());
+           }));
   }
-  state.SetItemsProcessed(state.iterations() * tokens);
-}
-BENCHMARK(BM_RoutePlanBuild)->Arg(4096)->Arg(16384);
 
-void BM_Layer0ScheduleBuild(benchmark::State& state) {
-  const int64_t tokens = state.range(0);
-  ModelConfig model = Mixtral8x7B();
-  const ParallelConfig parallel{1, 8};
-  WorkloadOptions options;
-  options.materialize = false;
-  const MoeWorkload w = MakeWorkload(model, parallel, tokens, options);
-  for (auto _ : state) {
-    const Layer0Schedule schedule = BuildLayer0Schedule(
-        w.plan.ForRank(0), 0, parallel.ep, w.placement.HiddenPerTpRank(), 128,
-        128, /*reschedule=*/true);
-    benchmark::DoNotOptimize(schedule.tiles.data());
+  for (int64_t tokens : {int64_t{4096}, int64_t{16384}}) {
+    ModelConfig model = Mixtral8x7B();
+    const ParallelConfig parallel{1, 8};
+    WorkloadOptions options;
+    options.materialize = false;
+    const MoeWorkload w = MakeWorkload(model, parallel, tokens, options);
+    record("layer0_schedule_build", tokens, TimeIt([&] {
+             const Layer0Schedule schedule = BuildLayer0Schedule(
+                 w.plan.ForRank(0), 0, parallel.ep,
+                 w.placement.HiddenPerTpRank(), 128, 128,
+                 /*reschedule=*/true);
+             DoNotOptimize(schedule.tiles.data());
+           }));
+    record("layer1_schedule_build", tokens, TimeIt([&] {
+             const Layer1Schedule schedule =
+                 BuildLayer1Schedule(w.plan.ForRank(0), model.embedding, 128,
+                                     128, /*reschedule=*/true);
+             DoNotOptimize(schedule.tiles.data());
+           }));
   }
+
+  std::cout << table.Render() << "\n";
+  return 0;
 }
-BENCHMARK(BM_Layer0ScheduleBuild)->Arg(4096)->Arg(16384);
-
-void BM_Layer1ScheduleBuild(benchmark::State& state) {
-  const int64_t tokens = state.range(0);
-  ModelConfig model = Mixtral8x7B();
-  const ParallelConfig parallel{1, 8};
-  WorkloadOptions options;
-  options.materialize = false;
-  const MoeWorkload w = MakeWorkload(model, parallel, tokens, options);
-  for (auto _ : state) {
-    const Layer1Schedule schedule =
-        BuildLayer1Schedule(w.plan.ForRank(0), model.embedding, 128, 128,
-                            /*reschedule=*/true);
-    benchmark::DoNotOptimize(schedule.tiles.data());
-  }
-}
-BENCHMARK(BM_Layer1ScheduleBuild)->Arg(4096)->Arg(16384);
-
-}  // namespace
-}  // namespace comet
-
-BENCHMARK_MAIN();

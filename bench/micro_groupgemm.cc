@@ -1,84 +1,82 @@
-// Microbenchmark (google-benchmark): the functional-plane blocked GroupGEMM.
+// Microbenchmark: the functional-plane blocked GroupGEMM.
 //
 // Measures the host GEMM kernel used by the functional executors: whole
-// problems, tile-granular execution (the COMET path), and the tile-order
-// invariance that makes rescheduling numerically free.
-#include <benchmark/benchmark.h>
+// problems, tile-granular execution (the COMET path), and the grouped form
+// whose tile-order invariance makes rescheduling numerically free.
+#include <algorithm>
 
+#include "bench/bench_common.h"
 #include "moe/group_gemm.h"
 #include "tensor/tensor.h"
 #include "util/rng.h"
 
-namespace comet {
-namespace {
+using namespace comet;
+using namespace comet::bench;
 
-void BM_GemmWhole(benchmark::State& state) {
-  const int64_t m = state.range(0);
+REGISTER_BENCH(micro_groupgemm, "Micro: blocked GroupGEMM functional kernels") {
+  PrintHeader("Micro: GroupGEMM kernels",
+              "host functional-plane GEMMs; mean ns per call and GFLOP/s");
+  AsciiTable table({"op", "size", "ns/op", "GFLOP/s"});
+
+  auto record = [&](const std::string& op, const std::string& size,
+                    double flops, const TimedLoop& loop) {
+    table.AddRow({op, size, FormatDouble(loop.ns_per_iter, 0),
+                  FormatDouble(flops / loop.ns_per_iter, 2)});
+    reporter.Report(op + "/" + size + "/ns_per_op", loop.ns_per_iter, "ns");
+    reporter.Report(op + "/" + size + "/gflops", flops / loop.ns_per_iter,
+                    "GFLOP/s");
+  };
+
   const int64_t n = 64;
   const int64_t k = 128;
-  Rng rng(1);
-  const Tensor a = Tensor::Randn(Shape{m, k}, rng);
-  const Tensor b = Tensor::Randn(Shape{k, n}, rng);
-  Tensor c(Shape{m, n});
-  for (auto _ : state) {
-    Gemm(a, b, c);
-    benchmark::DoNotOptimize(c.data().data());
+  for (int64_t m : {int64_t{64}, int64_t{256}, int64_t{1024}}) {
+    Rng rng(1);
+    const Tensor a = Tensor::Randn(Shape{m, k}, rng);
+    const Tensor b = Tensor::Randn(Shape{k, n}, rng);
+    Tensor c(Shape{m, n});
+    const double flops = static_cast<double>(2 * m * n * k);
+    record("gemm_whole", "m=" + std::to_string(m), flops, TimeIt([&] {
+             Gemm(a, b, c);
+             DoNotOptimize(c.data().data());
+           }));
+
+    const int64_t tile = 32;
+    record("gemm_tiled", "m=" + std::to_string(m), flops, TimeIt([&] {
+             for (int64_t r = 0; r < m; r += tile) {
+               for (int64_t cc = 0; cc < n; cc += tile) {
+                 GemmTile(a, b, c, r, std::min(r + tile, m), cc,
+                          std::min(cc + tile, n));
+               }
+             }
+             DoNotOptimize(c.data().data());
+           }));
   }
-  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
-}
-BENCHMARK(BM_GemmWhole)->Arg(64)->Arg(256)->Arg(1024);
 
-void BM_GemmTiled(benchmark::State& state) {
-  const int64_t m = state.range(0);
-  const int64_t n = 64;
-  const int64_t k = 128;
-  const int64_t tile = 32;
-  Rng rng(1);
-  const Tensor a = Tensor::Randn(Shape{m, k}, rng);
-  const Tensor b = Tensor::Randn(Shape{k, n}, rng);
-  Tensor c(Shape{m, n});
-  for (auto _ : state) {
-    for (int64_t r = 0; r < m; r += tile) {
-      for (int64_t cc = 0; cc < n; cc += tile) {
-        GemmTile(a, b, c, r, std::min(r + tile, m), cc, std::min(cc + tile, n));
-      }
+  for (int64_t groups : {int64_t{2}, int64_t{8}}) {
+    const int64_t m = 128;
+    Rng rng(2);
+    std::vector<Tensor> a_store;
+    std::vector<Tensor> b_store;
+    std::vector<Tensor> c_store;
+    for (int64_t g = 0; g < groups; ++g) {
+      a_store.push_back(Tensor::Randn(Shape{m, k}, rng));
+      b_store.push_back(Tensor::Randn(Shape{k, n}, rng));
+      c_store.emplace_back(Shape{m, n});
     }
-    benchmark::DoNotOptimize(c.data().data());
+    GroupGemmProblem problem;
+    for (int64_t g = 0; g < groups; ++g) {
+      problem.a.push_back(&a_store[static_cast<size_t>(g)]);
+      problem.b.push_back(&b_store[static_cast<size_t>(g)]);
+      problem.c.push_back(&c_store[static_cast<size_t>(g)]);
+    }
+    const auto tiles = EnumerateTiles(problem, 32, 32);
+    const double flops = static_cast<double>(groups * 2 * m * n * k);
+    record("group_gemm", "groups=" + std::to_string(groups), flops, TimeIt([&] {
+             RunGroupGemm(problem, tiles);
+             DoNotOptimize(c_store[0].data().data());
+           }));
   }
-  state.SetItemsProcessed(state.iterations() * 2 * m * n * k);
+
+  std::cout << table.Render() << "\n";
+  return 0;
 }
-BENCHMARK(BM_GemmTiled)->Arg(64)->Arg(256)->Arg(1024);
-
-void BM_GroupGemm(benchmark::State& state) {
-  const int64_t groups = state.range(0);
-  const int64_t m = 128;
-  const int64_t n = 64;
-  const int64_t k = 128;
-  Rng rng(2);
-  std::vector<Tensor> a_store;
-  std::vector<Tensor> b_store;
-  std::vector<Tensor> c_store;
-  for (int64_t g = 0; g < groups; ++g) {
-    a_store.push_back(Tensor::Randn(Shape{m, k}, rng));
-    b_store.push_back(Tensor::Randn(Shape{k, n}, rng));
-    c_store.emplace_back(Shape{m, n});
-  }
-  GroupGemmProblem problem;
-  for (int64_t g = 0; g < groups; ++g) {
-    problem.a.push_back(&a_store[static_cast<size_t>(g)]);
-    problem.b.push_back(&b_store[static_cast<size_t>(g)]);
-    problem.c.push_back(&c_store[static_cast<size_t>(g)]);
-  }
-  const auto tiles = EnumerateTiles(problem, 32, 32);
-  for (auto _ : state) {
-    RunGroupGemm(problem, tiles);
-    benchmark::DoNotOptimize(c_store[0].data().data());
-  }
-  state.SetItemsProcessed(state.iterations() * groups * 2 * m * n * k);
-}
-BENCHMARK(BM_GroupGemm)->Arg(2)->Arg(8);
-
-}  // namespace
-}  // namespace comet
-
-BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Microbenchmark: the timing-plane simulator itself -- how fast the host can
+// simulate MoE layers. The simulator is the repo's hot path (every figure
+// bench is thousands of simulated layers), so its throughput gates how large
+// a sweep the bench suite can afford.
+#include "bench/bench_common.h"
+#include "sim/bandwidth_queue.h"
+#include "sim/stream_sim.h"
+
+using namespace comet;
+using namespace comet::bench;
+
+REGISTER_BENCH(micro_sim, "Micro: timing-plane simulator throughput") {
+  PrintHeader("Micro: simulator throughput",
+              "host wall time to simulate one MoE layer / sim primitives");
+  AsciiTable table({"op", "setup", "ns/op"});
+
+  auto record = [&](const std::string& op, const std::string& setup,
+                    const TimedLoop& loop) {
+    table.AddRow({op, setup, FormatDouble(loop.ns_per_iter, 0)});
+    reporter.Report(op + "/" + setup + "/ns_per_op", loop.ns_per_iter, "ns");
+  };
+
+  // Full timed-only layer simulation, COMET vs the slowest baseline style.
+  const auto cluster = H800Cluster(8);
+  for (int64_t tokens : {int64_t{4096}, int64_t{16384}}) {
+    const MoeWorkload w =
+        TimedWorkload(Mixtral8x7B(), ParallelConfig{1, 8}, tokens);
+    SystemSet systems;
+    record("comet_layer_sim", "M=" + std::to_string(tokens), TimeIt([&] {
+             const LayerExecution run =
+                 systems.comet.Run(w, cluster, ExecMode::kTimedOnly);
+             DoNotOptimize(run.duration_us);
+           }));
+    record("megatron_layer_sim", "M=" + std::to_string(tokens), TimeIt([&] {
+             const LayerExecution run =
+                 systems.megatron_cutlass.Run(w, cluster, ExecMode::kTimedOnly);
+             DoNotOptimize(run.duration_us);
+           }));
+  }
+
+  // StreamSim: host launch loop for a kernel-per-op system.
+  for (int kernels : {256, 2048}) {
+    record("stream_sim_launches", "n=" + std::to_string(kernels), TimeIt([&] {
+             StreamSim sim(/*launch_overhead_us=*/2.5);
+             const int stream = sim.AddStream("compute");
+             for (int i = 0; i < kernels; ++i) {
+               sim.Launch(stream, "k", OpCategory::kLayer0Comp, 10.0);
+             }
+             DoNotOptimize(sim.Finish());
+           }));
+  }
+
+  // BandwidthQueue: FIFO transfer scheduling, the fused kernels' comm model.
+  for (int jobs : {256, 2048}) {
+    std::vector<TransferJob> batch(static_cast<size_t>(jobs));
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].ready_us = static_cast<double>(i) * 0.5;
+      batch[i].bytes = 64.0 * 1024;
+    }
+    BandwidthQueue queue(/*bandwidth_bytes_per_us=*/160e3, /*latency_us=*/3.0);
+    record("bandwidth_queue_schedule", "n=" + std::to_string(jobs), TimeIt([&] {
+             DoNotOptimize(queue.Makespan(batch));
+           }));
+  }
+
+  std::cout << table.Render() << "\n";
+  return 0;
+}

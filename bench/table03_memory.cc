@@ -9,7 +9,7 @@
 using namespace comet;
 using namespace comet::bench;
 
-int main() {
+REGISTER_BENCH(table03_memory, "Table 3: NVSHMEM symmetric buffer memory") {
   PrintHeader("Table 3: NVSHMEM communication buffer size",
               "buffer = M x N elements at BF16, shared across layers/experts");
 
