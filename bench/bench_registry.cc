@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 
 namespace comet::bench {
 namespace {
@@ -56,15 +57,46 @@ std::string FormatJsonDouble(double v) {
   return s;
 }
 
+// Collapses per-repeat records into one median record per (bench, metric),
+// keeping first-appearance order. Median = middle of the sorted values (mean
+// of the two middles when even); the collapsed record carries repeat = -1.
+std::vector<RunRecord> MedianRecords(const std::vector<RunRecord>& records) {
+  std::vector<RunRecord> out;
+  std::vector<std::vector<double>> values;
+  for (const RunRecord& r : records) {
+    size_t slot = out.size();
+    for (size_t i = 0; i < out.size(); ++i) {
+      if (out[i].bench == r.bench && out[i].metric.metric == r.metric.metric) {
+        slot = i;
+        break;
+      }
+    }
+    if (slot == out.size()) {
+      out.push_back({r.bench, -1, r.metric});
+      values.emplace_back();
+    }
+    values[slot].push_back(r.metric.value);
+  }
+  for (size_t i = 0; i < out.size(); ++i) {
+    std::vector<double>& v = values[i];
+    std::sort(v.begin(), v.end());
+    const size_t n = v.size();
+    out[i].metric.value =
+        (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+  }
+  return out;
+}
+
 bool WriteJson(const std::string& path, const std::vector<RunRecord>& records,
-               int repeat) {
+               int repeat, bool median) {
   std::ofstream out(path);
   if (!out) {
     std::cerr << "comet_bench: cannot open --json path " << path << "\n";
     return false;
   }
   out << "{\n  \"schema\": \"comet_bench/v1\",\n  \"repeat\": " << repeat
-      << ",\n  \"records\": [\n";
+      << ",\n  \"aggregate\": \"" << (median ? "median" : "none")
+      << "\",\n  \"threads\": " << GlobalThreadCount() << ",\n  \"records\": [\n";
   for (size_t i = 0; i < records.size(); ++i) {
     const RunRecord& r = records[i];
     out << "    {\"bench\": \"" << JsonEscape(r.bench)
@@ -85,7 +117,11 @@ void PrintUsage() {
       "  --only SUBSTR    run only benches whose name contains SUBSTR\n"
       "                   (comma-separated for several filters)\n"
       "  --repeat N       run each selected bench N times (default 1)\n"
+      "  --median         collapse repeats to one median record per metric\n"
+      "                   in the JSON output (repeat field becomes -1)\n"
       "  --json PATH      write per-bench name/metric/value records\n"
+      "  --threads N      worker threads for the functional/timing plane\n"
+      "                   (default: COMET_THREADS env, else hardware)\n"
       "  --help           this message\n";
 }
 
@@ -114,6 +150,7 @@ int RunSingleBench(const std::string& name) {
 
 int BenchMain(int argc, char** argv) {
   bool list_only = false;
+  bool median = false;
   std::vector<std::string> filters;
   int repeat = 1;
   std::string json_path;
@@ -154,10 +191,25 @@ int BenchMain(int argc, char** argv) {
         return 2;
       }
       repeat = static_cast<int>(n);
+    } else if (arg == "--median") {
+      median = true;
     } else if (arg == "--json") {
       const char* v = next();
       if (v == nullptr) return 2;
       json_path = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      // Upper bound guards the long->int cast from silently truncating
+      // (e.g. 2^32 -> 0 -> a serial run the user did not ask for).
+      if (end == v || *end != '\0' || n < 1 || n > 4096) {
+        std::cerr << "comet_bench: --threads needs an integer in [1, 4096], "
+                  << "got '" << v << "'\n";
+        return 2;
+      }
+      SetGlobalThreadCount(static_cast<int>(n));
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;
@@ -212,6 +264,7 @@ int BenchMain(int argc, char** argv) {
     return 1;
   }
 
+  std::cout << "threads: " << GlobalThreadCount() << "\n";
   std::vector<RunRecord> records;
   int failures = 0;
   for (size_t b = 0; b < selected.size(); ++b) {
@@ -241,7 +294,9 @@ int BenchMain(int argc, char** argv) {
     }
   }
 
-  if (!json_path.empty() && !WriteJson(json_path, records, repeat)) {
+  if (!json_path.empty() &&
+      !WriteJson(json_path, median ? MedianRecords(records) : records, repeat,
+                 median)) {
     return 1;
   }
   return failures == 0 ? 0 : 1;

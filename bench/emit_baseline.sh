@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Emits a perf-trajectory baseline: every registered bench, repeat 3, median
+# per metric, as BENCH_<PR>.json at the repo root. Later PRs diff their own
+# emission against the committed files to prove speedups / catch regressions.
+#
+# usage: bench/emit_baseline.sh [OUT_JSON] [BENCH_BINARY]
+#   OUT_JSON      output path (default: BENCH_2.json in the repo root)
+#   BENCH_BINARY  comet_bench driver (default: build/bench/comet_bench)
+#
+# Notes:
+#   * wall_ms records are machine-dependent; the simulated-time metrics
+#     (latency reductions, speedups, hidden-comm ratios) must be stable
+#     across machines AND across thread counts -- those are what regression
+#     checks should pin.
+#   * COMET_THREADS (or comet_bench --threads) controls the worker pool.
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+OUT="${1:-"$ROOT/BENCH_2.json"}"
+BIN="${2:-"$ROOT/build/bench/comet_bench"}"
+
+if [[ ! -x "$BIN" ]]; then
+  echo "emit_baseline.sh: bench driver not found at $BIN (build first:" >&2
+  echo "  cmake -B build -S . && cmake --build build -j)" >&2
+  exit 1
+fi
+
+"$BIN" --repeat 3 --median --json "$OUT"
+echo "wrote $OUT"

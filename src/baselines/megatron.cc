@@ -2,6 +2,7 @@
 
 #include "sim/stream_sim.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace comet {
 
@@ -22,7 +23,9 @@ LayerExecution MegatronExecutor::Run(const MoeWorkload& workload,
   std::vector<double> per_rank(static_cast<size_t>(world), 0.0);
   std::vector<Timeline> timelines(static_cast<size_t>(world));
 
-  for (int r = 0; r < world; ++r) {
+  // Per-rank StreamSim programs are independent; fan them out.
+  ParallelFor(0, world, 1, [&](int64_t ri) {
+    const int r = static_cast<int>(ri);
     const BaselineQuantities q =
         ComputeQuantities(workload, costs, r, flavor_.gemm_efficiency);
 
@@ -52,7 +55,7 @@ LayerExecution MegatronExecutor::Run(const MoeWorkload& workload,
 
     per_rank[static_cast<size_t>(r)] = sim.Finish();
     timelines[static_cast<size_t>(r)] = sim.timeline();
-  }
+  });
   FinalizeFromRanks(std::move(per_rank), std::move(timelines), out);
 
   if (mode == ExecMode::kFunctional) {

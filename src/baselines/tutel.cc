@@ -4,6 +4,7 @@
 
 #include "sim/stream_sim.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace comet {
 
@@ -95,10 +96,12 @@ LayerExecution TutelExecutor::Run(const MoeWorkload& workload,
   const int world = workload.world();
   std::vector<double> per_rank(static_cast<size_t>(world), 0.0);
   std::vector<Timeline> timelines(static_cast<size_t>(world));
-  for (int r = 0; r < world; ++r) {
-    per_rank[static_cast<size_t>(r)] = SimulateRank(
-        workload, costs, r, best_degree, &timelines[static_cast<size_t>(r)]);
-  }
+  // Per-rank simulations are independent; fan them out.
+  ParallelFor(0, world, 1, [&](int64_t r) {
+    per_rank[static_cast<size_t>(r)] =
+        SimulateRank(workload, costs, static_cast<int>(r), best_degree,
+                     &timelines[static_cast<size_t>(r)]);
+  });
   FinalizeFromRanks(std::move(per_rank), std::move(timelines), out);
 
   if (mode == ExecMode::kFunctional) {

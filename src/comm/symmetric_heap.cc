@@ -1,5 +1,7 @@
 #include "comm/symmetric_heap.h"
 
+#include <algorithm>
+
 #include "util/check.h"
 
 namespace comet {
@@ -50,6 +52,7 @@ void SymmetricHeap::AccountTraffic(int src, int dst, double bytes) {
   if (src == dst) {
     return;
   }
+  std::lock_guard<std::mutex> lock(traffic_mutex_);
   traffic_[static_cast<size_t>(src) * world_size_ + dst] += bytes;
 }
 
@@ -70,6 +73,17 @@ std::vector<float> SymmetricHeap::GetRow(SymmetricBufferId buf, int reader_rank,
                  static_cast<double>(view.size()) *
                      static_cast<double>(DTypeSize(src.dtype())));
   return std::vector<float>(view.begin(), view.end());
+}
+
+void SymmetricHeap::CopyRow(SymmetricBufferId buf, int reader_rank,
+                            int owner_rank, int64_t row, std::span<float> dst) {
+  const Tensor& src = Local(buf, owner_rank);
+  auto view = src.row(row);
+  COMET_CHECK_EQ(view.size(), dst.size());
+  AccountTraffic(owner_rank, reader_rank,
+                 static_cast<double>(view.size()) *
+                     static_cast<double>(DTypeSize(src.dtype())));
+  std::copy(view.begin(), view.end(), dst.begin());
 }
 
 void SymmetricHeap::AccumulateRow(SymmetricBufferId buf, int src_rank,

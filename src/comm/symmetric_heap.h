@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -49,6 +50,13 @@ class SymmetricHeap {
   // copy. Remote reads are accounted as owner->reader traffic.
   std::vector<float> GetRow(SymmetricBufferId buf, int reader_rank,
                             int owner_rank, int64_t row);
+
+  // Allocation-free GetRow: copies the row into `dst` (sizes must match).
+  // The row-gather hot paths use this from pool workers; traffic accounting
+  // is internally synchronized, and concurrent accesses to DISTINCT rows are
+  // safe (the tile/row partitions of the executors guarantee disjointness).
+  void CopyRow(SymmetricBufferId buf, int reader_rank, int owner_rank,
+               int64_t row, std::span<float> dst);
 
   // Atomic-add style accumulation into a remote row (used by combine paths).
   void AccumulateRow(SymmetricBufferId buf, int src_rank, int dst_rank,
@@ -110,6 +118,11 @@ class SymmetricHeap {
   int world_size_;
   std::vector<Allocation> buffers_;
   std::vector<double> traffic_;  // world x world, row-major
+  // Guards traffic_ only: row payloads are never shared between workers (the
+  // executors partition rows/tiles disjointly), but every worker accounts
+  // into the same matrix. Byte counts are integer-valued doubles, so the
+  // accumulation order a parallel run produces cannot change the totals.
+  mutable std::mutex traffic_mutex_;
 };
 
 }  // namespace comet

@@ -9,6 +9,7 @@
 #include "core/reschedule.h"
 #include "moe/group_gemm.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace comet {
 namespace {
@@ -130,19 +131,22 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
       const int64_t rows = static_cast<int64_t>(slice.rows.size());
       dy[le] = Tensor(Shape{rows, n_embed});
       a_in[le] = Tensor(Shape{rows, n_embed});
-      for (size_t pos = 0; pos < order.size(); ++pos) {
-        const ExpertRow& row = slice.rows[static_cast<size_t>(order[pos])];
-        const int src = placement.RankOf(row.source_group, lane);
-        const int64_t src_local =
-            row.token - placement.FirstTokenOfGroup(row.source_group);
-        const auto grad = heap.GetRow(dout_buf, r, src, src_local);
-        auto dst = dy[le].row(static_cast<int64_t>(pos));
-        for (size_t c = 0; c < dst.size(); ++c) {
-          dst[c] = row.weight * grad[c];
-        }
-        a_in[le].SetRow(static_cast<int64_t>(pos),
-                        heap.GetRow(in_buf, r, src, src_local));
-      }
+      // Each pos owns its dy/a_in destination row: fan the gather out.
+      ParallelFor(
+          0, static_cast<int64_t>(order.size()), 8,
+          [&](int64_t pos) {
+            const ExpertRow& row =
+                slice.rows[static_cast<size_t>(order[static_cast<size_t>(pos)])];
+            const int src = placement.RankOf(row.source_group, lane);
+            const int64_t src_local =
+                row.token - placement.FirstTokenOfGroup(row.source_group);
+            auto dst = dy[le].row(pos);
+            heap.CopyRow(dout_buf, r, src, src_local, dst);
+            for (size_t c = 0; c < dst.size(); ++c) {
+              dst[c] = row.weight * dst[c];
+            }
+            heap.CopyRow(in_buf, r, src, src_local, a_in[le].row(pos));
+          });
     }
 
     // Recompute the forward stash (h_pre, h_post, y) in the permuted order;
@@ -185,14 +189,21 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
     for (size_t le = 0; le < num_local; ++le) {
       dz[le] = Tensor(Shape{dy[le].rows(), hidden});
     }
-    for (const TileRef& tile : schedule_a.tiles) {
-      const size_t le = static_cast<size_t>(tile.expert_local);
-      const int64_t expert = rank_plan.experts[le].expert;
-      GemmNTTile(dy[le], w.sharded_weights->W1Shard(expert, lane), dz[le],
-                 tile.row_begin, tile.row_end, tile.col_begin, tile.col_end);
-      ApplyActivationGradTile(dz[le], h_pre[le], w.activation, tile.row_begin,
-                              tile.row_end, tile.col_begin, tile.col_end);
-    }
+    // Tiles write disjoint dz patches (activation backward included), so
+    // the pool can run them in any completion order.
+    ParallelFor(
+        0, static_cast<int64_t>(schedule_a.tiles.size()), 1,
+        [&](int64_t t) {
+          const TileRef& tile = schedule_a.tiles[static_cast<size_t>(t)];
+          const size_t le = static_cast<size_t>(tile.expert_local);
+          const int64_t expert = rank_plan.experts[le].expert;
+          GemmNTTile(dy[le], w.sharded_weights->W1Shard(expert, lane), dz[le],
+                     tile.row_begin, tile.row_end, tile.col_begin,
+                     tile.col_end);
+          ApplyActivationGradTile(dz[le], h_pre[le], w.activation,
+                                  tile.row_begin, tile.row_end, tile.col_begin,
+                                  tile.col_end);
+        });
 
     // Wgrad over canonical row order: scatter the permuted rows back so the
     // row reduction of GemmTN never sees the schedule's permutation.
@@ -240,47 +251,60 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
     for (size_t le = 0; le < num_local; ++le) {
       da[le] = Tensor(Shape{dz[le].rows(), n_embed});
     }
-    for (const TileRef& tile : schedule_b.tiles) {
-      const size_t le = static_cast<size_t>(tile.expert_local);
-      const int64_t expert = rank_plan.experts[le].expert;
-      GemmNTTile(dz[le], w.sharded_weights->W0Shard(expert, lane), da[le],
-                 tile.row_begin, tile.row_end, tile.col_begin, tile.col_end);
-    }
+    ParallelFor(
+        0, static_cast<int64_t>(schedule_b.tiles.size()), 1,
+        [&](int64_t t) {
+          const TileRef& tile = schedule_b.tiles[static_cast<size_t>(t)];
+          const size_t le = static_cast<size_t>(tile.expert_local);
+          const int64_t expert = rank_plan.experts[le].expert;
+          GemmNTTile(dz[le], w.sharded_weights->W0Shard(expert, lane), da[le],
+                     tile.row_begin, tile.row_end, tile.col_begin,
+                     tile.col_end);
+        });
     for (size_t le = 0; le < num_local; ++le) {
       const auto& slice = rank_plan.experts[le];
       const auto& order = schedule_a.row_order[le];
-      for (size_t pos = 0; pos < order.size(); ++pos) {
-        const ExpertRow& row = slice.rows[static_cast<size_t>(order[pos])];
-        const int dst = placement.RankOf(row.source_group, lane);
-        const int64_t dst_row =
-            (row.token - placement.FirstTokenOfGroup(row.source_group)) *
-                topk +
-            row.slot;
-        heap.PutRowWithSignal(dcontrib_buf, r, dst, dst_row,
-                              da[le].row(static_cast<int64_t>(pos)),
-                              dcontrib_sig, dst_row);
-      }
+      // Disjoint destination rows + signal words per (token, slot).
+      ParallelFor(
+          0, static_cast<int64_t>(order.size()), 8,
+          [&](int64_t pos) {
+            const ExpertRow& row =
+                slice.rows[static_cast<size_t>(order[static_cast<size_t>(pos)])];
+            const int dst = placement.RankOf(row.source_group, lane);
+            const int64_t dst_row =
+                (row.token - placement.FirstTokenOfGroup(row.source_group)) *
+                    topk +
+                row.slot;
+            heap.PutRowWithSignal(dcontrib_buf, r, dst, dst_row,
+                                  da[le].row(pos), dcontrib_sig, dst_row);
+          });
     }
   }
 
   // Undispatch reduction in canonical order: slot-major, TP-lane inner.
+  // Tokens reduce into disjoint dinput rows, so they fan out per token while
+  // the within-token order stays canonical.
   for (int g = 0; g < ep; ++g) {
     const int reader = placement.RankOf(g, 0);
     const int64_t first = placement.FirstTokenOfGroup(g);
     Tensor& dinput = grads.dinput[static_cast<size_t>(g)];
-    for (int64_t t = 0; t < group_tokens; ++t) {
-      const int64_t slots = static_cast<int64_t>(
-          w.routing.tokens[static_cast<size_t>(first + t)].experts.size());
-      for (int64_t k = 0; k < slots; ++k) {
-        for (int l = 0; l < tp; ++l) {
-          heap.WaitSignalGe(dcontrib_sig, placement.RankOf(g, l),
-                            t * topk + k, 1);
-          const auto row = heap.GetRow(dcontrib_buf, reader,
-                                       placement.RankOf(g, l), t * topk + k);
-          dinput.AccumulateRow(t, row, 1.0f);
-        }
-      }
-    }
+    ParallelFor(
+        0, group_tokens, 4,
+        [&](int64_t t) {
+          thread_local std::vector<float> row_buf;
+          row_buf.resize(static_cast<size_t>(n_embed));
+          const int64_t slots = static_cast<int64_t>(
+              w.routing.tokens[static_cast<size_t>(first + t)].experts.size());
+          for (int64_t k = 0; k < slots; ++k) {
+            for (int l = 0; l < tp; ++l) {
+              heap.WaitSignalGe(dcontrib_sig, placement.RankOf(g, l),
+                                t * topk + k, 1);
+              heap.CopyRow(dcontrib_buf, reader, placement.RankOf(g, l),
+                           t * topk + k, row_buf);
+              dinput.AccumulateRow(t, row_buf, 1.0f);
+            }
+          }
+        });
   }
   return grads;
 }
@@ -292,6 +316,10 @@ BackwardExecution CometBackward(const MoeWorkload& workload,
                                 const std::vector<Tensor>& dout, ExecMode mode,
                                 const CometOptions& options) {
   COMET_CHECK_EQ(cluster.world_size, workload.world());
+  // As in the forward executor: cap every ParallelFor of this run (tile
+  // loops AND the nested whole-matrix Gemm/activation wrappers) so
+  // num_threads = 1 restores fully serial execution.
+  ScopedThreadLimit thread_limit(options.num_threads);
   const OpCostModel costs(cluster);
   const Placement& placement = workload.placement;
   const RoutePlan& plan = workload.plan;
@@ -346,40 +374,61 @@ BackwardExecution CometBackward(const MoeWorkload& workload,
   const int nc_b = pick_nc(MoePipelineStage::kLayer1);
 
   const double ag_us = DoutAllGatherUs(workload, costs);
+
+  // Per-rank backward simulations are independent; fan out, reduce serially
+  // (identical numbers at any thread count).
+  struct RankSim {
+    FusedKernelResult ka;
+    FusedKernelResult kb;
+    double act = 0.0;
+    double wgrad0 = 0.0;
+    double wgrad1 = 0.0;
+    double total = 0.0;
+  };
+  std::vector<RankSim> sims(static_cast<size_t>(world));
+  ParallelFor(
+      0, world, 1,
+      [&](int64_t ri) {
+        const int r = static_cast<int>(ri);
+        RankSim& sim = sims[static_cast<size_t>(r)];
+        FusedKernelConfig config_a = base;
+        config_a.comm_blocks = nc_a;
+        FusedKernelConfig config_b = base;
+        config_b.comm_blocks = nc_b;
+
+        // Kernel A mirrors forward layer0 (same row width N, same GEMM
+        // output width K/TP); kernel B mirrors forward layer1.
+        sim.ka = SimulateLayer0Fused(plan, r, costs, config_a);
+        sim.kb = SimulateLayer1Fused(plan, r, costs, config_b);
+
+        const std::vector<int64_t> depths = RowDepths(plan.ForRank(r));
+        const int np_b = base.total_blocks - (base.vertical_fusion ? 0 : nc_b);
+        sim.wgrad1 =
+            WgradTimeUs(costs, hidden, n_embed, depths, base.total_blocks);
+        sim.wgrad0 = WgradTimeUs(costs, n_embed, hidden, depths, np_b);
+        sim.act = costs.ActivationUs(plan.ForRank(r).TotalRows(), hidden);
+
+        // dW0 needs only dH, so it runs on kernel B's compute blocks while
+        // the undispatch traffic drains: kernel B + wgrad0 cost
+        // max(comm_end, compute_end + wgrad0) instead of duration + wgrad0.
+        const double kb_with_wgrad0 = std::max(
+            sim.kb.comm_makespan_us, sim.kb.compute_makespan_us + sim.wgrad0);
+        // Host launches: kernel A, wgrad1, kernel B(+wgrad0 fused).
+        // Activation backward runs in kernel A's tile epilogues (charged,
+        // not launched).
+        const double launches = 3.0 * costs.LaunchUs();
+        sim.total = launches + ag_us + sim.ka.duration_us + sim.act +
+                    sim.wgrad1 + kb_with_wgrad0;
+      });
+
   out.per_rank_us.assign(static_cast<size_t>(world), 0.0);
   double worst = -1.0;
   for (int r = 0; r < world; ++r) {
-    FusedKernelConfig config_a = base;
-    config_a.comm_blocks = nc_a;
-    FusedKernelConfig config_b = base;
-    config_b.comm_blocks = nc_b;
-
-    // Kernel A mirrors forward layer0 (same row width N, same GEMM output
-    // width K/TP); kernel B mirrors forward layer1.
-    const FusedKernelResult ka = SimulateLayer0Fused(plan, r, costs, config_a);
-    const FusedKernelResult kb = SimulateLayer1Fused(plan, r, costs, config_b);
-
-    const std::vector<int64_t> depths = RowDepths(plan.ForRank(r));
-    const int np_b = base.total_blocks - (base.vertical_fusion ? 0 : nc_b);
-    const double wgrad1 =
-        WgradTimeUs(costs, hidden, n_embed, depths, base.total_blocks);
-    const double wgrad0 =
-        WgradTimeUs(costs, n_embed, hidden, depths, np_b);
-    const double act = costs.ActivationUs(plan.ForRank(r).TotalRows(), hidden);
-
-    // dW0 needs only dH, so it runs on kernel B's compute blocks while the
-    // undispatch traffic drains: kernel B + wgrad0 cost
-    // max(comm_end, compute_end + wgrad0) instead of duration + wgrad0.
-    const double kb_with_wgrad0 =
-        std::max(kb.comm_makespan_us, kb.compute_makespan_us + wgrad0);
-    // Host launches: kernel A, wgrad1, kernel B(+wgrad0 fused). Activation
-    // backward runs in kernel A's tile epilogues (charged, not launched).
-    const double launches = 3.0 * costs.LaunchUs();
-    const double total =
-        launches + ag_us + ka.duration_us + act + wgrad1 + kb_with_wgrad0;
-    out.per_rank_us[static_cast<size_t>(r)] = total;
-    if (total > worst) {
-      worst = total;
+    const RankSim& sim = sims[static_cast<size_t>(r)];
+    out.per_rank_us[static_cast<size_t>(r)] = sim.total;
+    if (sim.total > worst) {
+      worst = sim.total;
+      const double launches = 3.0 * costs.LaunchUs();
       Timeline tl;
       double t = 0.0;
       tl.Add("launch", OpCategory::kHost, -1, t, t + launches);
@@ -388,15 +437,15 @@ BackwardExecution CometBackward(const MoeWorkload& workload,
         tl.Add("dout-allgather", OpCategory::kLayer1Comm, 1, t, t + ag_us);
         t += ag_us;
       }
-      tl.Merge(ka.timeline, t);
-      t += ka.duration_us;
-      tl.Add("act-bwd", OpCategory::kActivation, 0, t, t + act);
-      t += act;
-      tl.Add("wgrad1", OpCategory::kLayer1Comp, 0, t, t + wgrad1);
-      t += wgrad1;
-      tl.Merge(kb.timeline, t);
-      tl.Add("wgrad0", OpCategory::kLayer0Comp, 0,
-             t + kb.compute_makespan_us, t + kb.compute_makespan_us + wgrad0);
+      tl.Merge(sim.ka.timeline, t);
+      t += sim.ka.duration_us;
+      tl.Add("act-bwd", OpCategory::kActivation, 0, t, t + sim.act);
+      t += sim.act;
+      tl.Add("wgrad1", OpCategory::kLayer1Comp, 0, t, t + sim.wgrad1);
+      t += sim.wgrad1;
+      tl.Merge(sim.kb.timeline, t);
+      tl.Add("wgrad0", OpCategory::kLayer0Comp, 0, t + sim.kb.compute_makespan_us,
+             t + sim.kb.compute_makespan_us + sim.wgrad0);
       out.timeline = std::move(tl);
     }
   }

@@ -8,6 +8,7 @@
 #include "core/shared_tensor.h"
 #include "moe/group_gemm.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace comet {
 
@@ -41,6 +42,10 @@ LayerExecution CometExecutor::Run(const MoeWorkload& workload,
                                   const ClusterSpec& cluster, ExecMode mode) {
   COMET_CHECK_EQ(cluster.world_size, workload.world())
       << "cluster and workload world sizes disagree";
+  // Caps every ParallelFor this run issues -- including the whole-matrix
+  // Gemm/activation wrappers called indirectly -- so num_threads = 1 really
+  // is the old serial behavior end to end.
+  ScopedThreadLimit thread_limit(options_.num_threads);
   // Sanity-check the dependency analysis: layer0 decomposes along M,
   // layer1 along N (paper §3.1.1). This is the analysis the schedules below
   // rely on; run it so a future operator change trips loudly.
@@ -98,43 +103,59 @@ void CometExecutor::RunTimed(const MoeWorkload& workload,
   last_nc0_ = pick_nc(MoePipelineStage::kLayer0);
   last_nc1_ = pick_nc(MoePipelineStage::kLayer1);
 
+  // Per-rank simulations are independent: fan them out across the pool and
+  // reduce serially afterwards, so the simulated times and the critical-rank
+  // timeline are identical at any thread count.
+  struct RankSim {
+    FusedKernelResult l0;
+    FusedKernelResult l1;
+    double gate = 0.0;
+    double act = 0.0;
+    double total = 0.0;
+  };
+  std::vector<RankSim> sims(static_cast<size_t>(world));
+  ParallelFor(
+      0, world, 1,
+      [&](int64_t r) {
+        RankSim& sim = sims[static_cast<size_t>(r)];
+        FusedKernelConfig config0 = base;
+        config0.comm_blocks = last_nc0_;
+        FusedKernelConfig config1 = base;
+        config1.comm_blocks = last_nc1_;
+        sim.l0 = SimulateLayer0Fused(plan, static_cast<int>(r), costs, config0);
+        sim.l1 = SimulateLayer1Fused(plan, static_cast<int>(r), costs, config1);
+        sim.gate = costs.GatingUs(placement.tokens_per_group(),
+                                  placement.model().embedding,
+                                  placement.model().num_experts);
+        sim.act = costs.ActivationUs(plan.ForRank(static_cast<int>(r)).TotalRows(),
+                                     placement.HiddenPerTpRank());
+        // One host launch each for: gating, fused layer0, activation, fused
+        // layer1. This is the entire host-side footprint of a COMET MoE layer.
+        const double launches = 4.0 * costs.LaunchUs();
+        sim.total = launches + sim.gate + sim.l0.duration_us + sim.act +
+                    sim.l1.duration_us;
+      });
+
   out.per_rank_us.assign(static_cast<size_t>(world), 0.0);
   double worst = -1.0;
   for (int r = 0; r < world; ++r) {
-    FusedKernelConfig config0 = base;
-    config0.comm_blocks = last_nc0_;
-    FusedKernelConfig config1 = base;
-    config1.comm_blocks = last_nc1_;
-
-    const FusedKernelResult l0 = SimulateLayer0Fused(plan, r, costs, config0);
-    const FusedKernelResult l1 = SimulateLayer1Fused(plan, r, costs, config1);
-    const double gate = costs.GatingUs(placement.tokens_per_group(),
-                                       placement.model().embedding,
-                                       placement.model().num_experts);
-    const double act = costs.ActivationUs(plan.ForRank(r).TotalRows(),
-                                          placement.HiddenPerTpRank());
-    // One host launch each for: gating, fused layer0, activation, fused
-    // layer1. This is the entire host-side footprint of a COMET MoE layer.
-    const double launches = 4.0 * costs.LaunchUs();
-    const double total =
-        launches + gate + l0.duration_us + act + l1.duration_us;
-    out.per_rank_us[static_cast<size_t>(r)] = total;
-
-    if (total > worst) {
-      worst = total;
+    const RankSim& sim = sims[static_cast<size_t>(r)];
+    out.per_rank_us[static_cast<size_t>(r)] = sim.total;
+    if (sim.total > worst) {
+      worst = sim.total;
       // Rebuild the critical rank's timeline: host+gate, fused l0, act,
       // fused l1 in sequence.
       Timeline tl;
       double t = 0.0;
       tl.Add("launch", OpCategory::kHost, -1, t, t + 4.0 * costs.LaunchUs());
       t += 4.0 * costs.LaunchUs();
-      tl.Add("gating", OpCategory::kGating, 0, t, t + gate);
-      t += gate;
-      tl.Merge(l0.timeline, t);
-      t += l0.duration_us;
-      tl.Add("activation", OpCategory::kActivation, 0, t, t + act);
-      t += act;
-      tl.Merge(l1.timeline, t);
+      tl.Add("gating", OpCategory::kGating, 0, t, t + sim.gate);
+      t += sim.gate;
+      tl.Merge(sim.l0.timeline, t);
+      t += sim.l0.duration_us;
+      tl.Add("activation", OpCategory::kActivation, 0, t, t + sim.act);
+      t += sim.act;
+      tl.Merge(sim.l1.timeline, t);
       out.timeline = std::move(tl);
     }
   }
@@ -183,7 +204,8 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
                             options_.tile_n, options_.reschedule);
 
     // Materialize the layer0 shared tensor per expert with rows in the
-    // permuted layout; remote rows travel through the symmetric heap.
+    // permuted layout; remote rows travel through the symmetric heap. Rows
+    // land in disjoint destination slots, so the gather fans out per row.
     std::vector<Tensor> a_in;
     std::vector<Tensor> h_mid;
     std::vector<Tensor> y_out;
@@ -192,16 +214,17 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
       const auto& slice = rank_plan.experts[le];
       const auto& order = schedule0.row_order[le];
       Tensor a(Shape{static_cast<int64_t>(slice.rows.size()), n_embed});
-      for (size_t pos = 0; pos < order.size(); ++pos) {
-        const ExpertRow& row =
-            slice.rows[static_cast<size_t>(order[pos])];
-        const int64_t src_local =
-            row.token - placement.FirstTokenOfGroup(row.source_group);
-        const auto data =
-            heap.GetRow(in_buf, r, placement.RankOf(row.source_group, lane),
-                        src_local);
-        a.SetRow(static_cast<int64_t>(pos), data);
-      }
+      ParallelFor(
+          0, static_cast<int64_t>(order.size()), 8,
+          [&](int64_t pos) {
+            const ExpertRow& row =
+                slice.rows[static_cast<size_t>(order[static_cast<size_t>(pos)])];
+            const int64_t src_local =
+                row.token - placement.FirstTokenOfGroup(row.source_group);
+            heap.CopyRow(in_buf, r,
+                         placement.RankOf(row.source_group, lane), src_local,
+                         a.row(pos));
+          });
       a_in.push_back(std::move(a));
       h_mid.emplace_back(
           Shape{static_cast<int64_t>(slice.rows.size()), hidden});
@@ -216,11 +239,16 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
           &workload.sharded_weights->W0Shard(rank_plan.experts[le].expert, lane));
       problem0.c.push_back(&h_mid[le]);
     }
-    for (const TileRef& tile : schedule0.tiles) {
-      RunTile(problem0, GemmTileCoord{tile.expert_local, tile.row_begin,
-                                      tile.row_end, tile.col_begin,
-                                      tile.col_end});
-    }
+    // Tiles write disjoint output patches: dispatch them across the pool in
+    // any completion order without changing a single bit of the result.
+    ParallelFor(
+        0, static_cast<int64_t>(schedule0.tiles.size()), 1,
+        [&](int64_t t) {
+          const TileRef& tile = schedule0.tiles[static_cast<size_t>(t)];
+          RunTile(problem0, GemmTileCoord{tile.expert_local, tile.row_begin,
+                                          tile.row_end, tile.col_begin,
+                                          tile.col_end});
+        });
     for (auto& h : h_mid) {
       ApplyActivation(h, workload.activation);
     }
@@ -235,28 +263,35 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
           &workload.sharded_weights->W1Shard(rank_plan.experts[le].expert, lane));
       problem1.c.push_back(&y_out[le]);
     }
-    for (const TileRef& tile : schedule1.tiles) {
-      RunTile(problem1, GemmTileCoord{tile.expert_local, tile.row_begin,
-                                      tile.row_end, tile.col_begin,
-                                      tile.col_end});
-    }
+    ParallelFor(
+        0, static_cast<int64_t>(schedule1.tiles.size()), 1,
+        [&](int64_t t) {
+          const TileRef& tile = schedule1.tiles[static_cast<size_t>(t)];
+          RunTile(problem1, GemmTileCoord{tile.expert_local, tile.row_begin,
+                                          tile.row_end, tile.col_begin,
+                                          tile.col_end});
+        });
 
     // Top-k undispatch: every partial output row returns (lane-matched) to
     // the token's home group, unweighted; weights are applied at the
-    // canonical combine below.
+    // canonical combine below. Each (token, slot) pair owns its destination
+    // row and signal word, so the scatter parallelizes per row.
     for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
       const auto& slice = rank_plan.experts[le];
       const auto& order = schedule0.row_order[le];
-      for (size_t pos = 0; pos < order.size(); ++pos) {
-        const ExpertRow& row = slice.rows[static_cast<size_t>(order[pos])];
-        const int dst = placement.RankOf(row.source_group, lane);
-        const int64_t dst_row =
-            (row.token - placement.FirstTokenOfGroup(row.source_group)) * topk +
-            row.slot;
-        heap.PutRowWithSignal(contrib_buf, r, dst, dst_row,
-                              y_out[le].row(static_cast<int64_t>(pos)),
-                              contrib_sig, dst_row);
-      }
+      ParallelFor(
+          0, static_cast<int64_t>(order.size()), 8,
+          [&](int64_t pos) {
+            const ExpertRow& row =
+                slice.rows[static_cast<size_t>(order[static_cast<size_t>(pos)])];
+            const int dst = placement.RankOf(row.source_group, lane);
+            const int64_t dst_row =
+                (row.token - placement.FirstTokenOfGroup(row.source_group)) *
+                    topk +
+                row.slot;
+            heap.PutRowWithSignal(contrib_buf, r, dst, dst_row,
+                                  y_out[le].row(pos), contrib_sig, dst_row);
+          });
     }
   }
 
@@ -267,23 +302,29 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
     const int reader = placement.RankOf(g, 0);
     Tensor result(Shape{group_tokens, n_embed});
     const int64_t first = placement.FirstTokenOfGroup(g);
-    for (int64_t t = 0; t < group_tokens; ++t) {
-      const TokenRoute& route =
-          workload.routing.tokens[static_cast<size_t>(first + t)];
-      // Routes may carry fewer than topk entries (capacity-dropped pairs);
-      // only written slots are consumed.
-      const int64_t slots = static_cast<int64_t>(route.experts.size());
-      for (int64_t k = 0; k < slots; ++k) {
-        for (int l = 0; l < tp; ++l) {
-          heap.WaitSignalGe(contrib_sig, placement.RankOf(g, l), t * topk + k,
-                            1);
-          const auto row =
-              heap.GetRow(contrib_buf, reader, placement.RankOf(g, l),
-                          t * topk + k);
-          result.AccumulateRow(t, row, route.weights[static_cast<size_t>(k)]);
-        }
-      }
-    }
+    // Tokens reduce independently (one output row each); the slot-major,
+    // TP-lane-inner order within a token is preserved inside the body.
+    ParallelFor(
+        0, group_tokens, 4,
+        [&](int64_t t) {
+          thread_local std::vector<float> row_buf;
+          row_buf.resize(static_cast<size_t>(n_embed));
+          const TokenRoute& route =
+              workload.routing.tokens[static_cast<size_t>(first + t)];
+          // Routes may carry fewer than topk entries (capacity-dropped
+          // pairs); only written slots are consumed.
+          const int64_t slots = static_cast<int64_t>(route.experts.size());
+          for (int64_t k = 0; k < slots; ++k) {
+            for (int l = 0; l < tp; ++l) {
+              heap.WaitSignalGe(contrib_sig, placement.RankOf(g, l),
+                                t * topk + k, 1);
+              heap.CopyRow(contrib_buf, reader, placement.RankOf(g, l),
+                           t * topk + k, row_buf);
+              result.AccumulateRow(t, row_buf,
+                                   route.weights[static_cast<size_t>(k)]);
+            }
+          }
+        });
     out.outputs.push_back(std::move(result));
   }
 }

@@ -30,6 +30,11 @@ struct CometOptions {
   int fixed_comm_blocks = 16;
   int64_t tile_m = 128;
   int64_t tile_n = 128;
+  // Worker threads for the parallel functional/timing plane: 0 = the global
+  // pool default (COMET_THREADS env var, else hardware concurrency), 1 = the
+  // old serial behavior. Tiles partition every output disjointly, so the
+  // thread count never changes results (see util/thread_pool.h).
+  int num_threads = 0;
   // Optional cross-run profile cache (paper: metadata written at deployment
   // time). Borrowed pointer; may be null.
   MetadataStore* profile_cache = nullptr;

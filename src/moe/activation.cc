@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace comet {
 
@@ -47,7 +48,11 @@ void ApplyActivationTile(Tensor& t, ActivationKind kind, int64_t row_begin,
 }
 
 void ApplyActivation(Tensor& t, ActivationKind kind) {
-  ApplyActivationTile(t, kind, 0, t.rows(), 0, t.cols());
+  // Elementwise, so a row partition is trivially order-preserving.
+  const int64_t cols = t.cols();
+  ParallelForChunks(0, t.rows(), 16, [&](int64_t rb, int64_t re) {
+    ApplyActivationTile(t, kind, rb, re, 0, cols);
+  });
 }
 
 float ActivationGradScalar(ActivationKind kind, float x) {
@@ -101,7 +106,10 @@ void ApplyActivationGradTile(Tensor& grad, const Tensor& pre,
 
 void ApplyActivationGrad(Tensor& grad, const Tensor& pre,
                          ActivationKind kind) {
-  ApplyActivationGradTile(grad, pre, kind, 0, grad.rows(), 0, grad.cols());
+  const int64_t cols = grad.cols();
+  ParallelForChunks(0, grad.rows(), 16, [&](int64_t rb, int64_t re) {
+    ApplyActivationGradTile(grad, pre, kind, rb, re, 0, cols);
+  });
 }
 
 }  // namespace comet

@@ -5,6 +5,7 @@
 #include "moe/group_gemm.h"
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace comet {
 namespace {
@@ -57,14 +58,14 @@ Tensor WeightedDout(const MoeWorkload& w, const std::vector<Tensor>& dout,
                     const ExpertBatch& batch) {
   Tensor dy(Shape{static_cast<int64_t>(batch.tokens.size()),
                   w.model().embedding});
-  for (size_t i = 0; i < batch.tokens.size(); ++i) {
-    const auto src = DoutRow(w, dout, batch.tokens[i]);
-    auto dst = dy.row(static_cast<int64_t>(i));
-    const float weight = batch.weights[i];
+  ParallelFor(0, static_cast<int64_t>(batch.tokens.size()), 16, [&](int64_t i) {
+    const auto src = DoutRow(w, dout, batch.tokens[static_cast<size_t>(i)]);
+    auto dst = dy.row(i);
+    const float weight = batch.weights[static_cast<size_t>(i)];
     for (size_t c = 0; c < dst.size(); ++c) {
       dst[c] = weight * src[c];
     }
-  }
+  });
   return dy;
 }
 
@@ -140,14 +141,15 @@ MoeGradients ReferenceMoeBackward(const MoeWorkload& w,
   }
 
   // Undispatch: sum the per-slot contributions in canonical slot order.
-  for (int64_t t = 0; t < m; ++t) {
+  // Each token owns one dinput row, so tokens fan out across the pool.
+  ParallelFor(0, m, 8, [&](int64_t t) {
     const int group = w.placement.HomeGroupOfToken(t);
     const int64_t local = t - w.placement.FirstTokenOfGroup(group);
     for (int64_t k = 0; k < topk; ++k) {
       grads.dinput[static_cast<size_t>(group)].AccumulateRow(
           local, contributions.row(t * topk + k), 1.0f);
     }
-  }
+  });
   return grads;
 }
 
@@ -233,7 +235,7 @@ MoeGradients ShardedReferenceMoeBackward(const MoeWorkload& w,
     }
   }
 
-  for (int64_t t = 0; t < m; ++t) {
+  ParallelFor(0, m, 8, [&](int64_t t) {
     const int group = w.placement.HomeGroupOfToken(t);
     const int64_t local = t - w.placement.FirstTokenOfGroup(group);
     for (int64_t k = 0; k < topk; ++k) {
@@ -243,7 +245,7 @@ MoeGradients ShardedReferenceMoeBackward(const MoeWorkload& w,
             1.0f);
       }
     }
-  }
+  });
   return grads;
 }
 

@@ -2,6 +2,7 @@
 
 #include "moe/group_gemm.h"
 #include "util/check.h"
+#include "util/thread_pool.h"
 
 namespace comet {
 
@@ -19,9 +20,10 @@ ExpertBatch GatherExpertBatch(const MoeWorkload& w, int64_t expert) {
   }
   batch.rows = Tensor(Shape{static_cast<int64_t>(batch.tokens.size()),
                             w.model().embedding});
-  for (size_t i = 0; i < batch.tokens.size(); ++i) {
-    batch.rows.SetRow(static_cast<int64_t>(i), w.TokenRow(batch.tokens[i]));
-  }
+  ParallelFor(0, static_cast<int64_t>(batch.tokens.size()), 16,
+              [&](int64_t i) {
+                batch.rows.SetRow(i, w.TokenRow(batch.tokens[static_cast<size_t>(i)]));
+              });
   return batch;
 }
 
@@ -33,9 +35,8 @@ std::vector<Tensor> SplitPerGroup(const MoeWorkload& w, const Tensor& global) {
   for (int g = 0; g < w.placement.parallel().ep; ++g) {
     Tensor out(Shape{w.placement.tokens_per_group(), w.model().embedding});
     const int64_t base = w.placement.FirstTokenOfGroup(g);
-    for (int64_t i = 0; i < out.rows(); ++i) {
-      out.SetRow(i, global.row(base + i));
-    }
+    ParallelFor(0, out.rows(), 16,
+                [&](int64_t i) { out.SetRow(i, global.row(base + i)); });
     outputs.push_back(std::move(out));
   }
   return outputs;
@@ -69,13 +70,13 @@ std::vector<Tensor> ReferenceMoeLayer(const MoeWorkload& w) {
     }
   }
 
-  // Combine in canonical slot-ascending order.
+  // Combine in canonical slot-ascending order; tokens own disjoint rows.
   Tensor global(Shape{m, n});
-  for (int64_t t = 0; t < m; ++t) {
+  ParallelFor(0, m, 8, [&](int64_t t) {
     for (int64_t k = 0; k < topk; ++k) {
       global.AccumulateRow(t, contributions.row(t * topk + k), 1.0f);
     }
-  }
+  });
   return SplitPerGroup(w, global);
 }
 
@@ -115,14 +116,14 @@ std::vector<Tensor> ShardedReferenceMoeLayer(const MoeWorkload& w) {
     }
   }
 
-  for (int64_t t = 0; t < m; ++t) {
+  ParallelFor(0, m, 8, [&](int64_t t) {
     for (int64_t k = 0; k < topk; ++k) {
       for (int r = 0; r < tp; ++r) {
         global.AccumulateRow(t, partials[static_cast<size_t>(r)].row(t * topk + k),
                              1.0f);
       }
     }
-  }
+  });
   return SplitPerGroup(w, global);
 }
 

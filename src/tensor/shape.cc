@@ -39,14 +39,13 @@ std::vector<int64_t> Shape::Strides() const {
   return strides;
 }
 
-int64_t Shape::FlatIndex(const std::vector<int64_t>& index) const {
+int64_t Shape::FlatIndex(std::span<const int64_t> index) const {
   COMET_CHECK_EQ(index.size(), dims_.size());
-  const auto strides = Strides();
   int64_t flat = 0;
   for (size_t i = 0; i < index.size(); ++i) {
     COMET_CHECK_GE(index[i], 0);
     COMET_CHECK_LT(index[i], dims_[i]);
-    flat += index[i] * strides[i];
+    flat = flat * dims_[i] + index[i];
   }
   return flat;
 }

@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <initializer_list>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -26,8 +27,12 @@ class Shape {
   std::vector<int64_t> Strides() const;
 
   // Flat row-major offset for the given index vector (must match rank, each
-  // index in range).
-  int64_t FlatIndex(const std::vector<int64_t>& index) const;
+  // index in range). The span overload is allocation-free (Horner form, no
+  // materialized strides) -- the one hot paths like Tensor::at() use.
+  int64_t FlatIndex(std::span<const int64_t> index) const;
+  int64_t FlatIndex(const std::vector<int64_t>& index) const {
+    return FlatIndex(std::span<const int64_t>(index));
+  }
 
   bool operator==(const Shape& other) const { return dims_ == other.dims_; }
   bool operator!=(const Shape& other) const { return !(*this == other); }

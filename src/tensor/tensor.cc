@@ -5,6 +5,7 @@
 
 #include "util/check.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace comet {
 
@@ -47,13 +48,19 @@ double Tensor::LogicalBytes() const {
 }
 
 float& Tensor::at(std::initializer_list<int64_t> index) {
-  return data_[static_cast<size_t>(
-      shape_.FlatIndex(std::vector<int64_t>(index)))];
+  return at(std::span<const int64_t>(index.begin(), index.size()));
 }
 
 float Tensor::at(std::initializer_list<int64_t> index) const {
-  return data_[static_cast<size_t>(
-      shape_.FlatIndex(std::vector<int64_t>(index)))];
+  return at(std::span<const int64_t>(index.begin(), index.size()));
+}
+
+float& Tensor::at(std::span<const int64_t> index) {
+  return data_[static_cast<size_t>(shape_.FlatIndex(index))];
+}
+
+float Tensor::at(std::span<const int64_t> index) const {
+  return data_[static_cast<size_t>(shape_.FlatIndex(index))];
 }
 
 int64_t Tensor::rows() const {
@@ -84,9 +91,10 @@ Tensor Tensor::GatherRows(const Tensor& src, const std::vector<int64_t>& indices
   COMET_CHECK_EQ(src.shape().rank(), 2u);
   Tensor out(Shape{static_cast<int64_t>(indices.size()), src.cols()},
              src.dtype());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    out.SetRow(static_cast<int64_t>(i), src.row(indices[i]));
-  }
+  // Destination rows are disjoint; fan the copies across the pool.
+  ParallelFor(0, static_cast<int64_t>(indices.size()), 32, [&](int64_t i) {
+    out.SetRow(i, src.row(indices[static_cast<size_t>(i)]));
+  });
   return out;
 }
 

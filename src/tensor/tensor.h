@@ -42,8 +42,12 @@ class Tensor {
   std::span<float> data() { return std::span<float>(data_); }
   std::span<const float> data() const { return std::span<const float>(data_); }
 
+  // Element access. Allocation-free: the index list is consumed as a span
+  // (hot loops like dgate accumulation call this per element).
   float& at(std::initializer_list<int64_t> index);
   float at(std::initializer_list<int64_t> index) const;
+  float& at(std::span<const int64_t> index);
+  float at(std::span<const int64_t> index) const;
 
   // Rank-2 helpers. Row views are spans over contiguous storage.
   int64_t rows() const;

@@ -1,0 +1,271 @@
+#include "util/thread_pool.h"
+
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace comet {
+namespace {
+
+// Set while a pool worker (or a thread executing a chunk inline on behalf of
+// a ParallelFor) is running task code; nested ParallelFor calls detect it
+// and degrade to inline execution instead of deadlocking on a full queue.
+thread_local bool t_inside_parallel_region = false;
+
+// Same bound comet_bench --threads enforces: keeps the long->int cast from
+// silently truncating (COMET_THREADS=2^32 would read as 0) and keeps
+// ThreadPool from attempting hundreds of thousands of std::thread spawns
+// (which throw system_error and terminate the process).
+constexpr long kMaxThreads = 4096;
+
+int DefaultThreadCount() {
+  if (const char* env = std::getenv("COMET_THREADS")) {
+    char* end = nullptr;
+    const long n = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && n >= 1) {
+      return static_cast<int>(n < kMaxThreads ? n : kMaxThreads);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  bool stopping = false;
+
+  explicit Impl(int worker_count) {
+    workers.reserve(static_cast<size_t>(worker_count));
+    for (int i = 0; i < worker_count; ++i) {
+      workers.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~Impl() {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      stopping = true;
+    }
+    cv.notify_all();
+    for (std::thread& t : workers) {
+      t.join();
+    }
+  }
+
+  void WorkerLoop() {
+    t_inside_parallel_region = true;  // workers always run task code
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        cv.wait(lock, [this] { return stopping || !queue.empty(); });
+        if (queue.empty()) {
+          return;  // stopping and drained
+        }
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+    }
+  }
+
+  void Submit(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      queue.push_back(std::move(task));
+    }
+    cv.notify_one();
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(num_threads < 1 ? 1 : num_threads) {
+  if (num_threads_ > 1) {
+    impl_ = std::make_unique<Impl>(num_threads_ - 1);
+  }
+}
+
+ThreadPool::~ThreadPool() = default;
+
+void ThreadPool::ParallelForChunks(
+    int64_t begin, int64_t end, int64_t grain,
+    const std::function<void(int64_t, int64_t)>& fn, int max_chunks) {
+  if (begin >= end) {
+    return;
+  }
+  if (grain < 1) {
+    grain = 1;
+  }
+  const int64_t range = end - begin;
+  int64_t chunks = num_threads_;
+  if (max_chunks > 0 && max_chunks < chunks) {
+    chunks = max_chunks;
+  }
+  // Floor division: every chunk gets at least `grain` indices, as the
+  // header promises (ceil would allow chunks just over grain/2).
+  const int64_t by_grain = range / grain > 0 ? range / grain : 1;
+  if (by_grain < chunks) {
+    chunks = by_grain;
+  }
+  if (chunks <= 1 || impl_ == nullptr || t_inside_parallel_region) {
+    // Serial / nested path: same chunk boundaries would be produced, and the
+    // body observes the identical index order.
+    const bool was_inside = t_inside_parallel_region;
+    t_inside_parallel_region = true;
+    try {
+      fn(begin, end);
+    } catch (...) {
+      t_inside_parallel_region = was_inside;
+      throw;
+    }
+    t_inside_parallel_region = was_inside;
+    return;
+  }
+
+  // Static partition: chunk c covers base indices; the first `rem` chunks
+  // take one extra. Depends only on (range, chunks) -- deterministic.
+  const int64_t base = range / chunks;
+  const int64_t rem = range % chunks;
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    int64_t remaining = 0;
+    std::vector<std::exception_ptr> errors;
+  } shared;
+  shared.remaining = chunks;
+  shared.errors.assign(static_cast<size_t>(chunks), nullptr);
+
+  auto run_chunk = [&](int64_t c) {
+    int64_t chunk_begin = begin + c * base + (c < rem ? c : rem);
+    int64_t chunk_end = chunk_begin + base + (c < rem ? 1 : 0);
+    try {
+      fn(chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      shared.errors[static_cast<size_t>(c)] = std::current_exception();
+    }
+    {
+      std::lock_guard<std::mutex> lock(shared.mutex);
+      if (--shared.remaining == 0) {
+        shared.done_cv.notify_all();
+      }
+    }
+  };
+
+  for (int64_t c = 1; c < chunks; ++c) {
+    impl_->Submit([&run_chunk, c] {
+      run_chunk(c);
+    });
+  }
+  // The calling thread takes chunk 0 (and is inside a parallel region while
+  // doing so, so nested ParallelFor calls inline).
+  {
+    const bool was_inside = t_inside_parallel_region;
+    t_inside_parallel_region = true;
+    run_chunk(0);
+    t_inside_parallel_region = was_inside;
+  }
+  {
+    std::unique_lock<std::mutex> lock(shared.mutex);
+    shared.done_cv.wait(lock, [&shared] { return shared.remaining == 0; });
+  }
+  for (const std::exception_ptr& err : shared.errors) {
+    if (err) {
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t)>& fn,
+                             int max_chunks) {
+  ParallelForChunks(
+      begin, end, grain,
+      [&fn](int64_t chunk_begin, int64_t chunk_end) {
+        for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+          fn(i);
+        }
+      },
+      max_chunks);
+}
+
+namespace {
+
+// Per-thread cap installed by ScopedThreadLimit; 0 = uncapped.
+thread_local int t_thread_limit = 0;
+
+int CombineLimits(int a, int b) {
+  if (a <= 0) {
+    return b;
+  }
+  if (b <= 0) {
+    return a;
+  }
+  return a < b ? a : b;
+}
+
+// Slot + creation lock are intentionally leaked: pool workers may still be
+// parked in the queue at process exit, and running their destructor from a
+// static-destruction context would join against dead TLS.
+std::mutex& GlobalPoolMutex() {
+  static std::mutex* m = new std::mutex();
+  return *m;
+}
+
+std::unique_ptr<ThreadPool>& GlobalPoolSlot() {
+  static std::unique_ptr<ThreadPool>* slot = new std::unique_ptr<ThreadPool>();
+  return *slot;
+}
+
+}  // namespace
+
+ThreadPool& GlobalThreadPool() {
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  auto& slot = GlobalPoolSlot();
+  if (slot == nullptr) {
+    slot = std::make_unique<ThreadPool>(DefaultThreadCount());
+  }
+  return *slot;
+}
+
+int GlobalThreadCount() { return GlobalThreadPool().num_threads(); }
+
+void SetGlobalThreadCount(int n) {
+  auto fresh = std::make_unique<ThreadPool>(n < 1 ? 1 : n);
+  std::lock_guard<std::mutex> lock(GlobalPoolMutex());
+  // The old pool (if any) joins its workers here; callers must not hold
+  // in-flight ParallelFor regions on it (see header).
+  GlobalPoolSlot() = std::move(fresh);
+}
+
+ScopedThreadLimit::ScopedThreadLimit(int max_threads)
+    : previous_(t_thread_limit) {
+  t_thread_limit = CombineLimits(previous_, max_threads);
+}
+
+ScopedThreadLimit::~ScopedThreadLimit() { t_thread_limit = previous_; }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t)>& fn, int max_threads) {
+  GlobalThreadPool().ParallelFor(begin, end, grain, fn,
+                                 CombineLimits(t_thread_limit, max_threads));
+}
+
+void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& fn,
+                       int max_threads) {
+  GlobalThreadPool().ParallelForChunks(
+      begin, end, grain, fn, CombineLimits(t_thread_limit, max_threads));
+}
+
+}  // namespace comet

@@ -1,0 +1,91 @@
+// Fixed-size worker pool with a deterministic ParallelFor primitive.
+//
+// The functional plane executes GroupGEMM tiles, row gathers/scatters and
+// per-rank simulations that are all embarrassingly parallel: every unit of
+// work writes a disjoint slice of the output. ParallelFor splits an index
+// range into at most num_threads contiguous chunks with STATIC partitioning
+// (chunk boundaries depend only on the range, the grain and the worker
+// count), so a run is reproducible and -- because the work units never share
+// output elements -- bit-exact at any thread count.
+//
+// Nested calls (a ParallelFor issued from inside a worker) run inline on the
+// calling worker; the pool never deadlocks on its own tasks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+namespace comet {
+
+class ThreadPool {
+ public:
+  // Spawns num_threads - 1 workers (the calling thread always executes the
+  // first chunk itself); num_threads <= 1 means fully inline execution.
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  // Calls fn(i) for every i in [begin, end) exactly once, split into at most
+  // min(num_threads, max_chunks) contiguous chunks (max_chunks 0 = pool
+  // size) of at least `grain` indices each. Blocks until every chunk
+  // finished. If any fn throws, the exception from the lowest-numbered
+  // failing chunk is rethrown after all chunks complete.
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t)>& fn, int max_chunks = 0);
+
+  // Chunk-granular variant: fn(chunk_begin, chunk_end) once per chunk.
+  // Preferred for fine-grained bodies (amortizes the per-index indirection).
+  void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                         const std::function<void(int64_t, int64_t)>& fn,
+                         int max_chunks = 0);
+
+ private:
+  struct Impl;
+  int num_threads_ = 1;
+  std::unique_ptr<Impl> impl_;
+};
+
+// Process-wide pool, created on first use. Size: COMET_THREADS env var if
+// set to a positive integer, else std::thread::hardware_concurrency().
+ThreadPool& GlobalThreadPool();
+
+// Number of threads the global pool (would) use.
+int GlobalThreadCount();
+
+// Replaces the global pool with one of `n` threads (n < 1 clamps to 1).
+// Call at startup or between parallel regions; not safe concurrently with a
+// running ParallelFor.
+void SetGlobalThreadCount(int n);
+
+// Convenience wrappers over the global pool. `max_threads` caps the chunk
+// count for this call only: 0 = pool size, 1 = serial inline execution
+// (the pre-parallel behavior). An enclosing ScopedThreadLimit also applies
+// (the smaller of the two wins).
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t)>& fn, int max_threads = 0);
+void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                       const std::function<void(int64_t, int64_t)>& fn,
+                       int max_threads = 0);
+
+// Caps every global-pool ParallelFor issued by THIS thread (and, because
+// nested regions run inline, by the work it fans out) while in scope: the
+// executors install one from CometOptions::num_threads so the cap reaches
+// the whole-matrix Gemm/activation wrappers they call indirectly. 0 = no
+// cap; nesting keeps the innermost-smallest limit.
+class ScopedThreadLimit {
+ public:
+  explicit ScopedThreadLimit(int max_threads);
+  ~ScopedThreadLimit();
+  ScopedThreadLimit(const ScopedThreadLimit&) = delete;
+  ScopedThreadLimit& operator=(const ScopedThreadLimit&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace comet

@@ -1,0 +1,233 @@
+// Thread pool: startup/shutdown, exact index coverage, exception
+// propagation, nesting -- and the determinism contract the parallel
+// functional plane rests on: GroupGEMM results are bit-identical at 1 vs N
+// threads for all three transpose variants.
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "moe/group_gemm.h"
+#include "tensor/tensor.h"
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace comet {
+namespace {
+
+TEST(ThreadPool, StartupShutdown) {
+  for (int n : {1, 2, 4, 8}) {
+    ThreadPool pool(n);
+    EXPECT_EQ(pool.num_threads(), n);
+  }
+  // Destruction with queued-but-finished work and repeated construction must
+  // not hang or leak threads (run a quick op through each).
+  for (int round = 0; round < 3; ++round) {
+    ThreadPool pool(4);
+    std::atomic<int64_t> sum{0};
+    pool.ParallelFor(0, 100, 1, [&](int64_t i) { sum += i; });
+    EXPECT_EQ(sum.load(), 4950);
+  }
+}
+
+TEST(ThreadPool, ClampsNonPositiveThreadCount) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1);
+  ThreadPool pool2(-3);
+  EXPECT_EQ(pool2.num_threads(), 1);
+}
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  for (int64_t range : {0, 1, 3, 4, 5, 64, 1000}) {
+    for (int64_t grain : {1, 7, 100}) {
+      std::vector<std::atomic<int>> hits(static_cast<size_t>(range));
+      pool.ParallelFor(0, range, grain,
+                       [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+      for (int64_t i = 0; i < range; ++i) {
+        EXPECT_EQ(hits[static_cast<size_t>(i)].load(), 1)
+            << "index " << i << " range " << range << " grain " << grain;
+      }
+    }
+  }
+}
+
+TEST(ThreadPool, ParallelForHonorsNonZeroBegin) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(20);
+  pool.ParallelFor(5, 17, 1, [&](int64_t i) { hits[static_cast<size_t>(i)]++; });
+  for (int64_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(hits[static_cast<size_t>(i)].load(), (i >= 5 && i < 17) ? 1 : 0);
+  }
+}
+
+TEST(ThreadPool, ParallelForChunksPartitionIsDisjointAndComplete) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  std::atomic<int> chunks{0};
+  pool.ParallelForChunks(0, 100, 1, [&](int64_t b, int64_t e) {
+    EXPECT_LT(b, e);
+    ++chunks;
+    for (int64_t i = b; i < e; ++i) {
+      hits[static_cast<size_t>(i)]++;
+    }
+  });
+  EXPECT_LE(chunks.load(), 4);
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, GrainLimitsChunkCount) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.ParallelForChunks(0, 10, 5, [&](int64_t, int64_t) { ++chunks; });
+  // ceil(10 / 5) = 2 chunks at most, despite 8 workers.
+  EXPECT_LE(chunks.load(), 2);
+}
+
+TEST(ThreadPool, MaxChunksCapsFanout) {
+  ThreadPool pool(8);
+  std::atomic<int> chunks{0};
+  pool.ParallelForChunks(0, 1000, 1, [&](int64_t, int64_t) { ++chunks; }, 2);
+  EXPECT_LE(chunks.load(), 2);
+}
+
+TEST(ThreadPool, ExceptionPropagates) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.ParallelFor(0, 100, 1,
+                       [&](int64_t i) {
+                         if (i == 7) {
+                           throw std::runtime_error("boom");
+                         }
+                       }),
+      std::runtime_error);
+  // CheckError from task bodies surfaces too (the functional plane throws
+  // CheckError on schedule bugs).
+  EXPECT_THROW(pool.ParallelFor(0, 8, 1,
+                                [&](int64_t i) { COMET_CHECK_LT(i, 4); }),
+               CheckError);
+  // The pool stays usable after a failed region.
+  std::atomic<int64_t> sum{0};
+  pool.ParallelFor(0, 10, 1, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInline) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(64);
+  pool.ParallelFor(0, 8, 1, [&](int64_t outer) {
+    // Nested region: must complete inline without deadlock.
+    pool.ParallelFor(0, 8, 1, [&](int64_t inner) {
+      hits[static_cast<size_t>(outer * 8 + inner)]++;
+    });
+  });
+  for (auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ThreadPool, ScopedThreadLimitCapsGlobalParallelFor) {
+  SetGlobalThreadCount(8);
+  std::atomic<int> chunks{0};
+  {
+    ScopedThreadLimit limit(2);
+    ParallelForChunks(0, 1000, 1, [&](int64_t, int64_t) { ++chunks; });
+    EXPECT_LE(chunks.load(), 2);
+    // Nested scopes keep the smallest cap.
+    chunks = 0;
+    {
+      ScopedThreadLimit wider(4);
+      ParallelForChunks(0, 1000, 1, [&](int64_t, int64_t) { ++chunks; });
+      EXPECT_LE(chunks.load(), 2);
+    }
+  }
+  // Cap lifts with the scope.
+  chunks = 0;
+  ParallelForChunks(0, 1000, 1, [&](int64_t, int64_t) { ++chunks; });
+  EXPECT_LE(chunks.load(), 8);
+  EXPECT_GT(chunks.load(), 2);
+  SetGlobalThreadCount(1);
+}
+
+TEST(ThreadPool, GlobalPoolResize) {
+  SetGlobalThreadCount(3);
+  EXPECT_EQ(GlobalThreadCount(), 3);
+  std::atomic<int64_t> sum{0};
+  ParallelFor(0, 100, 1, [&](int64_t i) { sum += i; });
+  EXPECT_EQ(sum.load(), 4950);
+  SetGlobalThreadCount(1);
+  EXPECT_EQ(GlobalThreadCount(), 1);
+}
+
+// ---- determinism: 1 thread vs N threads, all three transpose variants -----
+
+TEST(ThreadPoolDeterminism, GroupGemmBitIdenticalAcrossThreadCounts) {
+  // Odd sizes on purpose: exercises the microkernels' edge blocks in
+  // different positions depending on the chunking.
+  const int64_t m = 67, k = 96, n = 51;
+  Rng rng(11);
+  const Tensor a = Tensor::Randn(Shape{m, k}, rng);
+  const Tensor b = Tensor::Randn(Shape{k, n}, rng);     // for NN
+  const Tensor bt = Tensor::Randn(Shape{n, k}, rng);    // for NT
+  const Tensor btn = Tensor::Randn(Shape{m, n}, rng);   // for TN
+
+  SetGlobalThreadCount(1);
+  Tensor c_nn_1(Shape{m, n}), c_nt_1(Shape{m, n}), c_tn_1(Shape{k, n});
+  Gemm(a, b, c_nn_1);
+  GemmNT(a, bt, c_nt_1);
+  GemmTN(a, btn, c_tn_1);
+
+  for (int threads : {2, 4, 8}) {
+    SetGlobalThreadCount(threads);
+    Tensor c_nn(Shape{m, n}), c_nt(Shape{m, n}), c_tn(Shape{k, n});
+    Gemm(a, b, c_nn);
+    GemmNT(a, bt, c_nt);
+    GemmTN(a, btn, c_tn);
+    EXPECT_EQ(Tensor::MaxAbsDiff(c_nn_1, c_nn), 0.0f) << threads << " threads (NN)";
+    EXPECT_EQ(Tensor::MaxAbsDiff(c_nt_1, c_nt), 0.0f) << threads << " threads (NT)";
+    EXPECT_EQ(Tensor::MaxAbsDiff(c_tn_1, c_tn), 0.0f) << threads << " threads (TN)";
+  }
+  SetGlobalThreadCount(1);
+}
+
+TEST(ThreadPoolDeterminism, GroupedProblemBitIdenticalAcrossThreadCounts) {
+  // The grouped tile path (what the COMET executor dispatches): run the
+  // full tile list serially, then at 8 threads, and demand bit equality.
+  const int64_t k = 72, n = 48;
+  Rng rng(21);
+  std::vector<Tensor> a_store, b_store, c_serial, c_parallel;
+  GroupGemmProblem serial, parallel;
+  for (int64_t g = 0; g < 4; ++g) {
+    a_store.push_back(Tensor::Randn(Shape{40 + 9 * g, k}, rng));
+    b_store.push_back(Tensor::Randn(Shape{k, n}, rng));
+    c_serial.emplace_back(Shape{a_store.back().rows(), n});
+    c_parallel.emplace_back(Shape{a_store.back().rows(), n});
+  }
+  for (size_t g = 0; g < a_store.size(); ++g) {
+    serial.a.push_back(&a_store[g]);
+    serial.b.push_back(&b_store[g]);
+    serial.c.push_back(&c_serial[g]);
+    parallel.a.push_back(&a_store[g]);
+    parallel.b.push_back(&b_store[g]);
+    parallel.c.push_back(&c_parallel[g]);
+  }
+  const auto tiles = EnumerateTiles(serial, 16, 16);
+
+  SetGlobalThreadCount(1);
+  RunGroupGemm(serial, tiles);
+  SetGlobalThreadCount(8);
+  RunGroupGemm(parallel, tiles);
+  SetGlobalThreadCount(1);
+
+  for (size_t g = 0; g < c_serial.size(); ++g) {
+    EXPECT_EQ(Tensor::MaxAbsDiff(c_serial[g], c_parallel[g]), 0.0f)
+        << "group " << g;
+  }
+}
+
+}  // namespace
+}  // namespace comet
