@@ -77,7 +77,13 @@ struct BenchRegistrar {
 //   --only SUBSTR     comma-separated substring filters
 //   --repeat N        run each selected bench N times
 //   --json PATH       write name/metric/value records as JSON
+//   --ranks R         EP world size for the functional multi-rank benches
 int BenchMain(int argc, char** argv);
+
+// Expert-parallel world size the functional multi-rank benches execute with
+// (ext_multinode_functional). Set by `comet_bench --ranks R`; default 4.
+int BenchRanks();
+void SetBenchRanks(int ranks);
 
 // Runs exactly one bench by full name (used by the per-figure binaries).
 int RunSingleBench(const std::string& name);

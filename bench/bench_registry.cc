@@ -122,10 +122,18 @@ void PrintUsage() {
       "  --json PATH      write per-bench name/metric/value records\n"
       "  --threads N      worker threads for the functional/timing plane\n"
       "                   (default: COMET_THREADS env, else hardware)\n"
+      "  --ranks R        expert-parallel ranks for the functional\n"
+      "                   multi-rank benches (default 4)\n"
       "  --help           this message\n";
 }
 
+int g_bench_ranks = 4;
+
 }  // namespace
+
+int BenchRanks() { return g_bench_ranks; }
+
+void SetBenchRanks(int ranks) { g_bench_ranks = ranks; }
 
 std::vector<BenchInfo>& Registry() {
   static std::vector<BenchInfo>* registry = new std::vector<BenchInfo>();
@@ -210,6 +218,19 @@ int BenchMain(int argc, char** argv) {
         return 2;
       }
       SetGlobalThreadCount(static_cast<int>(n));
+    } else if (arg == "--ranks") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      char* end = nullptr;
+      const long n = std::strtol(v, &end, 10);
+      // 64 ranks = 64 dedicated rank threads in the functional plane; more
+      // is a typo, not a benchmark.
+      if (end == v || *end != '\0' || n < 1 || n > 64) {
+        std::cerr << "comet_bench: --ranks needs an integer in [1, 64], "
+                  << "got '" << v << "'\n";
+        return 2;
+      }
+      SetBenchRanks(static_cast<int>(n));
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;

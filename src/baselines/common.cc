@@ -5,6 +5,7 @@
 
 #include "comm/collectives.h"
 #include "moe/group_gemm.h"
+#include "runtime/rank_group.h"
 #include "util/check.h"
 
 namespace comet {
@@ -126,7 +127,12 @@ std::vector<Tensor> CanonicalFunctionalMoe(const MoeWorkload& workload) {
     }
   }
 
-  for (int g = 0; g < ep; ++g) {
+  // One RankGroup task per EP group. The baselines separate communication
+  // from computation with a full barrier (that is the point of the paper's
+  // comparison), so the producer phase ends at a barrier instead of
+  // per-row signals: contributions scatter into peer groups' buffers, the
+  // barrier stands in for the return all-to-all, then every group combines.
+  const auto produce = [&](int g) {
     const RankPlan& rank_plan = plan.ForGroup(g);
     for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
       const auto& slice = rank_plan.experts[le];
@@ -157,18 +163,20 @@ std::vector<Tensor> CanonicalFunctionalMoe(const MoeWorkload& workload) {
         }
       }
     }
-  }
+  };
 
   // Canonical combine: slot-major, TP-lane inner.
-  std::vector<Tensor> outputs;
-  outputs.reserve(static_cast<size_t>(ep));
-  for (int g = 0; g < ep; ++g) {
+  std::vector<Tensor> outputs(static_cast<size_t>(ep));
+  const auto consume = [&](int g) {
     Tensor result(Shape{group_tokens, n_embed});
     const int64_t first = placement.FirstTokenOfGroup(g);
     for (int64_t t = 0; t < group_tokens; ++t) {
       const TokenRoute& route =
           workload.routing.tokens[static_cast<size_t>(first + t)];
-      for (int64_t k = 0; k < topk; ++k) {
+      // Routes may carry fewer than topk entries (capacity-dropped pairs);
+      // only written slots are consumed.
+      const int64_t slots = static_cast<int64_t>(route.experts.size());
+      for (int64_t k = 0; k < slots; ++k) {
         for (int l = 0; l < tp; ++l) {
           result.AccumulateRow(
               t,
@@ -178,8 +186,11 @@ std::vector<Tensor> CanonicalFunctionalMoe(const MoeWorkload& workload) {
         }
       }
     }
-    outputs.push_back(std::move(result));
-  }
+    outputs[static_cast<size_t>(g)] = std::move(result);
+  };
+
+  RankGroup group(ep, RankGroupOptions{.phase_barrier = true});
+  group.Run(produce, consume);
   return outputs;
 }
 

@@ -1,6 +1,8 @@
 #include "comm/symmetric_heap.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "util/check.h"
 
@@ -8,7 +10,7 @@ namespace comet {
 
 SymmetricHeap::SymmetricHeap(int world_size)
     : world_size_(world_size),
-      traffic_(static_cast<size_t>(world_size) * world_size, 0.0) {
+      traffic_(static_cast<size_t>(world_size) * static_cast<size_t>(world_size)) {
   COMET_CHECK_GT(world_size_, 0);
 }
 
@@ -36,29 +38,60 @@ const SymmetricHeap::Allocation& SymmetricHeap::Get(SymmetricBufferId buf) const
   return buffers_[static_cast<size_t>(buf)];
 }
 
+void SymmetricHeap::CheckRank(const Allocation& alloc, int rank,
+                              const char* op, const char* role) const {
+  COMET_CHECK(rank >= 0 && rank < world_size_)
+      << op << " on \"" << alloc.name << "\": " << role << " rank " << rank
+      << " out of range [0, " << world_size_ << ")";
+}
+
+Tensor& SymmetricHeap::DataLocal(const Allocation& alloc, int rank,
+                                 const char* op) const {
+  COMET_CHECK(!alloc.per_rank.empty())
+      << op << " on \"" << alloc.name
+      << "\": signal-only allocation has no data rows";
+  CheckRank(alloc, rank, op, "target");
+  // The heap is logically mutable through any buffer id; Allocation lookups
+  // are shared between const and non-const entry points.
+  return const_cast<Tensor&>(alloc.per_rank[static_cast<size_t>(rank)]);
+}
+
+namespace {
+
+void CheckRowInRange(const std::string& name, const Tensor& t, int64_t row,
+                     const char* op) {
+  COMET_CHECK(row >= 0 && row < t.rows())
+      << op << " on \"" << name << "\": row " << row << " out of range [0, "
+      << t.rows() << ")";
+}
+
+}  // namespace
+
 Tensor& SymmetricHeap::Local(SymmetricBufferId buf, int rank) {
-  COMET_CHECK_GE(rank, 0);
-  COMET_CHECK_LT(rank, world_size_);
-  return Get(buf).per_rank[static_cast<size_t>(rank)];
+  return DataLocal(Get(buf), rank, "Local");
 }
 
 const Tensor& SymmetricHeap::Local(SymmetricBufferId buf, int rank) const {
-  COMET_CHECK_GE(rank, 0);
-  COMET_CHECK_LT(rank, world_size_);
-  return Get(buf).per_rank[static_cast<size_t>(rank)];
+  return DataLocal(Get(buf), rank, "Local");
 }
 
 void SymmetricHeap::AccountTraffic(int src, int dst, double bytes) {
   if (src == dst) {
     return;
   }
-  std::lock_guard<std::mutex> lock(traffic_mutex_);
-  traffic_[static_cast<size_t>(src) * world_size_ + dst] += bytes;
+  // Byte counts are whole numbers (rows x dtype size); summing them in any
+  // order gives the same totals, so relaxed adds suffice.
+  traffic_[static_cast<size_t>(src) * static_cast<size_t>(world_size_) +
+           static_cast<size_t>(dst)]
+      .fetch_add(static_cast<uint64_t>(bytes), std::memory_order_relaxed);
 }
 
 void SymmetricHeap::PutRow(SymmetricBufferId buf, int src_rank, int dst_rank,
                            int64_t dst_row, std::span<const float> data) {
-  Tensor& dst = Local(buf, dst_rank);
+  const Allocation& alloc = Get(buf);
+  CheckRank(alloc, src_rank, "PutRow", "source");
+  Tensor& dst = DataLocal(alloc, dst_rank, "PutRow");
+  CheckRowInRange(alloc.name, dst, dst_row, "PutRow");
   dst.SetRow(dst_row, data);
   AccountTraffic(src_rank, dst_rank,
                  static_cast<double>(data.size()) *
@@ -67,7 +100,10 @@ void SymmetricHeap::PutRow(SymmetricBufferId buf, int src_rank, int dst_rank,
 
 std::vector<float> SymmetricHeap::GetRow(SymmetricBufferId buf, int reader_rank,
                                          int owner_rank, int64_t row) {
-  const Tensor& src = Local(buf, owner_rank);
+  const Allocation& alloc = Get(buf);
+  CheckRank(alloc, reader_rank, "GetRow", "reader");
+  const Tensor& src = DataLocal(alloc, owner_rank, "GetRow");
+  CheckRowInRange(alloc.name, src, row, "GetRow");
   auto view = src.row(row);
   AccountTraffic(owner_rank, reader_rank,
                  static_cast<double>(view.size()) *
@@ -77,7 +113,10 @@ std::vector<float> SymmetricHeap::GetRow(SymmetricBufferId buf, int reader_rank,
 
 void SymmetricHeap::CopyRow(SymmetricBufferId buf, int reader_rank,
                             int owner_rank, int64_t row, std::span<float> dst) {
-  const Tensor& src = Local(buf, owner_rank);
+  const Allocation& alloc = Get(buf);
+  CheckRank(alloc, reader_rank, "CopyRow", "reader");
+  const Tensor& src = DataLocal(alloc, owner_rank, "CopyRow");
+  CheckRowInRange(alloc.name, src, row, "CopyRow");
   auto view = src.row(row);
   COMET_CHECK_EQ(view.size(), dst.size());
   AccountTraffic(owner_rank, reader_rank,
@@ -89,7 +128,10 @@ void SymmetricHeap::CopyRow(SymmetricBufferId buf, int reader_rank,
 void SymmetricHeap::AccumulateRow(SymmetricBufferId buf, int src_rank,
                                   int dst_rank, int64_t dst_row,
                                   std::span<const float> data, float weight) {
-  Tensor& dst = Local(buf, dst_rank);
+  const Allocation& alloc = Get(buf);
+  CheckRank(alloc, src_rank, "AccumulateRow", "source");
+  Tensor& dst = DataLocal(alloc, dst_rank, "AccumulateRow");
+  CheckRowInRange(alloc.name, dst, dst_row, "AccumulateRow");
   dst.AccumulateRow(dst_row, data, weight);
   AccountTraffic(src_rank, dst_rank,
                  static_cast<double>(data.size()) *
@@ -101,10 +143,29 @@ SymmetricBufferId SymmetricHeap::AllocateSignals(const std::string& name,
   COMET_CHECK_GT(count, 0);
   Allocation alloc;
   alloc.name = name;
-  alloc.signals.assign(static_cast<size_t>(world_size_),
-                       std::vector<uint64_t>(static_cast<size_t>(count), 0));
+  alloc.signals.reserve(static_cast<size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r) {
+    // Value-initialized atomics: every word starts at 0.
+    alloc.signals.emplace_back(static_cast<size_t>(count));
+  }
   buffers_.push_back(std::move(alloc));
   return static_cast<SymmetricBufferId>(buffers_.size()) - 1;
+}
+
+const std::atomic<uint64_t>& SymmetricHeap::SignalWord(SymmetricBufferId sig,
+                                                       int rank,
+                                                       int64_t sig_index,
+                                                       const char* op) const {
+  const Allocation& alloc = Get(sig);
+  COMET_CHECK(!alloc.signals.empty())
+      << op << " on \"" << alloc.name << "\": not a signal allocation";
+  CheckRank(alloc, rank, op, "signal");
+  const auto& words = alloc.signals[static_cast<size_t>(rank)];
+  COMET_CHECK(sig_index >= 0 &&
+              static_cast<size_t>(sig_index) < words.size())
+      << op << " on \"" << alloc.name << "\": signal index " << sig_index
+      << " out of range [0, " << words.size() << ")";
+  return words[static_cast<size_t>(sig_index)];
 }
 
 void SymmetricHeap::PutRowWithSignal(SymmetricBufferId buf, int src_rank,
@@ -113,31 +174,20 @@ void SymmetricHeap::PutRowWithSignal(SymmetricBufferId buf, int src_rank,
                                      SymmetricBufferId sig,
                                      int64_t sig_index) {
   PutRow(buf, src_rank, dst_rank, dst_row, data);
-  Allocation& alloc = Get(sig);
-  COMET_CHECK(!alloc.signals.empty())
-      << alloc.name << " is not a signal allocation";
-  COMET_CHECK_GE(dst_rank, 0);
-  COMET_CHECK_LT(dst_rank, world_size_);
-  auto& words = alloc.signals[static_cast<size_t>(dst_rank)];
-  COMET_CHECK_GE(sig_index, 0);
-  COMET_CHECK_LT(static_cast<size_t>(sig_index), words.size());
+  const std::atomic<uint64_t>& word =
+      SignalWord(sig, dst_rank, sig_index, "PutRowWithSignal");
   // The signal word itself is a few bytes riding the same put; it is not
   // accounted so payload traffic stays exactly equal to the planned bytes
-  // (the invariant the traffic tests pin down).
-  ++words[static_cast<size_t>(sig_index)];
+  // (the invariant the traffic tests pin down). The release order publishes
+  // the row copied above to any consumer that acquire-loads the word.
+  const_cast<std::atomic<uint64_t>&>(word).fetch_add(
+      1, std::memory_order_release);
 }
 
 uint64_t SymmetricHeap::SignalValue(SymmetricBufferId sig, int rank,
                                     int64_t sig_index) const {
-  const Allocation& alloc = Get(sig);
-  COMET_CHECK(!alloc.signals.empty())
-      << alloc.name << " is not a signal allocation";
-  COMET_CHECK_GE(rank, 0);
-  COMET_CHECK_LT(rank, world_size_);
-  const auto& words = alloc.signals[static_cast<size_t>(rank)];
-  COMET_CHECK_GE(sig_index, 0);
-  COMET_CHECK_LT(static_cast<size_t>(sig_index), words.size());
-  return words[static_cast<size_t>(sig_index)];
+  return SignalWord(sig, rank, sig_index, "SignalValue")
+      .load(std::memory_order_acquire);
 }
 
 void SymmetricHeap::WaitSignalGe(SymmetricBufferId sig, int rank,
@@ -148,24 +198,56 @@ void SymmetricHeap::WaitSignalGe(SymmetricBufferId sig, int rank,
       << rank << ": schedule consumed data before its producer signalled";
 }
 
+void SymmetricHeap::WaitUntilSignalGe(SymmetricBufferId sig, int rank,
+                                      int64_t sig_index, uint64_t expected,
+                                      int64_t timeout_ms) const {
+  const std::atomic<uint64_t>& word =
+      SignalWord(sig, rank, sig_index, "WaitUntilSignalGe");
+  if (word.load(std::memory_order_acquire) >= expected) {
+    return;
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  int spins = 0;
+  while (word.load(std::memory_order_acquire) < expected) {
+    // Short inline spin, then yield; check the clock only occasionally to
+    // keep the wait loop syscall-light.
+    if (++spins >= 64) {
+      std::this_thread::yield();
+    }
+    if (spins % 256 == 0 && std::chrono::steady_clock::now() >= deadline) {
+      COMET_CHECK(false)
+          << "WaitUntilSignalGe on \"" << Get(sig).name << "\"[" << sig_index
+          << "]@rank" << rank << ": producer never reached " << expected
+          << " within " << timeout_ms << " ms (last value "
+          << word.load(std::memory_order_acquire) << ")";
+    }
+  }
+}
+
 double SymmetricHeap::Traffic(int src_rank, int dst_rank) const {
   COMET_CHECK_GE(src_rank, 0);
   COMET_CHECK_LT(src_rank, world_size_);
   COMET_CHECK_GE(dst_rank, 0);
   COMET_CHECK_LT(dst_rank, world_size_);
-  return traffic_[static_cast<size_t>(src_rank) * world_size_ + dst_rank];
+  return static_cast<double>(
+      traffic_[static_cast<size_t>(src_rank) * static_cast<size_t>(world_size_) +
+               static_cast<size_t>(dst_rank)]
+          .load(std::memory_order_relaxed));
 }
 
 double SymmetricHeap::TotalTraffic() const {
   double total = 0.0;
-  for (double t : traffic_) {
-    total += t;
+  for (const auto& t : traffic_) {
+    total += static_cast<double>(t.load(std::memory_order_relaxed));
   }
   return total;
 }
 
 void SymmetricHeap::ResetTraffic() {
-  std::fill(traffic_.begin(), traffic_.end(), 0.0);
+  for (auto& t : traffic_) {
+    t.store(0, std::memory_order_relaxed);
+  }
 }
 
 double SymmetricHeap::AllocatedBytesPerRank() const {

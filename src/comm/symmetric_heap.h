@@ -12,10 +12,23 @@
 // a per-(src,dst) traffic matrix, which the tests use to verify that COMET's
 // rescheduled execution moves exactly the same bytes as the reference, and
 // the timing plane uses to price communication.
+//
+// Thread safety: the heap is built for genuinely concurrent ranks (see
+// runtime/rank_group.h). Allocation is NOT thread-safe -- allocate every
+// buffer before launching the ranks. After that:
+//  * row puts/gets to DISTINCT rows may run concurrently (the executors'
+//    (token, slot, lane) partitions guarantee disjointness); same-row
+//    conflicts are the caller's bug, exactly as on real symmetric memory;
+//  * signal words are atomics: PutRowWithSignal release-publishes the
+//    payload before bumping the word, and WaitUntilSignalGe/SignalValue
+//    acquire-load it, so a consumer that observed the signal also observes
+//    the row bytes;
+//  * traffic accounting uses per-(src,dst) atomic byte counters -- there is
+//    no mutex anywhere on the data path.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -42,7 +55,8 @@ class SymmetricHeap {
 
   // Fine-grained put: rank `src_rank` writes `data` into row `dst_row` of
   // `dst_rank`'s copy of `buf`. Local writes (src == dst) are not counted as
-  // fabric traffic.
+  // fabric traffic. CHECK-fails (naming the buffer) on an out-of-range rank
+  // or row, or when `buf` is a signal-only allocation.
   void PutRow(SymmetricBufferId buf, int src_rank, int dst_rank,
               int64_t dst_row, std::span<const float> data);
 
@@ -66,30 +80,41 @@ class SymmetricHeap {
   // ---- signaling (NVSHMEM put-with-signal / wait-until) ---------------------
   //
   // Real COMET gates each GEMM tile on the arrival of its tokens via signal
-  // words updated by the producer's puts. The emulation keeps one uint64
-  // signal array per rank per allocation; producers bump a signal after
-  // delivering a row, consumers assert the expected count before touching
-  // the data -- so a schedule that reads tokens before their put would trip
-  // a CheckError instead of silently consuming stale zeros.
+  // words updated by the producer's puts. The emulation keeps one atomic
+  // uint64 signal array per rank per allocation; producers bump a signal
+  // after delivering a row, consumers wait for the expected count before
+  // touching the data. Sequential schedules assert with WaitSignalGe (an
+  // unmet wait means the schedule consumed data before its producer ran);
+  // concurrent ranks block with WaitUntilSignalGe.
 
   // Allocates `count` zero-initialized signal words on every rank.
   SymmetricBufferId AllocateSignals(const std::string& name, int64_t count);
 
   // PutRow + atomically add 1 to `sig[sig_index]` on the destination rank
-  // (delivery-ordered, like NVSHMEM's put-with-signal).
+  // (delivery-ordered, like NVSHMEM's put-with-signal: the payload is
+  // release-published before the signal bump).
   void PutRowWithSignal(SymmetricBufferId buf, int src_rank, int dst_rank,
                         int64_t dst_row, std::span<const float> data,
                         SymmetricBufferId sig, int64_t sig_index);
 
-  // Current value of a local signal word.
+  // Current value of a local signal word (acquire load).
   uint64_t SignalValue(SymmetricBufferId sig, int rank,
                        int64_t sig_index) const;
 
-  // NVSHMEM wait_until(GE): throws CheckError if the signal has not reached
-  // `expected` (the emulation is sequential, so an unmet wait can only mean
-  // the schedule consumed data before its producer ran -- a real bug).
+  // NVSHMEM wait_until(GE), non-blocking assert form: throws CheckError if
+  // the signal has not reached `expected`. Used by sequential schedules,
+  // where an unmet wait can only mean the schedule consumed data before its
+  // producer ran -- a real bug.
   void WaitSignalGe(SymmetricBufferId sig, int rank, int64_t sig_index,
                     uint64_t expected) const;
+
+  // NVSHMEM wait_until(GE), blocking form: spins (with yields) until the
+  // signal reaches `expected`. Used by concurrent rank groups, where the
+  // producer is a live peer task. Throws CheckError naming the buffer if
+  // `timeout_ms` elapses first, so a dead producer surfaces as a test
+  // failure instead of a hang.
+  void WaitUntilSignalGe(SymmetricBufferId sig, int rank, int64_t sig_index,
+                         uint64_t expected, int64_t timeout_ms = 60000) const;
 
   // Bytes moved src -> dst over the fabric since the last reset. Local
   // accesses are excluded.
@@ -108,21 +133,28 @@ class SymmetricHeap {
     std::string name;
     std::vector<Tensor> per_rank;
     // Non-empty for signal allocations: world_size arrays of `count` words.
-    std::vector<std::vector<uint64_t>> signals;
+    std::vector<std::vector<std::atomic<uint64_t>>> signals;
   };
 
   Allocation& Get(SymmetricBufferId buf);
   const Allocation& Get(SymmetricBufferId buf) const;
+  // Bounds-checked access to rank `rank`'s copy of a data allocation; every
+  // failure message names the buffer and the offending index. Takes the
+  // resolved Allocation so each row op pays one buffer-table lookup.
+  Tensor& DataLocal(const Allocation& alloc, int rank, const char* op) const;
+  const std::atomic<uint64_t>& SignalWord(SymmetricBufferId sig, int rank,
+                                          int64_t sig_index,
+                                          const char* op) const;
+  void CheckRank(const Allocation& alloc, int rank, const char* op,
+                 const char* role) const;
   void AccountTraffic(int src, int dst, double bytes);
 
   int world_size_;
   std::vector<Allocation> buffers_;
-  std::vector<double> traffic_;  // world x world, row-major
-  // Guards traffic_ only: row payloads are never shared between workers (the
-  // executors partition rows/tiles disjointly), but every worker accounts
-  // into the same matrix. Byte counts are integer-valued doubles, so the
-  // accumulation order a parallel run produces cannot change the totals.
-  mutable std::mutex traffic_mutex_;
+  // world x world, row-major. Byte counts are integers, so relaxed atomic
+  // adds make the totals independent of the arrival order a concurrent run
+  // produces -- no mutex on the hot path.
+  std::vector<std::atomic<uint64_t>> traffic_;
 };
 
 }  // namespace comet

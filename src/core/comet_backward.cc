@@ -8,6 +8,7 @@
 #include "core/pipeline_ir.h"
 #include "core/reschedule.h"
 #include "moe/group_gemm.h"
+#include "runtime/rank_group.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -109,7 +110,21 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
     heap.Local(dout_buf, r) = dout[static_cast<size_t>(g)];
   }
 
+  // dgate contributions land per (token, slot) from every TP lane of the
+  // owning group. Concurrent ranks must not share that accumulator: each
+  // rank writes its own partial, reduced rank-ascending after the group
+  // finishes -- rank order within a group IS lane order, so the reduction
+  // tree is exactly the sharded reference's lane-ascending one.
+  std::vector<Tensor> dgate_partial;
+  dgate_partial.reserve(static_cast<size_t>(world));
   for (int r = 0; r < world; ++r) {
+    dgate_partial.emplace_back(Shape{placement.total_tokens(), topk});
+  }
+
+  // Each rank is one RankGroup task (see runtime/rank_group.h): concurrent
+  // mode overlaps all rank pipelines, with the undispatch puts below acting
+  // as real cross-thread signals for the dinput reduction.
+  const auto produce = [&](int r) {
     const int group = placement.EpGroupOfRank(r);
     const int lane = placement.TpLaneOfRank(r);
     const RankPlan& rank_plan = plan.ForRank(r);
@@ -179,7 +194,7 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
         for (size_t c = 0; c < yr.size(); ++c) {
           acc += gr[c] * yr[c];
         }
-        grads.dgate.at({row.token, row.slot}) += acc;
+        dgate_partial[static_cast<size_t>(r)].at({row.token, row.slot}) += acc;
       }
     }
 
@@ -279,14 +294,30 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
                                   da[le].row(pos), dcontrib_sig, dst_row);
           });
     }
-  }
+  };
 
   // Undispatch reduction in canonical order: slot-major, TP-lane inner.
-  // Tokens reduce into disjoint dinput rows, so they fan out per token while
-  // the within-token order stays canonical.
-  for (int g = 0; g < ep; ++g) {
-    const int reader = placement.RankOf(g, 0);
+  // The consume stage of each group's lane-0 rank: block on every expected
+  // dA contribution's arrival signal (live producers in concurrent mode),
+  // then reduce -- tokens into disjoint dinput rows, within-token order
+  // canonical, so the result is bit-identical at any concurrency.
+  const auto consume = [&](int r) {
+    if (placement.TpLaneOfRank(r) != 0) {
+      return;
+    }
+    const int g = placement.EpGroupOfRank(r);
+    const int reader = r;
     const int64_t first = placement.FirstTokenOfGroup(g);
+    for (int64_t t = 0; t < group_tokens; ++t) {
+      const int64_t slots = static_cast<int64_t>(
+          w.routing.tokens[static_cast<size_t>(first + t)].experts.size());
+      for (int64_t k = 0; k < slots; ++k) {
+        for (int l = 0; l < tp; ++l) {
+          heap.WaitUntilSignalGe(dcontrib_sig, placement.RankOf(g, l),
+                                 t * topk + k, 1);
+        }
+      }
+    }
     Tensor& dinput = grads.dinput[static_cast<size_t>(g)];
     ParallelFor(
         0, group_tokens, 4,
@@ -305,6 +336,19 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
             }
           }
         });
+  };
+
+  RankGroup group(world, RankGroupOptions{.num_threads = options.num_threads});
+  group.Run(produce, consume);
+
+  // Rank-ascending dgate reduce (lane-ascending inside each owner group;
+  // ranks outside a pair's owner group contribute exact zeros).
+  for (int r = 0; r < world; ++r) {
+    const auto src = dgate_partial[static_cast<size_t>(r)].data();
+    auto dst = grads.dgate.data();
+    for (size_t i = 0; i < dst.size(); ++i) {
+      dst[i] += src[i];
+    }
   }
   return grads;
 }

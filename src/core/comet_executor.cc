@@ -7,6 +7,7 @@
 #include "core/reschedule.h"
 #include "core/shared_tensor.h"
 #include "moe/group_gemm.h"
+#include "runtime/rank_group.h"
 #include "util/check.h"
 #include "util/thread_pool.h"
 
@@ -194,7 +195,12 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
   }
 
   // --- layer0 + activation + layer1, per rank, in the rescheduled order ---
-  for (int r = 0; r < world; ++r) {
+  //
+  // Each rank is one RankGroup task. In concurrent mode every rank runs on
+  // its own thread, exchanging real rows through the heap while peers are
+  // still computing -- the put-with-signal traffic below is then genuine
+  // cross-thread synchronization, not an after-the-fact assertion.
+  const auto produce = [&](int r) {
     const int group = placement.EpGroupOfRank(r);
     const int lane = placement.TpLaneOfRank(r);
     const RankPlan& rank_plan = plan.ForRank(r);
@@ -293,15 +299,39 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
                                   y_out[le].row(pos), contrib_sig, dst_row);
           });
     }
-  }
+  };
 
   // --- combine: canonical reduction (slot-major, TP-lane inner) on lane 0 ---
-  out.outputs.clear();
-  out.outputs.reserve(static_cast<size_t>(ep));
-  for (int g = 0; g < ep; ++g) {
-    const int reader = placement.RankOf(g, 0);
-    Tensor result(Shape{group_tokens, n_embed});
+  //
+  // The consume stage of each group's lane-0 rank. It first blocks on the
+  // arrival signal of every expected contribution (the NVSHMEM wait_until
+  // loop of the real combine kernel -- in concurrent mode producers on peer
+  // threads are still streaming rows in), then reduces. The reduction order
+  // is a pure function of (token, slot, lane), never of arrival order, so
+  // serial, concurrent and any-thread-count runs are bit-identical.
+  std::vector<Tensor> outputs(static_cast<size_t>(ep));
+  const auto consume = [&](int r) {
+    if (placement.TpLaneOfRank(r) != 0) {
+      return;
+    }
+    const int g = placement.EpGroupOfRank(r);
+    const int reader = r;
     const int64_t first = placement.FirstTokenOfGroup(g);
+    // Wait for delivery. Blocking waits stay on this rank's dedicated
+    // thread -- they must never ride pool workers, or spinning consumers
+    // could starve the producers' tile chunks out of the pool.
+    for (int64_t t = 0; t < group_tokens; ++t) {
+      const TokenRoute& route =
+          workload.routing.tokens[static_cast<size_t>(first + t)];
+      const int64_t slots = static_cast<int64_t>(route.experts.size());
+      for (int64_t k = 0; k < slots; ++k) {
+        for (int l = 0; l < tp; ++l) {
+          heap.WaitUntilSignalGe(contrib_sig, placement.RankOf(g, l),
+                                 t * topk + k, 1);
+        }
+      }
+    }
+    Tensor result(Shape{group_tokens, n_embed});
     // Tokens reduce independently (one output row each); the slot-major,
     // TP-lane-inner order within a token is preserved inside the body.
     ParallelFor(
@@ -325,8 +355,12 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
             }
           }
         });
-    out.outputs.push_back(std::move(result));
-  }
+    outputs[static_cast<size_t>(g)] = std::move(result);
+  };
+
+  RankGroup group(world, RankGroupOptions{.num_threads = options_.num_threads});
+  group.Run(produce, consume);
+  out.outputs = std::move(outputs);
 }
 
 }  // namespace comet

@@ -1,0 +1,106 @@
+#include "runtime/rank_group.h"
+
+#include <condition_variable>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/check.h"
+#include "util/thread_pool.h"
+
+namespace comet {
+
+RankGroup::RankGroup(int num_ranks, RankGroupOptions options)
+    : num_ranks_(num_ranks), options_(options) {
+  COMET_CHECK_GT(num_ranks_, 0);
+  int n = options_.num_threads;
+  if (n <= 0) {
+    n = CurrentThreadLimit();
+  }
+  if (n <= 0) {
+    n = GlobalThreadCount();
+  }
+  concurrent_ = num_ranks_ > 1 && n > 1;
+}
+
+void RankGroup::Run(const std::function<void(int)>& work) const {
+  Run(work, {});
+}
+
+void RankGroup::Run(const std::function<void(int)>& produce,
+                    const std::function<void(int)>& consume) const {
+  COMET_CHECK(produce != nullptr);
+
+  if (!concurrent_) {
+    // Serial phased execution: by the time any consume runs, every producer
+    // has signalled, so blocking waits return immediately.
+    for (int r = 0; r < num_ranks_; ++r) {
+      produce(r);
+    }
+    if (consume) {
+      for (int r = 0; r < num_ranks_; ++r) {
+        consume(r);
+      }
+    }
+    return;
+  }
+
+  // Rank threads do not inherit the launcher's thread-locals; re-install its
+  // ParallelFor cap so CometOptions::num_threads reaches the tile loops the
+  // ranks fan out (and so num_threads = 1 could never spawn pool chunks from
+  // here -- serial mode above already short-circuits that case).
+  const int inherited_limit = CurrentThreadLimit();
+
+  struct Shared {
+    std::mutex mutex;
+    std::condition_variable barrier_cv;
+    int arrived = 0;
+  } shared;
+  std::vector<std::exception_ptr> errors(static_cast<size_t>(num_ranks_));
+
+  auto rank_body = [&](int r) {
+    ScopedThreadLimit limit(inherited_limit);
+    try {
+      produce(r);
+    } catch (...) {
+      errors[static_cast<size_t>(r)] = std::current_exception();
+    }
+    if (options_.phase_barrier) {
+      // A failed producer still arrives, so peers are never left waiting on
+      // the barrier (their data-level failure surfaces in consume instead).
+      std::unique_lock<std::mutex> lock(shared.mutex);
+      if (++shared.arrived == num_ranks_) {
+        shared.barrier_cv.notify_all();
+      } else {
+        shared.barrier_cv.wait(
+            lock, [&] { return shared.arrived == num_ranks_; });
+      }
+    }
+    if (consume && errors[static_cast<size_t>(r)] == nullptr) {
+      try {
+        consume(r);
+      } catch (...) {
+        errors[static_cast<size_t>(r)] = std::current_exception();
+      }
+    }
+  };
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(num_ranks_ - 1));
+  for (int r = 1; r < num_ranks_; ++r) {
+    threads.emplace_back(rank_body, r);
+  }
+  rank_body(0);
+  for (std::thread& t : threads) {
+    t.join();
+  }
+
+  for (const std::exception_ptr& err : errors) {
+    if (err) {
+      std::rethrow_exception(err);
+    }
+  }
+}
+
+}  // namespace comet

@@ -1,0 +1,82 @@
+// RankGroup: in-process concurrent execution of R expert-parallel ranks.
+//
+// The paper's fused kernels run one producer/consumer pipeline PER RANK, all
+// ranks live at once: each rank's layer0 tiles consume token rows that peer
+// ranks put into its symmetric-heap window, gated by put-with-signal
+// counters (§2.2.1, §4). Before this runtime existed, the functional plane
+// executed those R ranks as one serial loop -- the signal discipline was
+// asserted after the fact, never actually exercised as synchronization.
+//
+// RankGroup closes that gap. Each rank becomes a task with two stages:
+//  * produce  -- gather inputs, run the rank's tile loops, put result rows
+//                (with signals) into peer windows;
+//  * consume  -- wait on the signal counters (SymmetricHeap::
+//                WaitUntilSignalGe) and reduce the gathered rows.
+//
+// Concurrent mode gives every rank a dedicated thread: produce stages of
+// all ranks overlap, and a consumer genuinely blocks on its producers'
+// signals -- the paper's fine-grained pipeline, host-side. Serial mode
+// (num_threads == 1) runs all produce stages in rank order, then all
+// consume stages: every signal a consumer waits on is already set, which is
+// exactly the pre-concurrency behavior.
+//
+// Bit-exactness: the two modes differ only in WHEN stages run, never in the
+// order of floating-point accumulation -- every reduction a stage performs
+// must order its terms by coordinates (token, slot, lane), not by arrival.
+// Under that discipline (the same one the tile engine follows, see
+// util/thread_pool.h) serial and concurrent runs, at any thread count and
+// any EP width, produce identical bits; tests/rank_group_test.cc pins this
+// against the sharded reference for EP in {1,2,4,8}.
+//
+// Rank tasks run on dedicated std::threads rather than pool workers on
+// purpose: a consumer parked in a signal wait must not occupy a pool worker,
+// or producers fanning tile work into the pool could starve behind it (the
+// classic blocked-task-on-bounded-pool deadlock). The pool still executes
+// all intra-rank parallelism -- each rank thread re-installs the caller's
+// ScopedThreadLimit and fans its tile/row loops out through ParallelFor.
+#pragma once
+
+#include <functional>
+
+namespace comet {
+
+struct RankGroupOptions {
+  // Concurrency policy: 0 = inherit (the innermost ScopedThreadLimit if one
+  // is active, else the global pool size); 1 = serial phased execution;
+  // >= 2 = concurrent, one dedicated thread per rank.
+  int num_threads = 0;
+  // Insert a full barrier between the produce and consume phases. The COMET
+  // path gates consumption on per-row signals and runs barrier-free; the
+  // canonical/baseline paths exchange rows through plain tensors with no
+  // signals, which is faithful to what they model -- kernel-per-op systems
+  // separate communication and computation with exactly such a barrier.
+  bool phase_barrier = false;
+};
+
+class RankGroup {
+ public:
+  explicit RankGroup(int num_ranks, RankGroupOptions options = {});
+
+  int num_ranks() const { return num_ranks_; }
+  // True when Run executes ranks on dedicated concurrent threads.
+  bool concurrent() const { return concurrent_; }
+
+  // Executes produce(r) and then consume(r) for every rank r in [0, R).
+  // `consume` may be empty. Exceptions: each rank's first exception is
+  // captured; after all ranks finish, the lowest-numbered rank's exception
+  // is rethrown (matching ParallelFor). A rank that failed in produce skips
+  // its consume stage; peers waiting on its signals time out through
+  // SymmetricHeap::WaitUntilSignalGe rather than hanging.
+  void Run(const std::function<void(int)>& produce,
+           const std::function<void(int)>& consume) const;
+
+  // Single-stage convenience.
+  void Run(const std::function<void(int)>& work) const;
+
+ private:
+  int num_ranks_;
+  RankGroupOptions options_;
+  bool concurrent_;
+};
+
+}  // namespace comet

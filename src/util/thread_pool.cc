@@ -248,6 +248,8 @@ void SetGlobalThreadCount(int n) {
   GlobalPoolSlot() = std::move(fresh);
 }
 
+int CurrentThreadLimit() { return t_thread_limit; }
+
 ScopedThreadLimit::ScopedThreadLimit(int max_threads)
     : previous_(t_thread_limit) {
   t_thread_limit = CombineLimits(previous_, max_threads);

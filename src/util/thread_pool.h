@@ -72,6 +72,12 @@ void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
                        const std::function<void(int64_t, int64_t)>& fn,
                        int max_threads = 0);
 
+// Innermost ScopedThreadLimit cap active on the calling thread (0 = none).
+// RankGroup reads it to (a) decide whether to run ranks concurrently and
+// (b) re-install the cap on the dedicated rank threads it spawns, which do
+// not inherit the caller's thread-locals.
+int CurrentThreadLimit();
+
 // Caps every global-pool ParallelFor issued by THIS thread (and, because
 // nested regions run inline, by the work it fans out) while in scope: the
 // executors install one from CometOptions::num_threads so the cap reaches

@@ -76,6 +76,107 @@ TEST(SymmetricHeap, AllocatedBytesPerRank) {
   EXPECT_DOUBLE_EQ(heap.AllocatedBytesPerRank(), 64.0 + 8.0);
 }
 
+// ---- bounds handling --------------------------------------------------------
+//
+// Out-of-range rows/ranks must CHECK-fail with a message naming the buffer
+// (historically some paths indexed the per-rank vector directly, which on a
+// signal-only allocation was undefined behavior). CheckError is this
+// codebase's death: every failure must be catchable and diagnosable.
+
+// Expects `fn` to throw CheckError whose message contains `fragment`.
+template <typename Fn>
+void ExpectCheckFailureNaming(Fn&& fn, const std::string& fragment) {
+  try {
+    fn();
+    FAIL() << "expected CheckError mentioning '" << fragment << "'";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find(fragment), std::string::npos)
+        << "message was: " << e.what();
+  }
+}
+
+TEST(SymmetricHeapBounds, PutRowRejectsOutOfRangeRowNamingBuffer) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("tokens-in", Shape{4, 2});
+  const std::vector<float> row = {1, 2};
+  ExpectCheckFailureNaming([&] { heap.PutRow(buf, 0, 1, 4, row); },
+                           "tokens-in");
+  ExpectCheckFailureNaming([&] { heap.PutRow(buf, 0, 1, -1, row); },
+                           "tokens-in");
+}
+
+TEST(SymmetricHeapBounds, PutRowRejectsOutOfRangeRanks) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("tokens-in", Shape{4, 2});
+  const std::vector<float> row = {1, 2};
+  ExpectCheckFailureNaming([&] { heap.PutRow(buf, 0, 2, 0, row); },
+                           "tokens-in");
+  ExpectCheckFailureNaming([&] { heap.PutRow(buf, -1, 1, 0, row); },
+                           "source rank -1");
+}
+
+TEST(SymmetricHeapBounds, GetRowRejectsOutOfRange) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("contrib", Shape{3, 2});
+  ExpectCheckFailureNaming([&] { heap.GetRow(buf, 0, 1, 3); }, "contrib");
+  ExpectCheckFailureNaming([&] { heap.GetRow(buf, 0, 5, 0); }, "contrib");
+  ExpectCheckFailureNaming([&] { heap.GetRow(buf, 9, 1, 0); },
+                           "reader rank 9");
+}
+
+TEST(SymmetricHeapBounds, CopyRowRejectsOutOfRange) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("contrib", Shape{3, 2});
+  std::vector<float> dst(2);
+  ExpectCheckFailureNaming(
+      [&] { heap.CopyRow(buf, 0, 1, -2, dst); }, "contrib");
+  ExpectCheckFailureNaming(
+      [&] { heap.CopyRow(buf, 0, 2, 0, dst); }, "contrib");
+}
+
+TEST(SymmetricHeapBounds, AccumulateRowRejectsOutOfRange) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("outputs", Shape{2, 2});
+  const std::vector<float> row = {1, 2};
+  ExpectCheckFailureNaming(
+      [&] { heap.AccumulateRow(buf, 0, 1, 2, row, 1.0f); }, "outputs");
+  ExpectCheckFailureNaming(
+      [&] { heap.AccumulateRow(buf, 3, 1, 0, row, 1.0f); }, "outputs");
+}
+
+TEST(SymmetricHeapBounds, DataOpsOnSignalAllocationFailLoudly) {
+  // A signal allocation has no data rows; historically PutRow/Local on one
+  // indexed an empty vector. Now it names the buffer and the operation.
+  SymmetricHeap heap(2);
+  const auto sig = heap.AllocateSignals("ready-flags", 4);
+  const std::vector<float> row = {1, 2};
+  ExpectCheckFailureNaming([&] { heap.PutRow(sig, 0, 1, 0, row); },
+                           "ready-flags");
+  ExpectCheckFailureNaming([&] { heap.Local(sig, 0); }, "ready-flags");
+  ExpectCheckFailureNaming([&] { heap.GetRow(sig, 0, 1, 0); },
+                           "signal-only");
+}
+
+TEST(SymmetricHeapBounds, SignalIndexOutOfRangeNamesBuffer) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("data", Shape{1, 2});
+  const auto sig = heap.AllocateSignals("arrival", 2);
+  const std::vector<float> row = {1, 2};
+  ExpectCheckFailureNaming(
+      [&] { heap.PutRowWithSignal(buf, 0, 1, 0, row, sig, 2); }, "arrival");
+  ExpectCheckFailureNaming([&] { heap.SignalValue(sig, 1, -1); }, "arrival");
+  ExpectCheckFailureNaming([&] { heap.WaitUntilSignalGe(sig, 2, 0, 1); },
+                           "arrival");
+}
+
+TEST(SymmetricHeapBounds, InRangeAccessStillWorksAfterChecks) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("x", Shape{2, 2});
+  const std::vector<float> row = {5, 6};
+  heap.PutRow(buf, 0, 1, 1, row);
+  EXPECT_EQ(heap.GetRow(buf, 0, 1, 1)[1], 6.0f);
+}
+
 // ---- functional collectives ---------------------------------------------------
 
 TEST(Collectives, AllToAllRowsRoutesByCounts) {

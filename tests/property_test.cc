@@ -112,6 +112,148 @@ INSTANTIATE_TEST_SUITE_P(ParallelismSweep, CanonicalExactness,
                                            CanonicalParam{1, 8, 4}));
 
 // =======================================================================
+// Property: RoutePlan/RoutingTable structural invariants under random
+// configurations. 10 seeds x 20 random configs per test = 200 configs per
+// property: every (token, slot) pair lands in the plan exactly once, row
+// counts are conserved across the whole plan, and no entry addresses an
+// out-of-range rank/expert/slot.
+// =======================================================================
+
+struct RandomPlanConfig {
+  ModelConfig model;
+  ParallelConfig parallel;
+  int64_t tokens = 0;
+  MoeWorkload workload;
+};
+
+RandomPlanConfig MakeRandomPlanConfig(Rng& rng) {
+  const int tp = rng.UniformInt(0, 2) == 0 ? 1 : 2;
+  const int ep = 1 << rng.UniformInt(0, 3);  // 1, 2, 4, 8
+  ModelConfig model;
+  model.name = "route-prop";
+  model.layers = 1;
+  model.num_experts = ep * rng.UniformInt(1, 4);
+  model.topk = rng.UniformInt(1, std::min<int64_t>(model.num_experts, 4));
+  model.embedding = 8;
+  model.ffn_hidden = 8 * tp;
+  const int64_t tokens = ep * rng.UniformInt(2, 24);
+  WorkloadOptions options;
+  options.seed = static_cast<uint64_t>(rng.UniformInt(1, 1 << 30));
+  options.load_std = rng.Uniform(0.0, 0.05);
+  options.materialize = false;  // plan metadata only
+  const ParallelConfig parallel{tp, ep};
+  return RandomPlanConfig{model, parallel, tokens,
+                          MakeWorkload(model, parallel, tokens, options)};
+}
+
+class RoutePlanProperty : public ::testing::TestWithParam<uint64_t /*seed*/> {};
+
+TEST_P(RoutePlanProperty, EveryPairDispatchedExactlyOnce) {
+  Rng rng(1000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const RandomPlanConfig c = MakeRandomPlanConfig(rng);
+    const RoutePlan& plan = c.workload.plan;
+    const Placement& placement = c.workload.placement;
+    // Count, for every (token, slot), how many plan rows reference it.
+    std::vector<int> seen(
+        static_cast<size_t>(c.tokens * c.model.topk), 0);
+    for (int g = 0; g < c.parallel.ep; ++g) {
+      for (const ExpertSlice& slice : plan.ForGroup(g).experts) {
+        for (const ExpertRow& row : slice.rows) {
+          seen[static_cast<size_t>(row.token * c.model.topk + row.slot)]++;
+          // The row must reproduce the routing decision exactly.
+          const TokenRoute& route =
+              c.workload.routing.tokens[static_cast<size_t>(row.token)];
+          ASSERT_LT(static_cast<size_t>(row.slot), route.experts.size());
+          EXPECT_EQ(route.experts[static_cast<size_t>(row.slot)],
+                    slice.expert);
+          EXPECT_EQ(route.weights[static_cast<size_t>(row.slot)], row.weight);
+          EXPECT_EQ(placement.HomeGroupOfToken(row.token), row.source_group);
+        }
+      }
+    }
+    for (int64_t t = 0; t < c.tokens; ++t) {
+      const TokenRoute& route =
+          c.workload.routing.tokens[static_cast<size_t>(t)];
+      for (int64_t k = 0; k < c.model.topk; ++k) {
+        const int expected =
+            k < static_cast<int64_t>(route.experts.size()) ? 1 : 0;
+        EXPECT_EQ(seen[static_cast<size_t>(t * c.model.topk + k)], expected)
+            << "token " << t << " slot " << k;
+      }
+    }
+  }
+}
+
+TEST_P(RoutePlanProperty, RowCountsConservedAcrossPlan) {
+  Rng rng(2000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const RandomPlanConfig c = MakeRandomPlanConfig(rng);
+    const RoutePlan& plan = c.workload.plan;
+    int64_t total_pairs = 0;
+    for (const TokenRoute& route : c.workload.routing.tokens) {
+      total_pairs += static_cast<int64_t>(route.experts.size());
+    }
+    int64_t plan_rows = 0;
+    for (int g = 0; g < c.parallel.ep; ++g) {
+      plan_rows += plan.ForGroup(g).TotalRows();
+    }
+    EXPECT_EQ(plan_rows, total_pairs);
+    // Per-rank views serve their group's plan; remote + local partitions it.
+    for (int r = 0; r < c.parallel.world(); ++r) {
+      const int g = c.workload.placement.EpGroupOfRank(r);
+      EXPECT_EQ(plan.ForRank(r).TotalRows(), plan.ForGroup(g).TotalRows());
+      EXPECT_EQ(plan.RemoteRows(r) + plan.LocalRows(r),
+                plan.ForRank(r).TotalRows());
+    }
+    // Expert loads agree with the routing table's histogram.
+    const auto loads =
+        c.workload.routing.ExpertLoads(c.model.num_experts);
+    for (int g = 0; g < c.parallel.ep; ++g) {
+      for (const ExpertSlice& slice : plan.ForGroup(g).experts) {
+        EXPECT_EQ(static_cast<int64_t>(slice.rows.size()),
+                  loads[static_cast<size_t>(slice.expert)]);
+      }
+    }
+  }
+}
+
+TEST_P(RoutePlanProperty, NoEntryAddressesOutOfRangeRankOrExpert) {
+  Rng rng(3000 + GetParam());
+  for (int trial = 0; trial < 20; ++trial) {
+    const RandomPlanConfig c = MakeRandomPlanConfig(rng);
+    const RoutePlan& plan = c.workload.plan;
+    const Placement& placement = c.workload.placement;
+    for (int g = 0; g < c.parallel.ep; ++g) {
+      const RankPlan& rank_plan = plan.ForGroup(g);
+      EXPECT_EQ(rank_plan.ep_group, g);
+      EXPECT_EQ(static_cast<int64_t>(rank_plan.experts.size()),
+                placement.ExpertsPerGroup());
+      for (const ExpertSlice& slice : rank_plan.experts) {
+        EXPECT_GE(slice.expert, 0);
+        EXPECT_LT(slice.expert, c.model.num_experts);
+        // The group only hosts its own experts.
+        EXPECT_EQ(placement.EpGroupOfExpert(slice.expert), g);
+        for (const ExpertRow& row : slice.rows) {
+          EXPECT_GE(row.token, 0);
+          EXPECT_LT(row.token, c.tokens);
+          EXPECT_GE(row.slot, 0);
+          EXPECT_LT(row.slot, c.model.topk);
+          EXPECT_GE(row.source_group, 0);
+          EXPECT_LT(row.source_group, c.parallel.ep);
+          EXPECT_GE(row.weight, 0.0f);
+        }
+      }
+    }
+    // Routing table invariants hold for every generated table.
+    c.workload.routing.Validate(c.model.num_experts, c.model.topk);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoutePlanProperty,
+                         ::testing::Range(uint64_t{0}, uint64_t{10}));
+
+// =======================================================================
 // Property: slot-pool schedules respect resource and readiness invariants
 // under random task sets.
 // =======================================================================

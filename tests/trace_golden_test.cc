@@ -1,0 +1,195 @@
+// Golden-trace regression: the Chrome trace exported for a fixed Figure 1(a)
+// workload must match a committed golden JSON. Timeline refactors are fine;
+// silently changing the event STRUCTURE (labels, categories, lanes, event
+// count, timestamps of the simulated schedule) is not -- that is the data
+// every trace consumer (chrome://tracing, Perfetto, the bench plots) keys
+// on.
+//
+// Comparison is field-order-normalized: both sides are parsed into their
+// trace events and each event's top-level fields are sorted by key before
+// comparing, so a serializer that legitimately reorders fields does not
+// trip the test while any value/structure change does.
+//
+// Refreshing the golden after an INTENDED change:
+//   COMET_UPDATE_GOLDEN=1 ./build/tests/trace_golden_test
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/megatron.h"
+#include "hw/gpu_spec.h"
+#include "moe/workload.h"
+#include "sim/trace_export.h"
+#include "util/check.h"
+
+namespace comet {
+namespace {
+
+constexpr char kGoldenPath[] = COMET_TEST_DIR "/golden/fig01_trace.json";
+
+// The fig01 workload: Mixtral-8x7B at M=4096 under Megatron-LM on 8x H800
+// (timing plane only), the measurement that motivates the whole paper.
+std::string GenerateFig01Trace() {
+  WorkloadOptions options;
+  options.seed = 1;
+  options.materialize = false;
+  const MoeWorkload w =
+      MakeWorkload(Mixtral8x7B(), ParallelConfig{1, 8}, 4096, options);
+  MegatronExecutor megatron = MakeMegatronCutlass();
+  const LayerExecution run =
+      megatron.Run(w, H800Cluster(8), ExecMode::kTimedOnly);
+  return ToChromeTraceJson(run.timeline, "fig01-golden");
+}
+
+// Splits `object` (the inside of one {...}) into top-level "key":value
+// fragments, honouring nested braces/brackets and quoted strings.
+std::vector<std::string> SplitTopLevelFields(const std::string& object) {
+  std::vector<std::string> fields;
+  std::string current;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = 0; i < object.size(); ++i) {
+    const char c = object[i];
+    if (in_string) {
+      current += c;
+      if (c == '\\' && i + 1 < object.size()) {
+        current += object[++i];
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        current += c;
+        break;
+      case '{':
+      case '[':
+        ++depth;
+        current += c;
+        break;
+      case '}':
+      case ']':
+        --depth;
+        current += c;
+        break;
+      case ',':
+        if (depth == 0) {
+          fields.push_back(current);
+          current.clear();
+        } else {
+          current += c;
+        }
+        break;
+      default:
+        current += c;
+    }
+  }
+  if (!current.empty()) {
+    fields.push_back(current);
+  }
+  return fields;
+}
+
+// Extracts every top-level {...} object of the traceEvents array and
+// returns each with its fields sorted by key, one event per output entry.
+std::vector<std::string> NormalizedTraceEvents(const std::string& json) {
+  const size_t array_start = json.find("\"traceEvents\":[");
+  COMET_CHECK(array_start != std::string::npos) << "not a trace JSON";
+  std::vector<std::string> events;
+  std::string current;
+  int depth = 0;
+  bool in_string = false;
+  for (size_t i = array_start; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      current += c;
+      if (c == '\\' && i + 1 < json.size()) {
+        current += json[++i];
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"' && depth > 0) {
+      in_string = true;
+    }
+    if (c == '{') {
+      ++depth;
+      if (depth == 1) {
+        current.clear();
+        continue;
+      }
+    } else if (c == '}') {
+      --depth;
+      if (depth == 0) {
+        auto fields = SplitTopLevelFields(current);
+        std::sort(fields.begin(), fields.end());
+        std::string normalized = "{";
+        for (size_t f = 0; f < fields.size(); ++f) {
+          normalized += fields[f];
+          if (f + 1 < fields.size()) {
+            normalized += ",";
+          }
+        }
+        normalized += "}";
+        events.push_back(std::move(normalized));
+        continue;
+      }
+    }
+    if (depth >= 1) {
+      current += c;
+    }
+  }
+  return events;
+}
+
+TEST(TraceGolden, NormalizationIsFieldOrderInsensitive) {
+  const auto a = NormalizedTraceEvents(
+      R"({"traceEvents":[{"name":"x","ts":1,"args":{"b":2,"a":1}}]})");
+  const auto b = NormalizedTraceEvents(
+      R"({"traceEvents":[{"ts":1,"args":{"b":2,"a":1},"name":"x"}]})");
+  ASSERT_EQ(a.size(), 1u);
+  EXPECT_EQ(a, b);
+  // ...but value changes are still caught.
+  const auto c = NormalizedTraceEvents(
+      R"({"traceEvents":[{"name":"x","ts":2,"args":{"b":2,"a":1}}]})");
+  EXPECT_NE(a, c);
+}
+
+TEST(TraceGolden, Fig01WorkloadMatchesCommittedTrace) {
+  const std::string trace = GenerateFig01Trace();
+
+  if (std::getenv("COMET_UPDATE_GOLDEN") != nullptr) {
+    std::ofstream out(kGoldenPath, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << kGoldenPath;
+    out << trace << "\n";
+    GTEST_SKIP() << "golden refreshed at " << kGoldenPath;
+  }
+
+  std::ifstream in(kGoldenPath);
+  ASSERT_TRUE(in.good())
+      << "missing golden file " << kGoldenPath
+      << " (generate with COMET_UPDATE_GOLDEN=1)";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+
+  const auto expected = NormalizedTraceEvents(buffer.str());
+  const auto actual = NormalizedTraceEvents(trace);
+  ASSERT_GT(expected.size(), 1u) << "golden trace is empty";
+  ASSERT_EQ(actual.size(), expected.size())
+      << "event count changed -- if intended, refresh the golden with "
+         "COMET_UPDATE_GOLDEN=1";
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(actual[i], expected[i]) << "trace event " << i << " diverged";
+  }
+}
+
+}  // namespace
+}  // namespace comet
