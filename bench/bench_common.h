@@ -85,6 +85,14 @@ int BenchMain(int argc, char** argv);
 int BenchRanks();
 void SetBenchRanks(int ranks);
 
+// Low-precision storage dtype for the dtype-parameterized benches
+// (micro_groupgemm, ext_multinode_functional): their f32 records always run;
+// a second pass runs at this dtype, with the dtype name baked into the
+// metric names. Set by `comet_bench --dtype {f32,bf16,f16}`; default kBF16
+// (the paper's training dtype). kF32 disables the extra pass.
+DType BenchDType();
+void SetBenchDType(DType dtype);
+
 // Runs exactly one bench by full name (used by the per-figure binaries).
 int RunSingleBench(const std::string& name);
 

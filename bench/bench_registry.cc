@@ -124,16 +124,24 @@ void PrintUsage() {
       "                   (default: COMET_THREADS env, else hardware)\n"
       "  --ranks R        expert-parallel ranks for the functional\n"
       "                   multi-rank benches (default 4)\n"
+      "  --dtype D        low-precision dtype for the dtype-parameterized\n"
+      "                   benches: f32, bf16 or f16 (default bf16; f32\n"
+      "                   disables the low-precision pass)\n"
       "  --help           this message\n";
 }
 
 int g_bench_ranks = 4;
+DType g_bench_dtype = DType::kBF16;
 
 }  // namespace
 
 int BenchRanks() { return g_bench_ranks; }
 
 void SetBenchRanks(int ranks) { g_bench_ranks = ranks; }
+
+DType BenchDType() { return g_bench_dtype; }
+
+void SetBenchDType(DType dtype) { g_bench_dtype = dtype; }
 
 std::vector<BenchInfo>& Registry() {
   static std::vector<BenchInfo>* registry = new std::vector<BenchInfo>();
@@ -231,6 +239,21 @@ int BenchMain(int argc, char** argv) {
         return 2;
       }
       SetBenchRanks(static_cast<int>(n));
+    } else if (arg == "--dtype") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      const std::string d = v;
+      if (d == "f32") {
+        SetBenchDType(DType::kF32);
+      } else if (d == "bf16") {
+        SetBenchDType(DType::kBF16);
+      } else if (d == "f16") {
+        SetBenchDType(DType::kF16);
+      } else {
+        std::cerr << "comet_bench: --dtype must be f32, bf16 or f16, got '"
+                  << d << "'\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;

@@ -115,9 +115,53 @@ REGISTER_BENCH(ext_multinode_functional,
   reporter.Report("functional_serial_ms", serial_ms, "ms");
   reporter.Report("functional_concurrent_ms", concurrent_ms, "ms");
 
+  // --- low-precision pass (--dtype): the same layer, 2-byte data plane ------
+  //
+  // Two yardsticks: the same-dtype sharded reference (must be EXACTLY 0 --
+  // determinism survives quantization) and the f32-compute reference over
+  // the same quantized operands (bounded rounding error, reported so the
+  // trajectory catches a precision regression).
+  bool lp_ok = true;
+  const DType lp = BenchDType();
+  if (lp != DType::kF32) {
+    const std::string dt = DTypeName(lp);
+    WorkloadOptions lp_options = options;
+    lp_options.dtype = lp;
+    const MoeWorkload w_lp =
+        MakeWorkload(model, parallel, tokens_per_rank * ranks, lp_options);
+    const auto lp_reference = ShardedReferenceMoeLayer(w_lp, lp);
+    const auto f32_reference = ShardedReferenceMoeLayer(w_lp, DType::kF32);
+
+    CometOptions lp_comet_options;
+    lp_comet_options.num_threads = ranks;
+    lp_comet_options.compute_dtype = lp;
+    CometExecutor lp_comet{lp_comet_options};
+    LayerExecution lp_run;
+    const double lp_ms = WallMs(
+        [&] { lp_run = lp_comet.Run(w_lp, cluster, ExecMode::kFunctional); });
+
+    double lp_diff = 0.0;
+    double lp_err_vs_f32 = 0.0;
+    for (size_t g = 0; g < lp_reference.size(); ++g) {
+      lp_diff = std::max(lp_diff, static_cast<double>(Tensor::MaxAbsDiff(
+                                      lp_run.outputs[g], lp_reference[g])));
+      lp_err_vs_f32 = std::max(
+          lp_err_vs_f32, static_cast<double>(Tensor::MaxAbsDiff(
+                             lp_run.outputs[g], f32_reference[g])));
+    }
+    std::cout << dt << " concurrent (" << ranks << " rank threads): " << lp_ms
+              << " ms, max|diff vs " << dt << " ref| = " << lp_diff
+              << ", max|diff vs f32 ref| = " << lp_err_vs_f32 << "\n\n";
+    reporter.Report("max_abs_diff_" + dt + "_concurrent", lp_diff);
+    reporter.Report("max_abs_err_" + dt + "_vs_f32", lp_err_vs_f32);
+    reporter.Report("functional_" + dt + "_concurrent_ms", lp_ms, "ms");
+    lp_ok = lp_diff == 0.0;
+  }
+
   PrintPaperNote(
       "no direct figure (the paper's fused kernels do this on-GPU; here the "
       "EP pipeline runs host-side). Expected: both diffs are exactly 0 -- "
-      "the concurrent rank group reproduces the reference bit-for-bit.");
-  return diff_serial == 0.0 && diff_concurrent == 0.0 ? 0 : 1;
+      "the concurrent rank group reproduces the reference bit-for-bit, at "
+      "f32 and at the 2-byte dtypes.");
+  return diff_serial == 0.0 && diff_concurrent == 0.0 && lp_ok ? 0 : 1;
 }

@@ -106,6 +106,23 @@ REGISTER_BENCH(micro_groupgemm, "Micro: blocked GroupGEMM functional kernels") {
              DoNotOptimize(c_store[0].data().data());
            }));
   }
+  // Mixed-precision path (--dtype): 2-byte operands, f32 accumulate, RNE
+  // round on store. Measures what the epilogue rounding pass costs on top of
+  // the f32 kernel (the compute itself is identical).
+  const DType lp = BenchDType();
+  if (lp != DType::kF32) {
+    const int64_t m = 1024;
+    Rng rng(4);
+    const Tensor a = Tensor::Randn(Shape{m, k}, rng, 1.0f, lp);
+    const Tensor b = Tensor::Randn(Shape{k, n}, rng, 1.0f, lp);
+    Tensor c(Shape{m, n}, lp);
+    const double flops = static_cast<double>(2 * m * n * k);
+    record("gemm_" + DTypeName(lp), "m=" + std::to_string(m), flops,
+           TimeIt([&] {
+             Gemm(a, b, c);
+             DoNotOptimize(c.data().data());
+           }));
+  }
   reporter.Report("threads", static_cast<double>(GlobalThreadCount()));
 
   std::cout << table.Render() << "\n";

@@ -1,8 +1,10 @@
 // Table 3: device memory required for the NVSHMEM communication buffer.
 //
-// COMET allocates one symmetric buffer of M x N elements (2*M*N bytes at
-// BF16), shared across layers and experts. Paper values (MB): Mixtral 32/64,
-// Qwen2-MoE 16/32, Phi-3.5-MoE 32/64 for M = 4096/8192.
+// COMET allocates one symmetric buffer of M x N elements, shared across
+// layers and experts. The byte count comes from the ACTUAL dtype width --
+// 2MN at BF16/FP16 (the paper's rows), 4MN at f32 -- not from a hard-coded
+// 2-byte assumption. Paper values (MB): Mixtral 32/64, Qwen2-MoE 16/32,
+// Phi-3.5-MoE 32/64 for M = 4096/8192.
 #include "bench/bench_common.h"
 #include "comm/memory_planner.h"
 
@@ -11,20 +13,36 @@ using namespace comet::bench;
 
 REGISTER_BENCH(table03_memory, "Table 3: NVSHMEM symmetric buffer memory") {
   PrintHeader("Table 3: NVSHMEM communication buffer size",
-              "buffer = M x N elements at BF16, shared across layers/experts");
+              "buffer = M x N elements at the training dtype, shared across "
+              "layers/experts");
 
-  AsciiTable table({"Mem (MiB)", "Mixtral 8x7B", "Qwen2-MoE", "Phi3.5-MoE"});
-  for (int64_t m : {4096, 8192}) {
-    std::vector<std::string> row = {"M=" + std::to_string(m)};
-    for (const ModelConfig& model : {Mixtral8x7B(), Qwen2Moe(), Phi35Moe()}) {
-      const CommBufferPlan plan =
-          PlanCommBuffer(m, model.embedding, DType::kBF16);
-      row.push_back(FormatDouble(plan.MiBs(), 0));
+  // The paper's BF16 rows, plus f32 for contrast: the planner takes the
+  // width from the DType, so f32 reports 4MN (twice the paper's 2MN).
+  for (const DType dtype : {DType::kBF16, DType::kF32}) {
+    AsciiTable table({"Mem (MiB) @ " + DTypeName(dtype), "Mixtral 8x7B",
+                      "Qwen2-MoE", "Phi3.5-MoE"});
+    for (int64_t m : {4096, 8192}) {
+      std::vector<std::string> row = {"M=" + std::to_string(m)};
+      for (const ModelConfig& model : {Mixtral8x7B(), Qwen2Moe(), Phi35Moe()}) {
+        const CommBufferPlan plan =
+            PlanCommBuffer(m, model.embedding, dtype);
+        row.push_back(FormatDouble(plan.MiBs(), 0));
+      }
+      table.AddRow(std::move(row));
     }
-    table.AddRow(std::move(row));
+    std::cout << table.Render() << "\n";
   }
-  std::cout << table.Render() << "\n";
+
+  // Pin the dtype-width arithmetic in the trajectory: Mixtral M=4096 at
+  // every width (the f32 record is exactly twice the bf16 one).
+  for (const DType dtype : {DType::kBF16, DType::kF16, DType::kF32}) {
+    reporter.Report("mixtral_m4096_mib_" + DTypeName(dtype),
+                    PlanCommBuffer(4096, Mixtral8x7B().embedding, dtype).MiBs(),
+                    "MiB");
+  }
+
   PrintPaperNote("Mixtral 32/64 MB, Qwen2-MoE 16/32 MB, Phi3.5-MoE 32/64 MB "
-                 "for M = 4096/8192 -- negligible vs 80 GB device memory.");
+                 "for M = 4096/8192 at BF16 -- negligible vs 80 GB device "
+                 "memory. f32 doubles every entry (4MN).");
   return 0;
 }

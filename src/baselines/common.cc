@@ -117,13 +117,17 @@ std::vector<Tensor> CanonicalFunctionalMoe(const MoeWorkload& workload) {
   const int64_t hidden = placement.HiddenPerTpRank();
   const int64_t topk = model.topk;
   const int64_t group_tokens = placement.tokens_per_group();
+  // The baselines share numerics with the reference at the workload's
+  // storage dtype (GEMM/activation round on store, combine rounds per row);
+  // only scheduling differs across systems.
+  const DType dtype = workload.dtype();
 
   // Per-group unweighted contribution buffers, one per TP lane:
   // contrib[g][lane] has (group_tokens * topk) rows.
   std::vector<std::vector<Tensor>> contrib(static_cast<size_t>(ep));
   for (auto& lanes : contrib) {
     for (int l = 0; l < tp; ++l) {
-      lanes.emplace_back(Shape{group_tokens * topk, n_embed});
+      lanes.emplace_back(Shape{group_tokens * topk, n_embed}, dtype);
     }
   }
 
@@ -141,16 +145,16 @@ std::vector<Tensor> CanonicalFunctionalMoe(const MoeWorkload& workload) {
       }
       // Canonical-order shared tensor (token ascending): the layout a plain
       // all-to-all dispatch produces.
-      Tensor a(Shape{static_cast<int64_t>(slice.rows.size()), n_embed});
+      Tensor a(Shape{static_cast<int64_t>(slice.rows.size()), n_embed}, dtype);
       for (size_t i = 0; i < slice.rows.size(); ++i) {
         a.SetRow(static_cast<int64_t>(i),
                  workload.TokenRow(slice.rows[i].token));
       }
       for (int l = 0; l < tp; ++l) {
-        Tensor h(Shape{a.rows(), hidden});
+        Tensor h(Shape{a.rows(), hidden}, dtype);
         Gemm(a, workload.sharded_weights->W0Shard(slice.expert, l), h);
         ApplyActivation(h, workload.activation);
-        Tensor y(Shape{a.rows(), n_embed});
+        Tensor y(Shape{a.rows(), n_embed}, dtype);
         Gemm(h, workload.sharded_weights->W1Shard(slice.expert, l), y);
         for (size_t i = 0; i < slice.rows.size(); ++i) {
           const ExpertRow& row = slice.rows[i];
@@ -168,7 +172,7 @@ std::vector<Tensor> CanonicalFunctionalMoe(const MoeWorkload& workload) {
   // Canonical combine: slot-major, TP-lane inner.
   std::vector<Tensor> outputs(static_cast<size_t>(ep));
   const auto consume = [&](int g) {
-    Tensor result(Shape{group_tokens, n_embed});
+    Tensor result(Shape{group_tokens, n_embed}, dtype);
     const int64_t first = placement.FirstTokenOfGroup(g);
     for (int64_t t = 0; t < group_tokens; ++t) {
       const TokenRoute& route =
@@ -185,6 +189,8 @@ std::vector<Tensor> CanonicalFunctionalMoe(const MoeWorkload& workload) {
               route.weights[static_cast<size_t>(k)]);
         }
       }
+      // f32 accumulate, one rounding per output row (reference contract).
+      result.QuantizeRow(t);
     }
     outputs[static_cast<size_t>(g)] = std::move(result);
   };

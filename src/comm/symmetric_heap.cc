@@ -65,6 +65,19 @@ void CheckRowInRange(const std::string& name, const Tensor& t, int64_t row,
       << t.rows() << ")";
 }
 
+// Moves a row through the allocation's wire format. For the 2-byte dtypes
+// the payload is genuinely narrowed: each element passes through its 16-bit
+// encoding (QuantizeSpan IS encode-then-decode, see tensor/dtype.h), so no
+// information beyond BF16/F16 precision can survive transport -- exactly
+// what a put through a 2MN-byte NVSHMEM buffer guarantees. f32 rows copy
+// verbatim. Stateless, so concurrent ranks share nothing.
+void CopyThroughWire(std::span<const float> src, std::span<float> dst,
+                     DType dtype) {
+  COMET_CHECK_EQ(src.size(), dst.size());
+  std::copy(src.begin(), src.end(), dst.begin());
+  QuantizeSpan(dst, dtype);
+}
+
 }  // namespace
 
 Tensor& SymmetricHeap::Local(SymmetricBufferId buf, int rank) {
@@ -92,7 +105,7 @@ void SymmetricHeap::PutRow(SymmetricBufferId buf, int src_rank, int dst_rank,
   CheckRank(alloc, src_rank, "PutRow", "source");
   Tensor& dst = DataLocal(alloc, dst_rank, "PutRow");
   CheckRowInRange(alloc.name, dst, dst_row, "PutRow");
-  dst.SetRow(dst_row, data);
+  CopyThroughWire(data, dst.row(dst_row), dst.dtype());
   AccountTraffic(src_rank, dst_rank,
                  static_cast<double>(data.size()) *
                      static_cast<double>(DTypeSize(dst.dtype())));
@@ -108,7 +121,9 @@ std::vector<float> SymmetricHeap::GetRow(SymmetricBufferId buf, int reader_rank,
   AccountTraffic(owner_rank, reader_rank,
                  static_cast<double>(view.size()) *
                      static_cast<double>(DTypeSize(src.dtype())));
-  return std::vector<float>(view.begin(), view.end());
+  std::vector<float> out(view.size());
+  CopyThroughWire(view, out, src.dtype());
+  return out;
 }
 
 void SymmetricHeap::CopyRow(SymmetricBufferId buf, int reader_rank,
@@ -122,7 +137,7 @@ void SymmetricHeap::CopyRow(SymmetricBufferId buf, int reader_rank,
   AccountTraffic(owner_rank, reader_rank,
                  static_cast<double>(view.size()) *
                      static_cast<double>(DTypeSize(src.dtype())));
-  std::copy(view.begin(), view.end(), dst.begin());
+  CopyThroughWire(view, dst, src.dtype());
 }
 
 void SymmetricHeap::AccumulateRow(SymmetricBufferId buf, int src_rank,
@@ -132,7 +147,11 @@ void SymmetricHeap::AccumulateRow(SymmetricBufferId buf, int src_rank,
   CheckRank(alloc, src_rank, "AccumulateRow", "source");
   Tensor& dst = DataLocal(alloc, dst_rank, "AccumulateRow");
   CheckRowInRange(alloc.name, dst, dst_row, "AccumulateRow");
+  // f32 accumulate, round the updated row back to the buffer dtype on store
+  // -- the same contract as the GEMM epilogue (NVSHMEM atomics on a 2-byte
+  // buffer cannot hold wider partials either).
   dst.AccumulateRow(dst_row, data, weight);
+  dst.QuantizeRow(dst_row);
   AccountTraffic(src_rank, dst_rank,
                  static_cast<double>(data.size()) *
                      static_cast<double>(DTypeSize(dst.dtype())));

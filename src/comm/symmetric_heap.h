@@ -13,6 +13,16 @@
 // rescheduled execution moves exactly the same bytes as the reference, and
 // the timing plane uses to price communication.
 //
+// Dtype: an allocation made at kBF16/kF16 carries genuine 2-byte rows. Row
+// puts/gets encode every element into a real 16-bit word (RNE) and decode on
+// the far side, so values that are not representable at the buffer dtype are
+// rounded by transport -- the paper's "allocated memory size is 2MN" buffers
+// cannot carry f32 payloads, and neither can these. Traffic is accounted at
+// the dtype width, so the same RoutePlan moves exactly half the bytes at a
+// 2-byte dtype. Local() exposes the raw f32 master (the emulation's storage)
+// for bulk initialization; callers own its representability (the executors
+// only assign pre-quantized tensors).
+//
 // Thread safety: the heap is built for genuinely concurrent ranks (see
 // runtime/rank_group.h). Allocation is NOT thread-safe -- allocate every
 // buffer before launching the ranks. After that:

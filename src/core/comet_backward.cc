@@ -78,6 +78,15 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
   const int64_t hidden = placement.HiddenPerTpRank();
   const int64_t topk = model.topk;
   const int64_t group_tokens = placement.tokens_per_group();
+  // Precision plane (see CometOptions::compute_dtype): heap buffers and
+  // activation-path intermediates at `dtype`, f32 accumulation, RNE store
+  // rounding at exactly the points ShardedReferenceMoeBackward rounds.
+  // Weight gradients and dgate stay f32 (main grads).
+  const DType dtype = options.compute_dtype;
+  COMET_CHECK(w.inputs[0].dtype() == dtype)
+      << "workload materialized at " << DTypeName(w.inputs[0].dtype())
+      << " but compute_dtype is " << DTypeName(dtype)
+      << " (set WorkloadOptions::dtype to match)";
 
   COMET_CHECK_EQ(static_cast<int>(dout.size()), ep);
   for (const Tensor& t : dout) {
@@ -97,11 +106,11 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
 
   SymmetricHeap heap(world);
   const SymmetricBufferId in_buf =
-      heap.Allocate("bwd-input", Shape{group_tokens, n_embed});
+      heap.Allocate("bwd-input", Shape{group_tokens, n_embed}, dtype);
   const SymmetricBufferId dout_buf =
-      heap.Allocate("bwd-dout", Shape{group_tokens, n_embed});
+      heap.Allocate("bwd-dout", Shape{group_tokens, n_embed}, dtype);
   const SymmetricBufferId dcontrib_buf =
-      heap.Allocate("bwd-dcontrib", Shape{group_tokens * topk, n_embed});
+      heap.Allocate("bwd-dcontrib", Shape{group_tokens * topk, n_embed}, dtype);
   const SymmetricBufferId dcontrib_sig =
       heap.AllocateSignals("bwd-dcontrib-ready", group_tokens * topk);
   for (int r = 0; r < world; ++r) {
@@ -144,8 +153,8 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
       const auto& slice = rank_plan.experts[le];
       const auto& order = schedule_a.row_order[le];
       const int64_t rows = static_cast<int64_t>(slice.rows.size());
-      dy[le] = Tensor(Shape{rows, n_embed});
-      a_in[le] = Tensor(Shape{rows, n_embed});
+      dy[le] = Tensor(Shape{rows, n_embed}, dtype);
+      a_in[le] = Tensor(Shape{rows, n_embed}, dtype);
       // Each pos owns its dy/a_in destination row: fan the gather out.
       ParallelFor(
           0, static_cast<int64_t>(order.size()), 8,
@@ -160,6 +169,9 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
             for (size_t c = 0; c < dst.size(); ++c) {
               dst[c] = row.weight * dst[c];
             }
+            // dY rounds on store (it feeds the 2-byte dgrad pipeline) --
+            // the same per-element point WeightedDout rounds at.
+            QuantizeSpan(dst, dtype);
             heap.CopyRow(in_buf, r, src, src_local, a_in[le].row(pos));
           });
     }
@@ -170,11 +182,11 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
     for (size_t le = 0; le < num_local; ++le) {
       const int64_t rows = a_in[le].rows();
       const int64_t expert = rank_plan.experts[le].expert;
-      h_pre[le] = Tensor(Shape{rows, hidden});
+      h_pre[le] = Tensor(Shape{rows, hidden}, dtype);
       Gemm(a_in[le], w.sharded_weights->W0Shard(expert, lane), h_pre[le]);
       h_post[le] = h_pre[le];
       ApplyActivation(h_post[le], w.activation);
-      y[le] = Tensor(Shape{rows, n_embed});
+      y[le] = Tensor(Shape{rows, n_embed}, dtype);
       Gemm(h_post[le], w.sharded_weights->W1Shard(expert, lane), y[le]);
     }
 
@@ -202,7 +214,7 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
     // activation backward fused into each tile's epilogue.
     std::vector<Tensor> dz(num_local);
     for (size_t le = 0; le < num_local; ++le) {
-      dz[le] = Tensor(Shape{dy[le].rows(), hidden});
+      dz[le] = Tensor(Shape{dy[le].rows(), hidden}, dtype);
     }
     // Tiles write disjoint dz patches (activation backward included), so
     // the pool can run them in any completion order.
@@ -264,7 +276,7 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
                             options.tile_n, options.reschedule);
     std::vector<Tensor> da(num_local);
     for (size_t le = 0; le < num_local; ++le) {
-      da[le] = Tensor(Shape{dz[le].rows(), n_embed});
+      da[le] = Tensor(Shape{dz[le].rows(), n_embed}, dtype);
     }
     ParallelFor(
         0, static_cast<int64_t>(schedule_b.tiles.size()), 1,
@@ -335,6 +347,9 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
               dinput.AccumulateRow(t, row_buf, 1.0f);
             }
           }
+          // One rounding per dinput row after the canonical reduction --
+          // the same point the sharded reference rounds at.
+          QuantizeSpan(dinput.row(t), dtype);
         });
   };
 

@@ -177,12 +177,21 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
   const int64_t hidden = placement.HiddenPerTpRank();
   const int64_t topk = model.topk;
   const int64_t group_tokens = placement.tokens_per_group();
+  // The precision plane: heap buffers and every GEMM/activation intermediate
+  // live at this dtype; stores round (RNE), accumulation stays f32. The
+  // workload must have been materialized at the same dtype -- quantizing
+  // here instead would silently diverge from the reference's operands.
+  const DType dtype = options_.compute_dtype;
+  COMET_CHECK(workload.inputs[0].dtype() == dtype)
+      << "workload materialized at " << DTypeName(workload.inputs[0].dtype())
+      << " but compute_dtype is " << DTypeName(dtype)
+      << " (set WorkloadOptions::dtype to match)";
 
   SymmetricHeap heap(world);
   const SymmetricBufferId in_buf =
-      heap.Allocate("moe-input", Shape{group_tokens, n_embed});
+      heap.Allocate("moe-input", Shape{group_tokens, n_embed}, dtype);
   const SymmetricBufferId contrib_buf =
-      heap.Allocate("moe-contrib", Shape{group_tokens * topk, n_embed});
+      heap.Allocate("moe-contrib", Shape{group_tokens * topk, n_embed}, dtype);
   // One arrival signal per contrib row per rank: the undispatch puts bump
   // it, the combine waits on it -- the NVSHMEM put-with-signal discipline
   // the real fused kernels use to gate consumption on delivery.
@@ -219,7 +228,7 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
     for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
       const auto& slice = rank_plan.experts[le];
       const auto& order = schedule0.row_order[le];
-      Tensor a(Shape{static_cast<int64_t>(slice.rows.size()), n_embed});
+      Tensor a(Shape{static_cast<int64_t>(slice.rows.size()), n_embed}, dtype);
       ParallelFor(
           0, static_cast<int64_t>(order.size()), 8,
           [&](int64_t pos) {
@@ -233,9 +242,9 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
           });
       a_in.push_back(std::move(a));
       h_mid.emplace_back(
-          Shape{static_cast<int64_t>(slice.rows.size()), hidden});
+          Shape{static_cast<int64_t>(slice.rows.size()), hidden}, dtype);
       y_out.emplace_back(
-          Shape{static_cast<int64_t>(slice.rows.size()), n_embed});
+          Shape{static_cast<int64_t>(slice.rows.size()), n_embed}, dtype);
     }
 
     GroupGemmProblem problem0;
@@ -331,7 +340,7 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
         }
       }
     }
-    Tensor result(Shape{group_tokens, n_embed});
+    Tensor result(Shape{group_tokens, n_embed}, dtype);
     // Tokens reduce independently (one output row each); the slot-major,
     // TP-lane-inner order within a token is preserved inside the body.
     ParallelFor(
@@ -354,6 +363,9 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
                                    route.weights[static_cast<size_t>(k)]);
             }
           }
+          // f32 accumulation above, one rounding on store -- mirrors the
+          // sharded reference's per-row output rounding exactly.
+          result.QuantizeRow(t);
         });
     outputs[static_cast<size_t>(g)] = std::move(result);
   };

@@ -19,6 +19,7 @@
 
 #include "core/adaptive.h"
 #include "exec/execution.h"
+#include "tensor/dtype.h"
 #include "util/metadata_store.h"
 
 namespace comet {
@@ -30,6 +31,15 @@ struct CometOptions {
   int fixed_comm_blocks = 16;
   int64_t tile_m = 128;
   int64_t tile_n = 128;
+  // Storage/compute dtype of the functional plane: symmetric-heap buffers
+  // and GEMM/activation intermediates live at this dtype (f32 accumulate,
+  // RNE round on store -- the tensor-core contract; see tensor/dtype.h).
+  // Functional runs require the workload to be materialized at the same
+  // dtype (WorkloadOptions::dtype). Rounding points are pure functions of
+  // coordinates, so the thread/rank-count bit-exactness guarantees hold at
+  // every dtype. The timing plane is unaffected (it already prices 2-byte
+  // elements, per the paper).
+  DType compute_dtype = DType::kF32;
   // Worker threads for the parallel functional/timing plane: 0 = the global
   // pool default (COMET_THREADS env var, else hardware concurrency), 1 = the
   // old serial behavior. Tiles partition every output disjointly, so the

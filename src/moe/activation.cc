@@ -24,8 +24,14 @@ void ApplyActivationTile(Tensor& t, ActivationKind kind, int64_t row_begin,
   COMET_CHECK_GE(col_begin, 0);
   COMET_CHECK_LE(col_end, t.cols());
   if (kind == ActivationKind::kIdentity) {
+    // Nothing computed, nothing to round: the input already satisfies the
+    // tensor's representability invariant.
     return;
   }
+  // At 2-byte dtypes the element function is computed in f32 and rounded on
+  // store (RNE) -- same contract as the GEMM epilogue, and per-element pure,
+  // so tiling/threading never changes results.
+  const DType dtype = t.dtype();
   for (int64_t r = row_begin; r < row_end; ++r) {
     auto row = t.row(r);
     for (int64_t c = col_begin; c < col_end; ++c) {
@@ -42,6 +48,9 @@ void ApplyActivationTile(Tensor& t, ActivationKind kind, int64_t row_begin,
           break;
         case ActivationKind::kIdentity:
           break;
+      }
+      if (dtype != DType::kF32) {
+        x = QuantizeScalar(x, dtype);
       }
     }
   }
@@ -94,12 +103,18 @@ void ApplyActivationGradTile(Tensor& grad, const Tensor& pre,
   if (kind == ActivationKind::kIdentity) {
     return;
   }
+  // f32 multiply, round on store at 2-byte dtypes (per-element pure; see
+  // ApplyActivationTile).
+  const DType dtype = grad.dtype();
   for (int64_t r = row_begin; r < row_end; ++r) {
     auto grow = grad.row(r);
     const auto prow = pre.row(r);
     for (int64_t c = col_begin; c < col_end; ++c) {
-      grow[static_cast<size_t>(c)] *=
-          ActivationGradScalar(kind, prow[static_cast<size_t>(c)]);
+      float& g = grow[static_cast<size_t>(c)];
+      g *= ActivationGradScalar(kind, prow[static_cast<size_t>(c)]);
+      if (dtype != DType::kF32) {
+        g = QuantizeScalar(g, dtype);
+      }
     }
   }
 }

@@ -53,11 +53,16 @@ float Dot(std::span<const float> a, std::span<const float> b) {
   return acc;
 }
 
-// Scales each row i of `dy` by weights[i] from `dout` rows.
+// Scales each row i of `dy` by weights[i] from `dout` rows. At a 2-byte
+// compute dtype each product rounds on store (the combine-backward kernel
+// writes dY into the 2-byte dispatch buffer), so what feeds the dgrad GEMMs
+// is representable.
 Tensor WeightedDout(const MoeWorkload& w, const std::vector<Tensor>& dout,
-                    const ExpertBatch& batch) {
+                    const ExpertBatch& batch,
+                    DType compute_dtype = DType::kF32) {
   Tensor dy(Shape{static_cast<int64_t>(batch.tokens.size()),
-                  w.model().embedding});
+                  w.model().embedding},
+            compute_dtype);
   ParallelFor(0, static_cast<int64_t>(batch.tokens.size()), 16, [&](int64_t i) {
     const auto src = DoutRow(w, dout, batch.tokens[static_cast<size_t>(i)]);
     auto dst = dy.row(i);
@@ -65,6 +70,7 @@ Tensor WeightedDout(const MoeWorkload& w, const std::vector<Tensor>& dout,
     for (size_t c = 0; c < dst.size(); ++c) {
       dst[c] = weight * src[c];
     }
+    QuantizeSpan(dst, compute_dtype);
   });
   return dy;
 }
@@ -155,6 +161,12 @@ MoeGradients ReferenceMoeBackward(const MoeWorkload& w,
 
 MoeGradients ShardedReferenceMoeBackward(const MoeWorkload& w,
                                          const std::vector<Tensor>& dout) {
+  return ShardedReferenceMoeBackward(w, dout, w.dtype());
+}
+
+MoeGradients ShardedReferenceMoeBackward(const MoeWorkload& w,
+                                         const std::vector<Tensor>& dout,
+                                         DType compute_dtype) {
   COMET_CHECK(w.sharded_weights != nullptr)
       << "backward needs a materialized workload";
   CheckDoutShape(w, dout);
@@ -180,16 +192,17 @@ MoeGradients ShardedReferenceMoeBackward(const MoeWorkload& w,
     if (rows == 0) {
       continue;
     }
-    const Tensor dy = WeightedDout(w, dout, batch);
+    const Tensor dy = WeightedDout(w, dout, batch, compute_dtype);
 
     for (int lane = 0; lane < tp; ++lane) {
       // Recompute the lane's forward slice (what the distributed runtime
-      // stashes per rank).
-      Tensor h_pre(Shape{rows, k_shard});
+      // stashes per rank) at the compute dtype: GEMM/activation round on
+      // store when it is 2-byte.
+      Tensor h_pre(Shape{rows, k_shard}, compute_dtype);
       Gemm(batch.rows, w.sharded_weights->W0Shard(e, lane), h_pre);
       Tensor h_post = h_pre;
       ApplyActivation(h_post, w.activation);
-      Tensor y(Shape{rows, n});
+      Tensor y(Shape{rows, n}, compute_dtype);
       Gemm(h_post, w.sharded_weights->W1Shard(e, lane), y);
 
       // dgate: per-lane local dots, all-reduced lane-ascending.
@@ -208,7 +221,7 @@ MoeGradients ShardedReferenceMoeBackward(const MoeWorkload& w,
       }
 
       // dZ through the lane's W1 shard, then the activation.
-      Tensor dz(Shape{rows, k_shard});
+      Tensor dz(Shape{rows, k_shard}, compute_dtype);
       GemmNT(dy, w.sharded_weights->W1Shard(e, lane), dz);
       ApplyActivationGrad(dz, h_pre, w.activation);
 
@@ -224,7 +237,7 @@ MoeGradients ShardedReferenceMoeBackward(const MoeWorkload& w,
       }
 
       // Partial dA of this lane.
-      Tensor da(Shape{rows, n});
+      Tensor da(Shape{rows, n}, compute_dtype);
       GemmNT(dz, w.sharded_weights->W0Shard(e, lane), da);
       for (int64_t i = 0; i < rows; ++i) {
         const int64_t t = batch.tokens[static_cast<size_t>(i)];
@@ -245,6 +258,9 @@ MoeGradients ShardedReferenceMoeBackward(const MoeWorkload& w,
             1.0f);
       }
     }
+    // One rounding per dinput row, after the full canonical reduction.
+    QuantizeSpan(grads.dinput[static_cast<size_t>(group)].row(local),
+                 compute_dtype);
   });
   return grads;
 }
@@ -255,7 +271,8 @@ std::vector<Tensor> MakeLossGradient(const MoeWorkload& w, uint64_t seed) {
   dout.reserve(static_cast<size_t>(w.placement.parallel().ep));
   for (int g = 0; g < w.placement.parallel().ep; ++g) {
     dout.push_back(Tensor::Randn(
-        Shape{w.placement.tokens_per_group(), w.model().embedding}, rng));
+        Shape{w.placement.tokens_per_group(), w.model().embedding}, rng, 1.0f,
+        w.dtype()));
   }
   return dout;
 }

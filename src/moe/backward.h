@@ -63,14 +63,27 @@ ExpertForwardStash ForwardWithStash(const MoeWorkload& workload,
                                     int64_t expert);
 
 // dout: one (M/EP, N) tensor per EP group (same layout the forward emits).
+// Always computes in full f32 (the precision yardstick; cf.
+// ReferenceMoeLayer).
 MoeGradients ReferenceMoeBackward(const MoeWorkload& workload,
                                   const std::vector<Tensor>& dout);
 
+// Sharded reference at `compute_dtype` (1-arg-less overload: the workload's
+// storage dtype). Rounding points at a 2-byte dtype, mirrored exactly by
+// CometBackward's functional plane: dY = round(weight * dout) per element;
+// dgrad GEMM and activation-backward outputs round on store; dinput rows
+// round once after the canonical (slot-major, lane-inner) reduction. Weight
+// gradients and dgate stay f32 -- mixed-precision training keeps main grads
+// in full precision.
 MoeGradients ShardedReferenceMoeBackward(const MoeWorkload& workload,
                                          const std::vector<Tensor>& dout);
+MoeGradients ShardedReferenceMoeBackward(const MoeWorkload& workload,
+                                         const std::vector<Tensor>& dout,
+                                         DType compute_dtype);
 
 // Synthesizes a reproducible loss gradient (iid N(0,1)) shaped like the
-// forward output: one (M/EP, N) tensor per EP group.
+// forward output: one (M/EP, N) tensor per EP group, at the workload's
+// storage dtype (quantized like every other low-precision operand).
 std::vector<Tensor> MakeLossGradient(const MoeWorkload& workload,
                                      uint64_t seed);
 

@@ -5,15 +5,15 @@
 namespace comet {
 
 ExpertWeights ExpertWeights::Random(const ModelConfig& model, Rng& rng,
-                                    float stddev) {
+                                    float stddev, DType dtype) {
   ExpertWeights w;
   w.w0_.reserve(static_cast<size_t>(model.num_experts));
   w.w1_.reserve(static_cast<size_t>(model.num_experts));
   for (int64_t e = 0; e < model.num_experts; ++e) {
-    w.w0_.push_back(
-        Tensor::Randn(Shape{model.embedding, model.ffn_hidden}, rng, stddev));
-    w.w1_.push_back(
-        Tensor::Randn(Shape{model.ffn_hidden, model.embedding}, rng, stddev));
+    w.w0_.push_back(Tensor::Randn(Shape{model.embedding, model.ffn_hidden},
+                                  rng, stddev, dtype));
+    w.w1_.push_back(Tensor::Randn(Shape{model.ffn_hidden, model.embedding},
+                                  rng, stddev, dtype));
   }
   return w;
 }
@@ -67,7 +67,9 @@ ShardedExpertWeights::ShardedExpertWeights(const ExpertWeights& full, int tp)
     const Tensor& w1 = full.W1(e);
     for (int t = 0; t < tp_; ++t) {
       const int64_t col0 = static_cast<int64_t>(t) * shard_k;
-      Tensor s0(Shape{n, shard_k});
+      // Shards inherit the full weights' dtype: copies of representable
+      // values stay representable.
+      Tensor s0(Shape{n, shard_k}, w0.dtype());
       for (int64_t r = 0; r < n; ++r) {
         for (int64_t c = 0; c < shard_k; ++c) {
           s0.at({r, c}) = w0.at({r, col0 + c});
@@ -75,7 +77,7 @@ ShardedExpertWeights::ShardedExpertWeights(const ExpertWeights& full, int tp)
       }
       w0_shards_.push_back(std::move(s0));
 
-      Tensor s1(Shape{shard_k, n});
+      Tensor s1(Shape{shard_k, n}, w1.dtype());
       for (int64_t r = 0; r < shard_k; ++r) {
         s1.SetRow(r, w1.row(col0 + r));
       }

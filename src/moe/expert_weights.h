@@ -18,9 +18,12 @@ namespace comet {
 
 class ExpertWeights {
  public:
-  // Random N(0, stddev) weights for all E experts.
+  // Random N(0, stddev) weights for all E experts. At a 2-byte dtype the
+  // draw is quantized (RNE) after sampling, so the low-precision weights are
+  // exactly the rounded f32 weights of the same rng state.
   static ExpertWeights Random(const ModelConfig& model, Rng& rng,
-                              float stddev = 0.05f);
+                              float stddev = 0.05f,
+                              DType dtype = DType::kF32);
 
   int64_t num_experts() const { return static_cast<int64_t>(w0_.size()); }
   int64_t embedding() const;

@@ -33,6 +33,27 @@ inline const Vec& LoadVec(const float* p) {
 // chunk the dispatch overhead beats the win.
 constexpr int64_t kRowGrain = 8;
 
+// The mixed-precision store: rounds the C region a kernel just produced to
+// C's dtype (RNE). This is the tensor-core contract -- low-precision inputs,
+// f32 accumulate, round once on store -- expressed as a second pass so the
+// f32 microkernels stay untouched. Per-element rounding of a value that is
+// itself a pure function of coordinates keeps the whole-vs-tiled and
+// 1-vs-N-thread bit-exactness guarantees at every dtype. No-op for f32.
+void QuantizeStore(Tensor& c, int64_t row_begin, int64_t row_end,
+                   int64_t col_begin, int64_t col_end) {
+  const DType dtype = c.dtype();
+  if (dtype == DType::kF32) {
+    return;
+  }
+  float* data = c.data().data();
+  const int64_t n = c.cols();
+  for (int64_t i = row_begin; i < row_end; ++i) {
+    QuantizeSpan(std::span<float>(data + i * n + col_begin,
+                                  static_cast<size_t>(col_end - col_begin)),
+                 dtype);
+  }
+}
+
 // Per-thread packed B panel (k x kNR, zero-padded in the column direction).
 // Thread-local so tile kernels stay reentrant across pool workers.
 std::vector<float>& PanelScratch() {
@@ -226,6 +247,7 @@ void GemmTile(const Tensor& a, const Tensor& b, Tensor& c, int64_t row_begin,
 
   GemmTileImpl(a.data().data(), b.data().data(), c.data().data(), k, n,
                row_begin, row_end, col_begin, col_end);
+  QuantizeStore(c, row_begin, row_end, col_begin, col_end);
 }
 
 void Gemm(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -245,6 +267,7 @@ void Gemm(const Tensor& a, const Tensor& b, Tensor& c) {
   // bit-identical to the serial one at any thread count.
   ParallelForChunks(0, m, kRowGrain, [&](int64_t rb, int64_t re) {
     GemmTileImpl(a_data, b_data, c_data, k, n, rb, re, 0, n);
+    QuantizeStore(c, rb, re, 0, n);
   });
 }
 
@@ -267,6 +290,7 @@ void GemmNTTile(const Tensor& a, const Tensor& b, Tensor& c,
 
   GemmNTTileImpl(a.data().data(), b.data().data(), c.data().data(), k, n,
                  row_begin, row_end, col_begin, col_end);
+  QuantizeStore(c, row_begin, row_end, col_begin, col_end);
 }
 
 void GemmNT(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -284,6 +308,7 @@ void GemmNT(const Tensor& a, const Tensor& b, Tensor& c) {
   float* c_data = c.data().data();
   ParallelForChunks(0, m, kRowGrain, [&](int64_t rb, int64_t re) {
     GemmNTTileImpl(a_data, b_data, c_data, k, n, rb, re, 0, n);
+    QuantizeStore(c, rb, re, 0, n);
   });
 }
 
@@ -306,6 +331,7 @@ void GemmTNTile(const Tensor& a, const Tensor& b, Tensor& c,
 
   GemmTNTileImpl(a.data().data(), b.data().data(), c.data().data(), m, k, n,
                  row_begin, row_end, col_begin, col_end);
+  QuantizeStore(c, row_begin, row_end, col_begin, col_end);
 }
 
 void GemmTN(const Tensor& a, const Tensor& b, Tensor& c) {
@@ -325,6 +351,7 @@ void GemmTN(const Tensor& a, const Tensor& b, Tensor& c) {
   // covers all of [0, m) in order, so determinism is untouched.
   ParallelForChunks(0, k, kRowGrain, [&](int64_t rb, int64_t re) {
     GemmTNTileImpl(a_data, b_data, c_data, m, k, n, rb, re, 0, n);
+    QuantizeStore(c, rb, re, 0, n);
   });
 }
 

@@ -7,6 +7,13 @@
 // tile structure: callers can run a whole problem at once (reference path) or
 // compute one tile at a time in any order (COMET path) and must get identical
 // results -- each output element is produced by exactly one tile.
+//
+// Mixed precision: when C's dtype is BF16/F16 every kernel computes in f32
+// and rounds each C element once on store (RNE) -- the tensor-core contract.
+// Inputs are expected to satisfy the representability invariant
+// (tensor/tensor.h); they are consumed as their exact f32 masters. The
+// rounded value is a pure function of its coordinates, so the tile-order and
+// thread-count bit-exactness guarantees hold at every dtype.
 #pragma once
 
 #include <cstdint>
@@ -16,8 +23,8 @@
 
 namespace comet {
 
-// C = A x B with A (m, k), B (k, n), C (m, n), all row-major f32.
-// Accumulates in f32 with a k-blocked loop; deterministic.
+// C = A x B with A (m, k), B (k, n), C (m, n), row-major. Accumulates in
+// f32; rounds on store at C's dtype; deterministic.
 void Gemm(const Tensor& a, const Tensor& b, Tensor& c);
 
 // Computes rows [row_begin, row_end) x cols [col_begin, col_end) of C only.

@@ -29,11 +29,13 @@ ExpertBatch GatherExpertBatch(const MoeWorkload& w, int64_t expert) {
 
 namespace {
 
-std::vector<Tensor> SplitPerGroup(const MoeWorkload& w, const Tensor& global) {
+std::vector<Tensor> SplitPerGroup(const MoeWorkload& w, const Tensor& global,
+                                  DType dtype = DType::kF32) {
   std::vector<Tensor> outputs;
   outputs.reserve(static_cast<size_t>(w.placement.parallel().ep));
   for (int g = 0; g < w.placement.parallel().ep; ++g) {
-    Tensor out(Shape{w.placement.tokens_per_group(), w.model().embedding});
+    Tensor out(Shape{w.placement.tokens_per_group(), w.model().embedding},
+               dtype);
     const int64_t base = w.placement.FirstTokenOfGroup(g);
     ParallelFor(0, out.rows(), 16,
                 [&](int64_t i) { out.SetRow(i, global.row(base + i)); });
@@ -81,13 +83,20 @@ std::vector<Tensor> ReferenceMoeLayer(const MoeWorkload& w) {
 }
 
 std::vector<Tensor> ShardedReferenceMoeLayer(const MoeWorkload& w) {
+  return ShardedReferenceMoeLayer(w, w.dtype());
+}
+
+std::vector<Tensor> ShardedReferenceMoeLayer(const MoeWorkload& w,
+                                             DType compute_dtype) {
   const int64_t m = w.placement.total_tokens();
   const int64_t n = w.model().embedding;
   const int64_t topk = w.model().topk;
   const int tp = w.placement.parallel().tp;
 
   // One weighted partial per (token, slot, tp rank); reduced canonically:
-  // slot-major outer, TP-rank inner, both ascending.
+  // slot-major outer, TP-rank inner, both ascending. Partials stay f32:
+  // weight * y products accumulate unrounded between the GEMM store and the
+  // per-row output rounding, exactly as the executors' combine does.
   Tensor global(Shape{m, n});
   std::vector<Tensor> partials;  // indexed by tp, each (m * topk, n)
   partials.reserve(static_cast<size_t>(tp));
@@ -102,10 +111,12 @@ std::vector<Tensor> ShardedReferenceMoeLayer(const MoeWorkload& w) {
     }
     const int64_t rows = batch.rows.rows();
     for (int t = 0; t < tp; ++t) {
-      Tensor hidden(Shape{rows, w.placement.HiddenPerTpRank()});
+      // Intermediates at the compute dtype: Gemm/ApplyActivation round on
+      // store when it is 2-byte.
+      Tensor hidden(Shape{rows, w.placement.HiddenPerTpRank()}, compute_dtype);
       Gemm(batch.rows, w.sharded_weights->W0Shard(e, t), hidden);
       ApplyActivation(hidden, w.activation);
-      Tensor y(Shape{rows, n});
+      Tensor y(Shape{rows, n}, compute_dtype);
       Gemm(hidden, w.sharded_weights->W1Shard(e, t), y);
       for (int64_t i = 0; i < rows; ++i) {
         const int64_t tok = batch.tokens[static_cast<size_t>(i)];
@@ -123,8 +134,11 @@ std::vector<Tensor> ShardedReferenceMoeLayer(const MoeWorkload& w) {
                              1.0f);
       }
     }
+    // One rounding per output row, after the full canonical reduction --
+    // the combine kernels' store point.
+    QuantizeSpan(global.row(t), compute_dtype);
   });
-  return SplitPerGroup(w, global);
+  return SplitPerGroup(w, global, compute_dtype);
 }
 
 }  // namespace comet

@@ -30,9 +30,20 @@ struct ExpertBatch {
 
 ExpertBatch GatherExpertBatch(const MoeWorkload& workload, int64_t expert);
 
-// Returns one output tensor per EP group, shape (M/EP, N) (TP lanes replicate).
+// Returns one output tensor per EP group, shape (M/EP, N) (TP lanes
+// replicate). Always computes in full f32, whatever dtype the workload's
+// operands were quantized to -- the "infinite precision" yardstick the
+// precision tier measures low-precision runs against.
 std::vector<Tensor> ReferenceMoeLayer(const MoeWorkload& workload);
 
+// Canonical-order sharded reference at `compute_dtype`: GEMM and activation
+// outputs round to the dtype on store (f32 accumulate, RNE -- the
+// tensor-core contract), combine reduces in f32 and rounds each output row
+// once. At kF32 this is the historical reference unchanged. Distributed
+// executors running at the same dtype must match it BIT-EXACTLY. The 1-arg
+// overload computes at the workload's storage dtype.
 std::vector<Tensor> ShardedReferenceMoeLayer(const MoeWorkload& workload);
+std::vector<Tensor> ShardedReferenceMoeLayer(const MoeWorkload& workload,
+                                             DType compute_dtype);
 
 }  // namespace comet

@@ -32,7 +32,7 @@ MoeWorkload MakeWorkloadWithWeights(
     for (int g = 0; g < parallel.ep; ++g) {
       inputs.push_back(Tensor::Randn(
           Shape{placement.tokens_per_group(), model.embedding}, rng,
-          options.input_stddev));
+          options.input_stddev, options.dtype));
     }
   }
 
@@ -50,8 +50,11 @@ MoeWorkload MakeWorkload(const ModelConfig& model,
   std::shared_ptr<ShardedExpertWeights> sharded;
   if (options.materialize) {
     Rng weight_rng(options.seed + 17);
-    weights = std::make_shared<ExpertWeights>(
-        ExpertWeights::Random(model, weight_rng, options.weight_stddev));
+    // Weights are drawn in f32 and then quantized, so the f32 and 2-byte
+    // variants of one seed share the same underlying draw (the bf16 weights
+    // ARE the rounded f32 weights -- what the precision tier compares).
+    weights = std::make_shared<ExpertWeights>(ExpertWeights::Random(
+        model, weight_rng, options.weight_stddev, options.dtype));
     sharded = std::make_shared<ShardedExpertWeights>(*weights, parallel.tp);
   }
   return MakeWorkloadWithWeights(model, parallel, total_tokens,

@@ -23,6 +23,11 @@ struct WorkloadOptions {
   ActivationKind activation = ActivationKind::kGelu;
   float weight_stddev = 0.05f;
   float input_stddev = 1.0f;
+  // Storage dtype of the materialized inputs and weights. At kBF16/kF16 the
+  // workload is quantized at creation (RNE), so every executor consuming it
+  // sees exactly the operands a low-precision training step would. Executors
+  // must be asked to compute at the same dtype (CometOptions::compute_dtype).
+  DType dtype = DType::kF32;
   // When false, only the routing/plan metadata is built: inputs stay empty
   // and weights null. Timing-plane runs never touch tensor contents, and at
   // paper-scale shapes materializing them costs gigabytes; benches use
@@ -43,6 +48,12 @@ struct MoeWorkload {
 
   const ModelConfig& model() const { return placement.model(); }
   int world() const { return placement.world(); }
+  // Storage dtype of the materialized tensors (kF32 for timing-plane
+  // workloads, which have none). The dtype-parameterized references default
+  // their compute dtype to this.
+  DType dtype() const {
+    return inputs.empty() ? DType::kF32 : inputs[0].dtype();
+  }
 
   // Row of the global token matrix for global token id `t`.
   std::span<const float> TokenRow(int64_t t) const;

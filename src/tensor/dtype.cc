@@ -1,5 +1,7 @@
 #include "tensor/dtype.h"
 
+#include <bit>
+
 #include "util/check.h"
 
 namespace comet {
@@ -27,6 +29,145 @@ std::string DTypeName(DType dtype) {
   }
   COMET_CHECK(false) << "unknown dtype";
   return "";
+}
+
+// ---- BF16 -------------------------------------------------------------------
+//
+// BF16 is the top half of an f32: same exponent range, 7 mantissa bits.
+// Encoding truncates the mantissa with round-to-nearest-even on the dropped
+// 16 bits; decoding shifts back up. Because the exponent field is shared,
+// there is no overflow/underflow handling to do -- every f32 rounds to a
+// finite/infinite bf16 of the same regime, and every bf16 IS an f32.
+
+uint16_t F32ToBf16(float x) {
+  const uint32_t bits = std::bit_cast<uint32_t>(x);
+  if ((bits & 0x7fffffffu) > 0x7f800000u) {
+    // NaN: keep sign, force a quiet NaN with a nonzero payload so the
+    // truncation can never produce an infinity.
+    return static_cast<uint16_t>((bits >> 16) | 0x0040u);
+  }
+  // RNE: add 0x7fff plus the low bit of the surviving mantissa (ties go to
+  // the even 16-bit value). Carries ripple into the exponent correctly,
+  // rounding e.g. the largest dropped-half mantissa up to the next binade
+  // and overflowing saturated exponents to infinity.
+  const uint32_t rounded = bits + 0x7fffu + ((bits >> 16) & 1u);
+  return static_cast<uint16_t>(rounded >> 16);
+}
+
+float Bf16ToF32(uint16_t bits) {
+  return std::bit_cast<float>(static_cast<uint32_t>(bits) << 16);
+}
+
+// ---- FP16 (IEEE binary16) ---------------------------------------------------
+//
+// 5 exponent bits (bias 15), 10 mantissa bits. Encode must handle the three
+// regimes an f32 can land in: normal (round 23 -> 10 mantissa bits, RNE),
+// subnormal (|x| < 2^-14: shift the implicit leading 1 into the mantissa and
+// round), and overflow (|x| >= 65520 rounds to infinity).
+
+uint16_t F32ToF16(float x) {
+  const uint32_t bits = std::bit_cast<uint32_t>(x);
+  const uint16_t sign = static_cast<uint16_t>((bits >> 16) & 0x8000u);
+  const uint32_t abs = bits & 0x7fffffffu;
+
+  if (abs > 0x7f800000u) {
+    // NaN: quiet, nonzero payload (top payload bit set).
+    return static_cast<uint16_t>(sign | 0x7e00u |
+                                 ((bits >> 13) & 0x01ffu));
+  }
+  if (abs >= 0x477ff000u) {
+    // Overflow: 65520 = 0x477ff000 is the tie between 65504 (max finite
+    // f16) and 2^16; RNE resolves it to the even candidate, which carries
+    // out of the exponent range -- so 65520 and everything above (including
+    // f32 infinity) becomes +/- inf.
+    return static_cast<uint16_t>(sign | 0x7c00u);
+  }
+  if (abs < 0x38800000u) {
+    // |x| < 2^-14: f16 subnormal (or zero). Value = mantissa * 2^-24.
+    // Scale to an integer number of 2^-24 ulps and round RNE.
+    if (abs < 0x33000000u) {
+      // Below 2^-25: rounds to +/- 0 (2^-25 itself ties to even = 0).
+      return sign;
+    }
+    const int32_t exp = static_cast<int32_t>(abs >> 23);  // biased f32 exp
+    // Implicit leading one plus the f32 mantissa, as a 24-bit integer.
+    const uint32_t mant = (abs & 0x007fffffu) | 0x00800000u;
+    // Shift so one unit = 2^-24: for f32 exponent e (value 2^(e-127)),
+    // the integer is mant * 2^(e - 127 - 23 + 24) = mant >> (126 - e).
+    const int32_t shift = 126 - exp;  // in [14, 24] here
+    const uint32_t kept = mant >> shift;
+    const uint32_t rem = mant & ((1u << shift) - 1u);
+    const uint32_t half = 1u << (shift - 1);
+    uint32_t out = kept;
+    if (rem > half || (rem == half && (kept & 1u))) {
+      ++out;  // may carry into the normal range (0x0400), which is correct
+    }
+    return static_cast<uint16_t>(sign | out);
+  }
+  // Normal range: rebias exponent by (127 - 15), round 13 dropped mantissa
+  // bits RNE. Carries ripple into the exponent; the overflow band was
+  // excluded above, so the result stays finite.
+  const uint32_t rebiased = abs - ((127u - 15u) << 23);
+  const uint32_t rounded = rebiased + 0x0fffu + ((rebiased >> 13) & 1u);
+  return static_cast<uint16_t>(sign | (rounded >> 13));
+}
+
+float F16ToF32(uint16_t bits) {
+  const uint32_t sign = static_cast<uint32_t>(bits & 0x8000u) << 16;
+  const uint32_t exp = (bits >> 10) & 0x1fu;
+  const uint32_t mant = bits & 0x03ffu;
+  if (exp == 0x1fu) {  // inf / NaN
+    return std::bit_cast<float>(sign | 0x7f800000u | (mant << 13));
+  }
+  if (exp == 0) {
+    if (mant == 0) {
+      return std::bit_cast<float>(sign);  // +/- 0
+    }
+    // Subnormal: value = mant * 2^-24 = 1.m' * 2^(-15 - e) after shifting
+    // the leading one into the implicit position (e = number of shifts - 1).
+    uint32_t m = mant;
+    int32_t e = -1;
+    do {
+      ++e;
+      m <<= 1;
+    } while ((m & 0x0400u) == 0);
+    m &= 0x03ffu;
+    const uint32_t f32_exp = static_cast<uint32_t>(127 - 15 - e) << 23;
+    return std::bit_cast<float>(sign | f32_exp | (m << 13));
+  }
+  return std::bit_cast<float>(sign | ((exp + (127u - 15u)) << 23) |
+                              (mant << 13));
+}
+
+float QuantizeScalar(float x, DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return x;
+    case DType::kBF16:
+      return Bf16ToF32(F32ToBf16(x));
+    case DType::kF16:
+      return F16ToF32(F32ToF16(x));
+  }
+  COMET_CHECK(false) << "unknown dtype";
+  return x;
+}
+
+void QuantizeSpan(std::span<float> values, DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return;
+    case DType::kBF16:
+      for (float& v : values) {
+        v = Bf16ToF32(F32ToBf16(v));
+      }
+      return;
+    case DType::kF16:
+      for (float& v : values) {
+        v = F16ToF32(F32ToF16(v));
+      }
+      return;
+  }
+  COMET_CHECK(false) << "unknown dtype";
 }
 
 }  // namespace comet

@@ -1,11 +1,17 @@
-// Element types. The functional plane computes in float32 for determinism and
-// portability; BF16/FP16 exist so the timing plane and the memory planner can
-// account bytes exactly the way the paper does (Table 3 assumes 2-byte
-// elements for the NVSHMEM buffer: "For datatype of BF16 or FP16, the
-// allocated memory size is 2MN").
+// Element types and their 16-bit codecs.
+//
+// The functional plane computes at a caller-chosen storage dtype. f32 is the
+// master format everywhere (CPU registers and the Tensor backing store are
+// float); BF16/FP16 are REAL storage formats: every value held at those
+// dtypes is exactly representable in 16 bits, conversions round to nearest
+// even, and the symmetric heap moves genuine 2-byte encodings (the paper's
+// Table 3 sizes the NVSHMEM buffer as 2MN bytes for BF16/FP16). The timing
+// plane and the memory planner use DTypeSize for byte accounting.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <span>
 #include <string>
 
 namespace comet {
@@ -21,5 +27,28 @@ size_t DTypeSize(DType dtype);
 
 // "f32", "bf16", "f16".
 std::string DTypeName(DType dtype);
+
+// ---- 16-bit codecs ----------------------------------------------------------
+//
+// Encode = round-to-nearest-even from f32, the rounding mode of tensor-core
+// stores and of every production BF16/FP16 cast. Decode is exact (each
+// 16-bit value names one f32). NaNs stay NaN (payload may change, sign and
+// quietness are preserved where the narrower format can hold them);
+// infinities map to infinities; FP16 encode handles overflow (-> inf) and
+// subnormals (RNE into the denormal range).
+
+uint16_t F32ToBf16(float x);
+float Bf16ToF32(uint16_t bits);
+
+uint16_t F32ToF16(float x);
+float F16ToF32(uint16_t bits);
+
+// Round `x` to the nearest value representable at `dtype` (identity for
+// kF32). decode(encode(x)) in one call; the per-element rounding primitive
+// of the mixed-precision plane.
+float QuantizeScalar(float x, DType dtype);
+
+// Rounds every element of `values` to `dtype` in place. No-op for kF32.
+void QuantizeSpan(std::span<float> values, DType dtype);
 
 }  // namespace comet

@@ -20,8 +20,9 @@ Tensor Tensor::Zeros(Shape shape, DType logical_dtype) {
 
 Tensor Tensor::Full(Shape shape, float value, DType logical_dtype) {
   Tensor t(std::move(shape), logical_dtype);
+  const float v = QuantizeScalar(value, logical_dtype);
   for (auto& x : t.data_) {
-    x = value;
+    x = v;
   }
   return t;
 }
@@ -31,6 +32,7 @@ Tensor Tensor::Randn(Shape shape, Rng& rng, float stddev, DType logical_dtype) {
   for (auto& x : t.data_) {
     x = static_cast<float>(rng.Normal(0.0, stddev));
   }
+  t.Quantize();
   return t;
 }
 
@@ -39,7 +41,29 @@ Tensor Tensor::Iota(Shape shape, float scale, DType logical_dtype) {
   for (size_t i = 0; i < t.data_.size(); ++i) {
     t.data_[i] = scale * static_cast<float>(i);
   }
+  t.Quantize();
   return t;
+}
+
+void Tensor::Quantize() {
+  if (dtype_ == DType::kF32) {
+    return;
+  }
+  QuantizeSpan(std::span<float>(data_), dtype_);
+}
+
+void Tensor::QuantizeRow(int64_t r) {
+  if (dtype_ == DType::kF32) {
+    return;
+  }
+  QuantizeSpan(row(r), dtype_);
+}
+
+Tensor Tensor::AsType(DType dtype) const {
+  Tensor out = *this;
+  out.dtype_ = dtype;
+  out.Quantize();
+  return out;
 }
 
 double Tensor::LogicalBytes() const {

@@ -1,9 +1,18 @@
-// Owning dense float32 tensor plus lightweight row views.
+// Owning dense tensor plus lightweight row views.
+//
+// Storage is an f32 master copy at every dtype (CPU arithmetic is float);
+// for the 2-byte dtypes the tensor additionally maintains the REPRESENTABLE
+// invariant: every stored value is exactly expressible in BF16/F16, so the
+// f32 master and the 16-bit encoding name the same number. Fill constructors
+// establish the invariant by rounding (RNE, tensor/dtype.h codecs);
+// Quantize()/QuantizeRow() re-establish it at the compute plane's explicit
+// rounding points (GEMM stores, activation stores, combine outputs). Raw
+// writes through row()/at()/data() are intentionally unrounded -- f32
+// accumulation between rounding points is exactly the tensor-core contract.
 //
 // The functional plane only needs: allocation, random/constant fill, 2-D
 // row access (tokens are rows), row gather/scatter, and elementwise
-// comparison with tolerance. Compute stays in f32; the logical dtype is
-// carried alongside for byte accounting in the timing plane.
+// comparison with tolerance.
 #pragma once
 
 #include <span>
@@ -34,6 +43,14 @@ class Tensor {
 
   const Shape& shape() const { return shape_; }
   DType dtype() const { return dtype_; }
+  // Rounds every element to this tensor's dtype (no-op at kF32). The
+  // per-element rounding is pure, so parallel and serial calls agree.
+  void Quantize();
+  // Rounds one row (rank-2 tensors) -- the combine paths' store-rounding.
+  void QuantizeRow(int64_t r);
+  // Copy of this tensor relabeled AND rounded to `dtype`. The master values
+  // of a widening copy (bf16 -> f32) are unchanged.
+  Tensor AsType(DType dtype) const;
   int64_t NumElements() const { return shape_.NumElements(); }
   // Bytes this tensor would occupy at its *logical* dtype (used by the
   // memory planner and comm cost models).

@@ -76,6 +76,62 @@ TEST(SymmetricHeap, AllocatedBytesPerRank) {
   EXPECT_DOUBLE_EQ(heap.AllocatedBytesPerRank(), 64.0 + 8.0);
 }
 
+// ---- the 2-byte wire --------------------------------------------------------
+
+TEST(SymmetricHeapDtype, PutRowNarrowsToTheBufferDtype) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("x", Shape{1, 3}, DType::kBF16);
+  // 1.0f + 2^-9 is NOT bf16-representable (bf16 ulp at 1.0 is 2^-7): the
+  // wire must round it; representable values pass through untouched.
+  const float not_representable = 1.0f + 0.001953125f;
+  const std::vector<float> row = {not_representable, 1.5f, -0.25f};
+  heap.PutRow(buf, 0, 1, 0, row);
+  EXPECT_EQ(heap.Local(buf, 1).at({0, 0}),
+            QuantizeScalar(not_representable, DType::kBF16));
+  EXPECT_NE(heap.Local(buf, 1).at({0, 0}), not_representable);
+  EXPECT_EQ(heap.Local(buf, 1).at({0, 1}), 1.5f);
+  EXPECT_EQ(heap.Local(buf, 1).at({0, 2}), -0.25f);
+  // Traffic is accounted at the real wire width: 3 elements x 2 bytes.
+  EXPECT_DOUBLE_EQ(heap.Traffic(0, 1), 6.0);
+}
+
+TEST(SymmetricHeapDtype, ReadsGoThroughTheWireToo) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("x", Shape{1, 2}, DType::kF16);
+  // Local() is raw master access (bulk init); a raw write of an
+  // unrepresentable value cannot escape through row reads unrounded.
+  heap.Local(buf, 0).at({0, 0}) = 1.0f + 0.0001f;
+  const auto got = heap.GetRow(buf, 1, 0, 0);
+  EXPECT_EQ(got[0], QuantizeScalar(1.0f + 0.0001f, DType::kF16));
+  std::vector<float> dst(2, 0.0f);
+  heap.CopyRow(buf, 1, 0, 0, dst);
+  EXPECT_EQ(dst[0], got[0]);
+  EXPECT_DOUBLE_EQ(heap.Traffic(0, 1), 2.0 * 2.0 * 2.0);  // two 2x2B reads
+}
+
+TEST(SymmetricHeapDtype, AccumulateRowRoundsOnStore) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("x", Shape{1, 1}, DType::kBF16);
+  const std::vector<float> row = {1.0f};
+  heap.AccumulateRow(buf, 0, 1, 0, row, 1.0f);
+  // 1.0 + 2^-8 is half a bf16 ulp: it ties back to even 1.0 on store -- the
+  // 2-byte buffer cannot hold the f32 partial.
+  heap.AccumulateRow(buf, 0, 1, 0, row, 0.00390625f);
+  EXPECT_EQ(heap.Local(buf, 1).at({0, 0}), 1.0f);
+}
+
+TEST(SymmetricHeapDtype, SignalledPutsNarrowLikePlainPuts) {
+  SymmetricHeap heap(2);
+  const auto buf = heap.Allocate("x", Shape{1, 2}, DType::kBF16);
+  const auto sig = heap.AllocateSignals("x-ready", 1);
+  const std::vector<float> row = {1.0f + 0.001953125f, 2.0f};
+  heap.PutRowWithSignal(buf, 0, 1, 0, row, sig, 0);
+  EXPECT_EQ(heap.SignalValue(sig, 1, 0), 1u);
+  EXPECT_EQ(heap.Local(buf, 1).at({0, 0}),
+            QuantizeScalar(row[0], DType::kBF16));
+  EXPECT_DOUBLE_EQ(heap.Traffic(0, 1), 4.0);  // payload only, 2 x 2 bytes
+}
+
 // ---- bounds handling --------------------------------------------------------
 //
 // Out-of-range rows/ranks must CHECK-fail with a message naming the buffer

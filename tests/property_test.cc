@@ -8,6 +8,8 @@
 #include "baselines/fastermoe.h"
 #include "baselines/megatron.h"
 #include "baselines/tutel.h"
+#include "comm/memory_planner.h"
+#include "comm/symmetric_heap.h"
 #include "core/comet_executor.h"
 #include "moe/reference_layer.h"
 #include "sim/slot_pool.h"
@@ -402,6 +404,83 @@ TEST_P(MonotoneDuration, MoreTokensNeverFaster) {
 
 INSTANTIATE_TEST_SUITE_P(AllExecutors, MonotoneDuration,
                          ::testing::Range(0, 5));
+
+// =======================================================================
+// Property: for ONE RoutePlan, the symmetric-heap traffic at a 2-byte
+// dtype is EXACTLY half the f32 traffic (same rows move, every element
+// half the width), the byte totals equal the plan's remote-row count
+// times the row width, and heap allocations reconcile with the memory
+// planner's dtype-width formula (2MN at BF16/FP16, 4MN at f32 -- paper
+// Table 3). 100 randomized configs.
+// =======================================================================
+
+class DtypeTrafficProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DtypeTrafficProperty, TwoByteTrafficHalvesAndReconcilesWithPlanner) {
+  const int seed = GetParam();
+  Rng rng(9000 + static_cast<uint64_t>(seed));
+
+  const int ep_choices[] = {1, 2, 4, 8};
+  const int ep = ep_choices[rng.UniformInt(0, 3)];
+  ModelConfig model;
+  model.name = "traffic-prop";
+  model.layers = 1;
+  model.num_experts = ep * rng.UniformInt(1, 4);
+  model.topk = rng.UniformInt(1, std::min<int64_t>(model.num_experts, 4));
+  model.embedding = 8 * rng.UniformInt(1, 8);
+  model.ffn_hidden = 2 * model.embedding;
+  const int64_t tokens = ep * rng.UniformInt(4, 32);
+
+  WorkloadOptions options;
+  options.seed = 700 + static_cast<uint64_t>(seed);
+  options.load_std = rng.Uniform(0.0, 0.05);
+  options.materialize = false;  // only the RoutePlan matters here
+  const MoeWorkload w =
+      MakeWorkload(model, ParallelConfig{1, ep}, tokens, options);
+
+  // Drive the plan's dispatch gathers through a heap at `dtype`: every rank
+  // reads each of its planned rows from the row's home rank, exactly like
+  // the executors' layer0 gather.
+  const auto drive = [&](DType dtype) {
+    SymmetricHeap heap(ep);
+    const SymmetricBufferId in_buf = heap.Allocate(
+        "in", Shape{w.placement.tokens_per_group(), model.embedding}, dtype);
+    // Allocation sizes must match the planner at this dtype: the planner's
+    // Bytes() IS tokens * embedding * width(dtype).
+    EXPECT_DOUBLE_EQ(
+        heap.AllocatedBytesPerRank(),
+        PlanCommBuffer(w.placement.tokens_per_group(), model.embedding, dtype)
+            .Bytes());
+    std::vector<float> row(static_cast<size_t>(model.embedding), 0.0f);
+    for (int r = 0; r < ep; ++r) {
+      for (const auto& slice : w.plan.ForRank(r).experts) {
+        for (const ExpertRow& er : slice.rows) {
+          const int src = w.placement.RankOf(er.source_group, 0);
+          heap.CopyRow(in_buf, r, src,
+                       er.token - w.placement.FirstTokenOfGroup(er.source_group),
+                       row);
+        }
+      }
+    }
+    return heap.TotalTraffic();
+  };
+
+  int64_t remote_rows = 0;
+  for (int r = 0; r < ep; ++r) {
+    remote_rows += w.plan.RemoteRows(r);
+  }
+
+  const double t_f32 = drive(DType::kF32);
+  const double t_bf16 = drive(DType::kBF16);
+  const double t_f16 = drive(DType::kF16);
+  EXPECT_EQ(t_f32, static_cast<double>(remote_rows * model.embedding * 4));
+  EXPECT_EQ(t_bf16, static_cast<double>(remote_rows * model.embedding * 2));
+  EXPECT_EQ(t_f16, t_bf16);
+  EXPECT_EQ(t_f32, 2.0 * t_bf16) << "ep=" << ep << " tokens=" << tokens;
+}
+
+INSTANTIATE_TEST_SUITE_P(HundredConfigs, DtypeTrafficProperty,
+                         ::testing::Range(0, 100));
 
 }  // namespace
 }  // namespace comet
