@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/stats.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
 
@@ -58,8 +59,9 @@ std::string FormatJsonDouble(double v) {
 }
 
 // Collapses per-repeat records into one median record per (bench, metric),
-// keeping first-appearance order. Median = middle of the sorted values (mean
-// of the two middles when even); the collapsed record carries repeat = -1.
+// keeping first-appearance order. Median = exact nearest-rank p50
+// (util/stats.h), so the collapsed value is always one that was actually
+// measured; the collapsed record carries repeat = -1.
 std::vector<RunRecord> MedianRecords(const std::vector<RunRecord>& records) {
   std::vector<RunRecord> out;
   std::vector<std::vector<double>> values;
@@ -78,11 +80,7 @@ std::vector<RunRecord> MedianRecords(const std::vector<RunRecord>& records) {
     values[slot].push_back(r.metric.value);
   }
   for (size_t i = 0; i < out.size(); ++i) {
-    std::vector<double>& v = values[i];
-    std::sort(v.begin(), v.end());
-    const size_t n = v.size();
-    out[i].metric.value =
-        (n % 2 == 1) ? v[n / 2] : 0.5 * (v[n / 2 - 1] + v[n / 2]);
+    out[i].metric.value = PercentileNearestRank(values[i], 50.0);
   }
   return out;
 }

@@ -1,0 +1,150 @@
+// Serving-plane load sweep: latency vs offered load for the continuous
+// batcher, open-loop arrivals on the simulated clock.
+//
+// Extends the paper's §5.3 decode-regime observation ("scheduling time on
+// the host side predominates" at small M) from single layers to a serving
+// system: at low utilization the batcher runs small, launch-dominated
+// batches; as offered load approaches the iteration capacity, queueing
+// delay takes over and the tail (p99 TTFT, p99 queue wait) blows up first
+// -- the classic open-loop latency-vs-load knee -- until past saturation
+// the bounded admission queue sheds.
+//
+// The sweep calibrates saturation throughput with an all-at-once burst,
+// then offers {25, 50, 75, 100, 150}% of it under Poisson and bursty
+// arrivals. Every metric is simulated-clock: the records in BENCH_5.json
+// are bit-reproducible, not machine noise.
+#include "bench/bench_common.h"
+
+#include <cmath>
+
+#include "serve/server.h"
+#include "util/stats.h"
+
+using namespace comet;
+using namespace comet::bench;
+
+namespace {
+
+ModelConfig ServeBenchModel() {
+  ModelConfig m;
+  m.name = "serve-bench";
+  m.layers = 1;
+  m.num_experts = 8;
+  m.topk = 2;
+  m.embedding = 64;
+  m.ffn_hidden = 128;
+  return m;
+}
+
+ServeOptions BenchServeOptions() {
+  ServeOptions o;
+  o.model = ServeBenchModel();
+  o.parallel = ParallelConfig{1, 4};
+  o.seed = 20260729;
+  o.dtype = BenchDType();
+  o.token_budget = 32;
+  o.max_active = 16;
+  // Tight enough that past-saturation load actually sheds within a
+  // 200-request run (the knee must show all three regimes).
+  o.queue_capacity = 24;
+  return o;
+}
+
+LoadGenOptions BenchLoadOptions(int64_t n) {
+  LoadGenOptions o;
+  o.seed = 4242;
+  o.num_requests = n;
+  o.prompt = LengthDist::Uniform(4, 16);
+  o.decode = LengthDist::Uniform(1, 8);
+  return o;
+}
+
+double MeanTokensPerRequest(const LoadGenOptions& o) {
+  const double prompt =
+      0.5 * static_cast<double>(o.prompt.Min() + o.prompt.Max());
+  const double decode =
+      0.5 * static_cast<double>(o.decode.Min() + o.decode.Max());
+  return prompt + decode;
+}
+
+}  // namespace
+
+REGISTER_BENCH(serve_loadgen,
+               "Serving plane: latency vs offered load, SLO attainment") {
+  const ClusterSpec cluster = H800Cluster(4);
+
+  PrintHeader("Serving: continuous batching under open-loop load",
+              "tiny MoE (E=8 topk=2 N=64 K=128), EP=4 H800x4, budget 32 "
+              "tokens/iter; times in SIMULATED us");
+
+  // --- calibrate: saturated service rate (everything arrives at t=0) ---
+  LoadGenOptions burst_all = BenchLoadOptions(64);
+  burst_all.arrival = ArrivalProcess::kBursty;
+  burst_all.mean_burst = 64.0;
+  burst_all.offered_rps = 1e9;
+  MoeServer calib_server(BenchServeOptions(), cluster);
+  LoadGenerator calib_gen(burst_all);
+  const ServeReport calib = calib_server.Serve(calib_gen);
+  const double capacity_tps = calib.throughput_tokens_per_s;
+  const double mean_tokens = MeanTokensPerRequest(BenchLoadOptions(1));
+  reporter.Report("capacity_tokens_per_s", capacity_tps, "tok/s");
+  std::cout << "calibrated capacity: " << FormatDouble(capacity_tps, 0)
+            << " tokens/s ("
+            << FormatDouble(capacity_tps / mean_tokens, 1) << " req/s)\n\n";
+
+  // SLO targets pinned to the calibrated iteration time: TTFT within 8
+  // unloaded iterations, mean ITL within 3.
+  const double iter_us =
+      calib.sim_duration_us / static_cast<double>(calib.iterations);
+  SloTargets slo;
+  slo.ttft_us = 8.0 * iter_us;
+  slo.itl_us = 3.0 * iter_us;
+
+  AsciiTable table({"arrival", "util %", "ttft p50", "ttft p99", "itl p99",
+                    "queue p99", "shed %", "SLO %", "tok/s"});
+  for (const ArrivalProcess arrival :
+       {ArrivalProcess::kPoisson, ArrivalProcess::kBursty}) {
+    for (const int util_pct : {25, 50, 75, 100, 150}) {
+      LoadGenOptions load = BenchLoadOptions(200);
+      load.arrival = arrival;
+      load.offered_rps = capacity_tps / mean_tokens *
+                         static_cast<double>(util_pct) / 100.0;
+      ServeOptions options = BenchServeOptions();
+      options.slo = slo;
+      MoeServer server(options, cluster);
+      LoadGenerator gen(load);
+      const ServeReport r = server.Serve(gen);
+
+      const double shed_frac =
+          static_cast<double>(r.shed) / static_cast<double>(r.offered);
+      table.AddRow({ArrivalProcessName(arrival), std::to_string(util_pct),
+                    FormatDouble(r.ttft_us.p50, 1),
+                    FormatDouble(r.ttft_us.p99, 1),
+                    FormatDouble(r.itl_us.p99, 1),
+                    FormatDouble(r.queue_wait_us.p99, 1),
+                    FormatPercent(shed_frac),
+                    FormatPercent(r.slo_attainment),
+                    FormatDouble(r.throughput_tokens_per_s, 0)});
+
+      const std::string prefix = std::string(ArrivalProcessName(arrival)) +
+                                 "_u" + std::to_string(util_pct) + "_";
+      reporter.Report(prefix + "ttft_p50_us", r.ttft_us.p50, "us");
+      reporter.Report(prefix + "ttft_p99_us", r.ttft_us.p99, "us");
+      reporter.Report(prefix + "itl_p99_us", r.itl_us.p99, "us");
+      reporter.Report(prefix + "queue_wait_p99_us", r.queue_wait_us.p99,
+                      "us");
+      reporter.Report(prefix + "e2e_p99_us", r.e2e_us.p99, "us");
+      reporter.Report(prefix + "shed_fraction", shed_frac);
+      reporter.Report(prefix + "slo_attainment", r.slo_attainment);
+      reporter.Report(prefix + "throughput_tokens_per_s",
+                      r.throughput_tokens_per_s, "tok/s");
+    }
+  }
+  std::cout << table.Render() << "\n";
+  PrintPaperNote(
+      "no paper figure: extends §5.3's small-M decode regime to a serving "
+      "system. Expected shape: flat latency below ~75% utilization, a "
+      "queueing knee at 100%, shed + SLO collapse at 150%; bursty arrivals "
+      "hit the knee earlier at equal mean load.");
+  return 0;
+}

@@ -147,10 +147,15 @@ void SymmetricHeap::AccumulateRow(SymmetricBufferId buf, int src_rank,
   CheckRank(alloc, src_rank, "AccumulateRow", "source");
   Tensor& dst = DataLocal(alloc, dst_rank, "AccumulateRow");
   CheckRowInRange(alloc.name, dst, dst_row, "AccumulateRow");
-  // f32 accumulate, round the updated row back to the buffer dtype on store
-  // -- the same contract as the GEMM epilogue (NVSHMEM atomics on a 2-byte
-  // buffer cannot hold wider partials either).
-  dst.AccumulateRow(dst_row, data, weight);
+  // The payload crosses the wire at the buffer dtype like every other row
+  // op (an unrepresentable f32 payload must not leak extra bits into the
+  // destination); then f32 accumulate and round the updated row back on
+  // store -- the same contract as the GEMM epilogue (NVSHMEM atomics on a
+  // 2-byte buffer cannot hold wider partials either).
+  thread_local std::vector<float> wire;
+  wire.resize(data.size());
+  CopyThroughWire(data, wire, dst.dtype());
+  dst.AccumulateRow(dst_row, wire, weight);
   dst.QuantizeRow(dst_row);
   AccountTraffic(src_rank, dst_rank,
                  static_cast<double>(data.size()) *

@@ -122,7 +122,9 @@ class SymmetricHeap {
   // signal reaches `expected`. Used by concurrent rank groups, where the
   // producer is a live peer task. Throws CheckError naming the buffer if
   // `timeout_ms` elapses first, so a dead producer surfaces as a test
-  // failure instead of a hang.
+  // failure instead of a hang. The executors thread
+  // CometOptions::signal_wait_timeout_ms through here; the serving plane
+  // lowers it so a wedged rank fails a load test fast.
   void WaitUntilSignalGe(SymmetricBufferId sig, int rank, int64_t sig_index,
                          uint64_t expected, int64_t timeout_ms = 60000) const;
 

@@ -326,7 +326,8 @@ MoeGradients FunctionalBackward(const MoeWorkload& w,
       for (int64_t k = 0; k < slots; ++k) {
         for (int l = 0; l < tp; ++l) {
           heap.WaitUntilSignalGe(dcontrib_sig, placement.RankOf(g, l),
-                                 t * topk + k, 1);
+                                 t * topk + k, 1,
+                                 options.signal_wait_timeout_ms);
         }
       }
     }

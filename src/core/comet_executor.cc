@@ -18,6 +18,7 @@ CometExecutor::CometExecutor(CometOptions options)
   COMET_CHECK_GT(options_.tile_m, 0);
   COMET_CHECK_GT(options_.tile_n, 0);
   COMET_CHECK_GE(options_.fixed_comm_blocks, 0);
+  COMET_CHECK_GT(options_.signal_wait_timeout_ms, 0);
 }
 
 std::string CometExecutor::name() const {
@@ -41,6 +42,22 @@ bool CometExecutor::Supports(const ParallelConfig&) const { return true; }
 
 LayerExecution CometExecutor::Run(const MoeWorkload& workload,
                                   const ClusterSpec& cluster, ExecMode mode) {
+  return RunWithCache(workload, cluster, mode, options_.profile_cache);
+}
+
+LayerExecution CometExecutor::RunBatch(const MoeWorkload& workload,
+                                       const ClusterSpec& cluster,
+                                       ExecMode mode) {
+  return RunWithCache(workload, cluster, mode,
+                      options_.profile_cache != nullptr
+                          ? options_.profile_cache
+                          : &batch_profile_cache_);
+}
+
+LayerExecution CometExecutor::RunWithCache(const MoeWorkload& workload,
+                                           const ClusterSpec& cluster,
+                                           ExecMode mode,
+                                           MetadataStore* cache) {
   COMET_CHECK_EQ(cluster.world_size, workload.world())
       << "cluster and workload world sizes disagree";
   // Caps every ParallelFor this run issues -- including the whole-matrix
@@ -61,7 +78,7 @@ LayerExecution CometExecutor::Run(const MoeWorkload& workload,
 
   LayerExecution out;
   out.executor = name();
-  RunTimed(workload, cluster, out);
+  RunTimed(workload, cluster, out, cache);
   if (mode == ExecMode::kFunctional) {
     RunFunctional(workload, out);
   }
@@ -69,7 +86,8 @@ LayerExecution CometExecutor::Run(const MoeWorkload& workload,
 }
 
 void CometExecutor::RunTimed(const MoeWorkload& workload,
-                             const ClusterSpec& cluster, LayerExecution& out) {
+                             const ClusterSpec& cluster, LayerExecution& out,
+                             MetadataStore* cache) {
   const OpCostModel costs(cluster);
   const Placement& placement = workload.placement;
   const RoutePlan& plan = workload.plan;
@@ -99,7 +117,7 @@ void CometExecutor::RunTimed(const MoeWorkload& workload,
       return std::min(options_.fixed_comm_blocks, base.total_blocks - 1);
     }
     return assigner_.SelectCommBlocks(stage, plan, busiest, costs, base,
-                                      options_.profile_cache);
+                                      cache);
   };
   last_nc0_ = pick_nc(MoePipelineStage::kLayer0);
   last_nc1_ = pick_nc(MoePipelineStage::kLayer1);
@@ -336,7 +354,8 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
       for (int64_t k = 0; k < slots; ++k) {
         for (int l = 0; l < tp; ++l) {
           heap.WaitUntilSignalGe(contrib_sig, placement.RankOf(g, l),
-                                 t * topk + k, 1);
+                                 t * topk + k, 1,
+                                 options_.signal_wait_timeout_ms);
         }
       }
     }

@@ -45,6 +45,11 @@ struct CometOptions {
   // old serial behavior. Tiles partition every output disjointly, so the
   // thread count never changes results (see util/thread_pool.h).
   int num_threads = 0;
+  // How long a concurrent consumer blocks in SymmetricHeap::WaitUntilSignalGe
+  // before failing with CheckError naming the buffer. The serving plane and
+  // load tests lower this so a wedged rank surfaces in seconds instead of
+  // hanging a minute; must be > 0.
+  int64_t signal_wait_timeout_ms = 60'000;
   // Optional cross-run profile cache (paper: metadata written at deployment
   // time). Borrowed pointer; may be null.
   MetadataStore* profile_cache = nullptr;
@@ -61,17 +66,36 @@ class CometExecutor : public MoeLayerExecutor {
   LayerExecution Run(const MoeWorkload& workload, const ClusterSpec& cluster,
                      ExecMode mode) override;
 
+  // Batch-reuse entry point for the serving plane: identical semantics (and
+  // bit-identical results) to Run, but adaptive division-point profiles are
+  // cached in an executor-owned MetadataStore keyed by
+  // AdaptiveAssigner::ProfileKey (cluster | model | M | TP | EP | stage).
+  // A continuous batcher re-runs the same few batch shapes thousands of
+  // times; with Run each iteration would re-sweep the candidate grid -- the
+  // host-side overhead the paper's §5.3 decode regime is dominated by --
+  // while RunBatch profiles each shape once. When options.profile_cache is
+  // set it is used instead (shared across executors / persisted runs). Not
+  // thread-safe: one serving loop per executor.
+  LayerExecution RunBatch(const MoeWorkload& workload,
+                          const ClusterSpec& cluster, ExecMode mode);
+
   // Division points chosen for the last Run (diagnostics / tests).
   int last_layer0_comm_blocks() const { return last_nc0_; }
   int last_layer1_comm_blocks() const { return last_nc1_; }
+  // Entries in the executor-owned RunBatch profile cache (diagnostics).
+  size_t batch_profile_entries() const { return batch_profile_cache_.size(); }
 
  private:
+  LayerExecution RunWithCache(const MoeWorkload& workload,
+                              const ClusterSpec& cluster, ExecMode mode,
+                              MetadataStore* cache);
   void RunTimed(const MoeWorkload& workload, const ClusterSpec& cluster,
-                LayerExecution& out);
+                LayerExecution& out, MetadataStore* cache);
   void RunFunctional(const MoeWorkload& workload, LayerExecution& out) const;
 
   CometOptions options_;
   AdaptiveAssigner assigner_;
+  MetadataStore batch_profile_cache_;
   int last_nc0_ = 0;
   int last_nc1_ = 0;
 };

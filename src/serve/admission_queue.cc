@@ -1,0 +1,95 @@
+#include "serve/admission_queue.h"
+
+#include "util/check.h"
+
+namespace comet {
+
+const char* AdmissionPolicyName(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kShedNewest:
+      return "shed-newest";
+    case AdmissionPolicy::kShedOldest:
+      return "shed-oldest";
+  }
+  return "unknown";
+}
+
+AdmissionQueue::AdmissionQueue(int64_t capacity, AdmissionPolicy policy)
+    : capacity_(capacity), policy_(policy) {
+  COMET_CHECK_GT(capacity_, 0);
+}
+
+AdmissionQueue::Admit AdmissionQueue::TryPush(const RequestSpec& spec) {
+  Admit result;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      ++total_shed_;
+      return result;
+    }
+    if (static_cast<int64_t>(items_.size()) < capacity_) {
+      items_.push_back(spec);
+      ++total_admitted_;
+      result.admitted = true;
+    } else if (policy_ == AdmissionPolicy::kShedOldest) {
+      result.evicted = items_.front();
+      items_.pop_front();
+      items_.push_back(spec);
+      ++total_admitted_;
+      ++total_shed_;
+      result.admitted = true;
+    } else {
+      ++total_shed_;
+    }
+  }
+  if (result.admitted) {
+    ready_.notify_one();
+  }
+  return result;
+}
+
+std::optional<RequestSpec> AdmissionQueue::TryPop() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (items_.empty()) {
+    return std::nullopt;
+  }
+  RequestSpec spec = items_.front();
+  items_.pop_front();
+  return spec;
+}
+
+std::optional<RequestSpec> AdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ready_.wait(lock, [&] { return !items_.empty() || closed_; });
+  if (items_.empty()) {
+    return std::nullopt;
+  }
+  RequestSpec spec = items_.front();
+  items_.pop_front();
+  return spec;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+int64_t AdmissionQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(items_.size());
+}
+
+int64_t AdmissionQueue::total_admitted() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_admitted_;
+}
+
+int64_t AdmissionQueue::total_shed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_shed_;
+}
+
+}  // namespace comet

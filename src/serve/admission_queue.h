@@ -1,0 +1,84 @@
+// Bounded MPMC admission queue with an explicit backpressure/shed policy.
+//
+// The queue sits between the load generator (producer) and the continuous
+// batcher (consumer). It is deliberately BOUNDED: an open-loop arrival
+// process does not slow down when the server falls behind, so without a
+// bound the queue -- and every queued request's latency -- grows without
+// limit. Overload has to go somewhere; the policy says where:
+//  * kShedNewest -- a full queue rejects the arriving request (classic
+//    admission control: protect the latency of work already admitted);
+//  * kShedOldest -- a full queue evicts its head to admit the newcomer
+//    (the oldest request has already blown its deadline; spend capacity on
+//    one that can still meet it).
+// Shed requests are counted and reported, never silently dropped.
+//
+// Thread safety: all operations are safe from any number of producer and
+// consumer threads (mutex + condvar; serve_test hammers it cross-thread
+// under TSan). The simulated-clock serving loop drives it single-threaded
+// -- determinism there comes from the loop, not from the queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "serve/request.h"
+
+namespace comet {
+
+enum class AdmissionPolicy {
+  kShedNewest,
+  kShedOldest,
+};
+
+const char* AdmissionPolicyName(AdmissionPolicy policy);
+
+class AdmissionQueue {
+ public:
+  // Outcome of one TryPush.
+  struct Admit {
+    bool admitted = false;
+    // Set under kShedOldest when admitting evicted the head.
+    std::optional<RequestSpec> evicted;
+  };
+
+  AdmissionQueue(int64_t capacity, AdmissionPolicy policy);
+
+  // Non-blocking admission; never waits (the producer is an open-loop
+  // arrival process -- it cannot be paused). Exactly one request is shed
+  // when the queue is full: the newcomer (kShedNewest, admitted == false)
+  // or the head (kShedOldest, admitted == true + evicted set).
+  Admit TryPush(const RequestSpec& spec);
+
+  // Non-blocking pop in FIFO order.
+  std::optional<RequestSpec> TryPop();
+
+  // Blocking pop: waits until a request is available or the queue is closed
+  // AND drained (then returns nullopt).
+  std::optional<RequestSpec> Pop();
+
+  // Wakes all blocked consumers; subsequent TryPush calls shed everything.
+  void Close();
+
+  int64_t capacity() const { return capacity_; }
+  AdmissionPolicy policy() const { return policy_; }
+  int64_t size() const;
+  // Lifetime counters (monotonic).
+  int64_t total_admitted() const;
+  int64_t total_shed() const;
+
+ private:
+  const int64_t capacity_;
+  const AdmissionPolicy policy_;
+
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<RequestSpec> items_;
+  bool closed_ = false;
+  int64_t total_admitted_ = 0;
+  int64_t total_shed_ = 0;
+};
+
+}  // namespace comet

@@ -1,0 +1,142 @@
+#include "serve/loadgen.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace comet {
+
+const char* ArrivalProcessName(ArrivalProcess process) {
+  switch (process) {
+    case ArrivalProcess::kPoisson:
+      return "poisson";
+    case ArrivalProcess::kBursty:
+      return "bursty";
+  }
+  return "unknown";
+}
+
+LengthDist LengthDist::Fixed(int64_t n) {
+  LengthDist d;
+  d.kind = Kind::kFixed;
+  d.fixed = n;
+  return d;
+}
+
+LengthDist LengthDist::Uniform(int64_t lo, int64_t hi) {
+  LengthDist d;
+  d.kind = Kind::kUniform;
+  d.lo = lo;
+  d.hi = hi;
+  return d;
+}
+
+LengthDist LengthDist::Bimodal(int64_t short_len, int64_t long_len,
+                               double long_fraction) {
+  LengthDist d;
+  d.kind = Kind::kBimodal;
+  d.short_len = short_len;
+  d.long_len = long_len;
+  d.long_fraction = long_fraction;
+  return d;
+}
+
+int64_t LengthDist::Min() const {
+  switch (kind) {
+    case Kind::kFixed:
+      return fixed;
+    case Kind::kUniform:
+      return lo;
+    case Kind::kBimodal:
+      return std::min(short_len, long_len);
+  }
+  return 0;
+}
+
+int64_t LengthDist::Max() const {
+  switch (kind) {
+    case Kind::kFixed:
+      return fixed;
+    case Kind::kUniform:
+      return hi;
+    case Kind::kBimodal:
+      return std::max(short_len, long_len);
+  }
+  return 0;
+}
+
+int64_t LengthDist::Sample(Rng& rng) const {
+  switch (kind) {
+    case Kind::kFixed:
+      return fixed;
+    case Kind::kUniform:
+      COMET_CHECK_LE(lo, hi);
+      return rng.UniformInt(lo, hi);
+    case Kind::kBimodal:
+      COMET_CHECK_GE(long_fraction, 0.0);
+      COMET_CHECK_LE(long_fraction, 1.0);
+      return rng.NextDouble() < long_fraction ? long_len : short_len;
+  }
+  return 1;
+}
+
+namespace {
+
+// Exponential gap with the given mean, us. Uses 1 - u so the argument to
+// log is never 0 (NextDouble is in [0, 1)).
+double ExpGapUs(Rng& rng, double mean_us) {
+  return -mean_us * std::log(1.0 - rng.NextDouble());
+}
+
+}  // namespace
+
+LoadGenerator::LoadGenerator(LoadGenOptions options)
+    : options_(options), rng_(options.seed) {
+  COMET_CHECK_GT(options_.offered_rps, 0.0);
+  COMET_CHECK_GE(options_.num_requests, 0);
+  COMET_CHECK_GE(options_.mean_burst, 1.0);
+  COMET_CHECK_GT(options_.prompt.Min(), 0);
+  COMET_CHECK_GE(options_.decode.Min(), 0);
+}
+
+RequestSpec LoadGenerator::Next() {
+  COMET_CHECK(!Done()) << "load generator exhausted";
+  const double mean_gap_us = 1e6 / options_.offered_rps;
+
+  if (options_.arrival == ArrivalProcess::kPoisson) {
+    clock_us_ += ExpGapUs(rng_, mean_gap_us);
+  } else {
+    if (burst_remaining_ == 0) {
+      // New burst epoch: gaps are stretched by mean_burst so the long-run
+      // rate stays offered_rps; the burst size is geometric with mean
+      // mean_burst (p = 1/mean_burst, support >= 1).
+      clock_us_ += ExpGapUs(rng_, mean_gap_us * options_.mean_burst);
+      const double p = 1.0 / options_.mean_burst;
+      burst_remaining_ = 1;
+      while (rng_.NextDouble() >= p) {
+        ++burst_remaining_;
+      }
+    }
+    --burst_remaining_;  // all requests of an epoch share one timestamp
+  }
+
+  RequestSpec spec;
+  spec.id = emitted_;
+  spec.seed = rng_.NextU64();
+  spec.prompt_tokens = options_.prompt.Sample(rng_);
+  spec.decode_tokens = options_.decode.Sample(rng_);
+  spec.arrival_us = clock_us_;
+  ++emitted_;
+  return spec;
+}
+
+std::vector<RequestSpec> LoadGenerator::GenerateAll() {
+  std::vector<RequestSpec> out;
+  out.reserve(static_cast<size_t>(options_.num_requests - emitted_));
+  while (!Done()) {
+    out.push_back(Next());
+  }
+  return out;
+}
+
+}  // namespace comet

@@ -1,0 +1,79 @@
+// Serving-plane request types.
+//
+// A request is an autoregressive inference job against one MoE layer stack:
+// `prompt_tokens` prefill tokens followed by `decode_tokens` additional
+// decode steps of one token each. Everything about a request -- its arrival
+// time, its lengths, and its token content (derived from `seed`) -- is
+// reproducible, so a serving run is a pure function of (load-generator seed,
+// server config). Times are SIMULATED microseconds throughout: the serving
+// clock advances by the timing plane's per-iteration duration, never by wall
+// time, which is what makes latency metrics bit-reproducible across host
+// thread counts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace comet {
+
+// An arriving request, as emitted by the load generator.
+struct RequestSpec {
+  int64_t id = 0;
+  // Content seed: the prompt rows and the per-step decode perturbations are
+  // drawn from Rng streams derived from this.
+  uint64_t seed = 0;
+  int64_t prompt_tokens = 1;
+  int64_t decode_tokens = 0;
+  // Simulated arrival time, us.
+  double arrival_us = 0.0;
+
+  // Total MoE-layer tokens this request will occupy across its lifetime:
+  // every prompt token once (prefill, possibly chunked) plus one token per
+  // decode step.
+  int64_t TotalTokens() const { return prompt_tokens + decode_tokens; }
+};
+
+// Completed-request accounting, all in simulated us.
+//
+// Token semantics: the iteration that processes the LAST prompt chunk also
+// yields the first generated token (its output row for the final prompt
+// position), so `ttft_us` is that iteration's completion time minus arrival.
+// Each decode step yields one further token; `itl` percentiles are computed
+// over the gaps between consecutive token-completion events of a request.
+struct RequestRecord {
+  int64_t id = 0;
+  int64_t prompt_tokens = 0;
+  int64_t decode_tokens = 0;
+  double arrival_us = 0.0;
+  // Arrival -> first time any token of the request entered a batch.
+  double queue_wait_us = 0.0;
+  // Arrival -> first generated token.
+  double ttft_us = 0.0;
+  // Arrival -> last token.
+  double e2e_us = 0.0;
+  // Mean inter-token latency over the request's decode steps (0 when the
+  // request had no decode steps).
+  double mean_itl_us = 0.0;
+  // FNV-1a over the f32 bit patterns of every output row the request
+  // produced, in token order. Two runs served the same request identically
+  // iff the digests match bit-for-bit.
+  uint64_t output_digest = 0;
+};
+
+// FNV-1a, the digest the serving plane uses to pin bit-identical outputs.
+inline uint64_t Fnv1aInit() { return 0xcbf29ce484222325ULL; }
+
+inline uint64_t Fnv1aAdd(uint64_t h, const void* bytes, size_t n) {
+  const auto* p = static_cast<const unsigned char*>(bytes);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint64_t>(p[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1aAddFloats(uint64_t h, std::span<const float> row) {
+  return Fnv1aAdd(h, row.data(), row.size() * sizeof(float));
+}
+
+}  // namespace comet

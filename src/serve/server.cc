@@ -1,0 +1,340 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "moe/expert_weights.h"
+#include "moe/workload.h"
+#include "util/check.h"
+
+namespace comet {
+
+namespace {
+
+// Gate logits scale ~1 for unit-variance tokens: stddev = 1/sqrt(N).
+Tensor MakeGateWeight(const ServeOptions& options) {
+  Rng rng(options.seed + 23);
+  const float stddev =
+      1.0f / std::sqrt(static_cast<float>(options.model.embedding));
+  return Tensor::Randn(
+      Shape{options.model.embedding, options.model.num_experts}, rng, stddev,
+      DType::kF32);
+}
+
+std::shared_ptr<const ExpertWeights> MakeWeights(const ServeOptions& options) {
+  // Same derivation as MakeWorkload (seed + 17), so a serving run at seed S
+  // executes the weights a workload at seed S would.
+  Rng rng(options.seed + 17);
+  return std::make_shared<ExpertWeights>(
+      ExpertWeights::Random(options.model, rng, 0.05f, options.dtype));
+}
+
+CometOptions MakeExecutorOptions(const ServeOptions& options) {
+  CometOptions comet;
+  comet.compute_dtype = options.dtype;
+  comet.num_threads = options.num_threads;
+  comet.signal_wait_timeout_ms = options.signal_wait_timeout_ms;
+  comet.name_override = "Comet-serve";
+  return comet;
+}
+
+// Stream tag separating a request's decode perturbation draws from its
+// prompt-content draws (which use the seed directly).
+constexpr uint64_t kDecodeStream = 0xdec0de5eed0c0deULL;
+
+}  // namespace
+
+struct MoeServer::LiveRequest {
+  RequestSpec spec;
+  Tensor prompt;                    // (prompt_tokens, N) at the serve dtype
+  std::vector<float> decode_input;  // next decode row, representable at dtype
+  Rng decode_rng{0};
+  double first_scheduled_us = -1.0;
+  double first_token_us = -1.0;
+  double last_token_us = -1.0;
+  std::vector<double> itl_samples;
+  uint64_t digest = Fnv1aInit();
+};
+
+MoeServer::MoeServer(ServeOptions options, ClusterSpec cluster)
+    : options_(std::move(options)),
+      cluster_(std::move(cluster)),
+      weights_(MakeWeights(options_)),
+      sharded_weights_(std::make_shared<ShardedExpertWeights>(
+          *weights_, options_.parallel.tp)),
+      gate_(MakeGateWeight(options_)),
+      executor_(MakeExecutorOptions(options_)) {
+  COMET_CHECK_EQ(cluster_.world_size, options_.parallel.world())
+      << "cluster and serving parallel config disagree";
+  COMET_CHECK_GT(options_.token_budget, 0);
+  COMET_CHECK_GE(options_.max_active, 0);
+  COMET_CHECK_GE(options_.host_overhead_us, 0.0);
+  // Trips the model/parallel divisibility checks now, not at the first
+  // batch (one EP group's worth of tokens is always a legal placement).
+  Placement probe(options_.model, options_.parallel,
+                  options_.parallel.ep);
+  (void)probe;
+}
+
+MoeWorkload MoeServer::BuildBatchWorkload(
+    const BatchPlan& plan, const std::vector<LiveRequest*>& live,
+    std::vector<int64_t>* rows, int64_t* padding) const {
+  const ModelConfig& model = options_.model;
+  const int64_t n_embed = model.embedding;
+  const int ep = options_.parallel.ep;
+  const int64_t total = plan.TotalTokens();
+  COMET_CHECK_GT(total, 0);
+  const int64_t padded = (total + ep - 1) / ep * ep;
+  *padding = padded - total;
+
+  // Gather every entry's rows into one global token matrix; EP padding rows
+  // stay zero (representable at every dtype, routed by the gate like any
+  // other token -- real serving pads exactly like this).
+  Tensor global(Shape{padded, n_embed}, options_.dtype);
+  rows->clear();
+  rows->reserve(plan.entries.size());
+  int64_t offset = 0;
+  for (size_t e = 0; e < plan.entries.size(); ++e) {
+    const BatchEntry& entry = plan.entries[e];
+    rows->push_back(offset);
+    if (entry.decode) {
+      COMET_CHECK_EQ(entry.num_tokens, 1);
+      COMET_CHECK_EQ(static_cast<int64_t>(live[e]->decode_input.size()),
+                     n_embed)
+          << "decode step scheduled before its input row exists";
+      global.SetRow(offset, live[e]->decode_input);
+    } else {
+      for (int64_t i = 0; i < entry.num_tokens; ++i) {
+        global.SetRow(offset + i, live[e]->prompt.row(entry.start_pos + i));
+      }
+    }
+    offset += entry.num_tokens;
+  }
+
+  Placement placement(model, options_.parallel, padded);
+  RoutingTable routing = gate_.Route(global, model.topk);
+  RoutePlan route_plan(placement, routing);
+
+  std::vector<Tensor> inputs;
+  inputs.reserve(static_cast<size_t>(ep));
+  const int64_t per_group = placement.tokens_per_group();
+  for (int g = 0; g < ep; ++g) {
+    Tensor t(Shape{per_group, n_embed}, options_.dtype);
+    for (int64_t r = 0; r < per_group; ++r) {
+      t.SetRow(r, global.row(static_cast<int64_t>(g) * per_group + r));
+    }
+    inputs.push_back(std::move(t));
+  }
+
+  return MoeWorkload{std::move(placement), std::move(routing),
+                     std::move(route_plan), std::move(inputs),
+                     weights_,              sharded_weights_,
+                     ActivationKind::kGelu};
+}
+
+ServeReport MoeServer::Serve(const std::vector<RequestSpec>& arrivals) {
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    COMET_CHECK_GE(arrivals[i].arrival_us, arrivals[i - 1].arrival_us)
+        << "arrivals must be sorted by arrival_us";
+  }
+
+  AdmissionQueue queue(options_.queue_capacity, options_.queue_policy);
+  ContinuousBatcher batcher(
+      BatcherOptions{.token_budget = options_.token_budget,
+                     .max_active = options_.max_active});
+  std::vector<std::unique_ptr<LiveRequest>> by_slot;
+
+  ServeReport report;
+  report.offered = static_cast<int64_t>(arrivals.size());
+  std::vector<RequestRecord> completed;
+  std::vector<double> queue_waits, ttfts, itls, e2es;
+
+  double now = 0.0;
+  size_t next_arrival = 0;
+  const int64_t n_embed = options_.model.embedding;
+
+  while (true) {
+    // 1. Open-loop arrivals up to the current simulated time hit the
+    // bounded queue; overload sheds here, per policy.
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].arrival_us <= now) {
+      const AdmissionQueue::Admit admit =
+          queue.TryPush(arrivals[next_arrival]);
+      if (!admit.admitted || admit.evicted.has_value()) {
+        ++report.shed;
+      }
+      ++next_arrival;
+    }
+
+    // 2. The batcher drains the queue while it has room (max_active is the
+    // backpressure bound that lets the queue fill under overload).
+    while (batcher.CanAdmit()) {
+      const std::optional<RequestSpec> spec = queue.TryPop();
+      if (!spec.has_value()) {
+        break;
+      }
+      const int64_t slot = batcher.Admit(*spec);
+      auto live = std::make_unique<LiveRequest>();
+      live->spec = *spec;
+      Rng content_rng(spec->seed);
+      live->prompt = Tensor::Randn(Shape{spec->prompt_tokens, n_embed},
+                                   content_rng, 1.0f, options_.dtype);
+      live->decode_rng = Rng(spec->seed ^ kDecodeStream);
+      if (static_cast<size_t>(slot) >= by_slot.size()) {
+        by_slot.resize(static_cast<size_t>(slot) + 1);
+      }
+      by_slot[static_cast<size_t>(slot)] = std::move(live);
+    }
+
+    // 3. Pack one iteration.
+    const BatchPlan plan = batcher.Pack();
+    if (plan.empty()) {
+      if (next_arrival < arrivals.size()) {
+        // Idle: jump the clock to the next arrival.
+        now = std::max(now, arrivals[next_arrival].arrival_us);
+        continue;
+      }
+      break;  // no live work, no future arrivals: done
+    }
+
+    std::vector<LiveRequest*> live(plan.entries.size());
+    for (size_t e = 0; e < plan.entries.size(); ++e) {
+      live[e] = by_slot[static_cast<size_t>(plan.entries[e].slot)].get();
+      if (live[e]->first_scheduled_us < 0.0) {
+        live[e]->first_scheduled_us = now;
+      }
+    }
+
+    // 4. One executor iteration: real numerics + simulated duration.
+    std::vector<int64_t> rows;
+    int64_t padding = 0;
+    const MoeWorkload workload =
+        BuildBatchWorkload(plan, live, &rows, &padding);
+    const LayerExecution ex =
+        executor_.RunBatch(workload, cluster_, ExecMode::kFunctional);
+    const double end = now + options_.host_overhead_us + ex.duration_us;
+    ++report.iterations;
+    report.batched_tokens += plan.TotalTokens();
+    report.padding_tokens += padding;
+
+    // 5. Harvest: digest outputs, emit token events, build next decode rows.
+    const int64_t per_group = workload.placement.tokens_per_group();
+    const auto output_row = [&](int64_t global_row) {
+      return ex.outputs[static_cast<size_t>(global_row / per_group)].row(
+          global_row % per_group);
+    };
+    for (size_t e = 0; e < plan.entries.size(); ++e) {
+      const BatchEntry& entry = plan.entries[e];
+      LiveRequest& lr = *live[e];
+      for (int64_t i = 0; i < entry.num_tokens; ++i) {
+        lr.digest = Fnv1aAddFloats(lr.digest, output_row(rows[e] + i));
+      }
+      const auto last_row = output_row(rows[e] + entry.num_tokens - 1);
+      const bool completes_prefill =
+          !entry.decode &&
+          entry.start_pos + entry.num_tokens == lr.spec.prompt_tokens;
+      if (completes_prefill) {
+        // The iteration that finishes the prompt yields the first token.
+        lr.first_token_us = end;
+        lr.last_token_us = end;
+      } else if (entry.decode) {
+        lr.itl_samples.push_back(end - lr.last_token_us);
+        lr.last_token_us = end;
+      }
+      const int64_t decode_done_after =
+          entry.decode ? entry.start_pos - lr.spec.prompt_tokens + 1 : 0;
+      if ((completes_prefill || entry.decode) &&
+          decode_done_after < lr.spec.decode_tokens) {
+        // Autoregressive feedback: the next decode input is the last output
+        // row plus a unit-variance "sampled token" perturbation (keeps
+        // magnitudes ~1 across arbitrarily long decodes), rounded to the
+        // serve dtype like any materialized token.
+        lr.decode_input.resize(static_cast<size_t>(n_embed));
+        for (int64_t n = 0; n < n_embed; ++n) {
+          lr.decode_input[static_cast<size_t>(n)] =
+              last_row[static_cast<size_t>(n)] +
+              static_cast<float>(lr.decode_rng.Normal(0.0, 1.0));
+        }
+        QuantizeSpan(lr.decode_input, options_.dtype);
+      }
+    }
+
+    // 6. Retire finished requests.
+    for (const int64_t slot : batcher.Complete(plan)) {
+      LiveRequest& lr = *by_slot[static_cast<size_t>(slot)];
+      RequestRecord rec;
+      rec.id = lr.spec.id;
+      rec.prompt_tokens = lr.spec.prompt_tokens;
+      rec.decode_tokens = lr.spec.decode_tokens;
+      rec.arrival_us = lr.spec.arrival_us;
+      rec.queue_wait_us = lr.first_scheduled_us - lr.spec.arrival_us;
+      rec.ttft_us = lr.first_token_us - lr.spec.arrival_us;
+      rec.e2e_us = lr.last_token_us - lr.spec.arrival_us;
+      if (!lr.itl_samples.empty()) {
+        double sum = 0.0;
+        for (double s : lr.itl_samples) {
+          sum += s;
+        }
+        rec.mean_itl_us = sum / static_cast<double>(lr.itl_samples.size());
+      }
+      rec.output_digest = lr.digest;
+
+      queue_waits.push_back(rec.queue_wait_us);
+      ttfts.push_back(rec.ttft_us);
+      e2es.push_back(rec.e2e_us);
+      itls.insert(itls.end(), lr.itl_samples.begin(), lr.itl_samples.end());
+      completed.push_back(rec);
+      by_slot[static_cast<size_t>(slot)].reset();
+    }
+
+    now = end;
+  }
+
+  report.sim_duration_us = now;
+  if (now > 0.0) {
+    report.throughput_tokens_per_s =
+        static_cast<double>(report.batched_tokens) / (now / 1e6);
+  }
+
+  std::sort(completed.begin(), completed.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.id < b.id;
+            });
+  report.queue_wait_us = SummarizeLatency(queue_waits);
+  report.ttft_us = SummarizeLatency(ttfts);
+  report.itl_us = SummarizeLatency(itls);
+  report.e2e_us = SummarizeLatency(e2es);
+
+  uint64_t combined = Fnv1aInit();
+  int64_t met = 0;
+  for (const RequestRecord& rec : completed) {
+    combined = Fnv1aAdd(combined, &rec.output_digest,
+                        sizeof(rec.output_digest));
+    const bool ttft_ok =
+        options_.slo.ttft_us <= 0.0 || rec.ttft_us <= options_.slo.ttft_us;
+    const bool itl_ok =
+        options_.slo.itl_us <= 0.0 || rec.mean_itl_us <= options_.slo.itl_us;
+    if (ttft_ok && itl_ok) {
+      ++met;
+    }
+  }
+  report.combined_digest = combined;
+  report.completed = std::move(completed);
+
+  if (options_.slo.Configured()) {
+    const int64_t denom =
+        static_cast<int64_t>(report.completed.size()) + report.shed;
+    report.slo_violations = denom - met;
+    report.slo_attainment =
+        denom > 0 ? static_cast<double>(met) / static_cast<double>(denom)
+                  : 1.0;
+  }
+  return report;
+}
+
+ServeReport MoeServer::Serve(LoadGenerator& loadgen) {
+  const std::vector<RequestSpec> arrivals = loadgen.GenerateAll();
+  return Serve(arrivals);
+}
+
+}  // namespace comet

@@ -1,0 +1,148 @@
+// The MoE serving runtime: queue -> continuous batcher -> CometExecutor,
+// on a simulated clock, with per-request latency and SLO accounting.
+//
+// Dataflow per iteration:
+//  1. arrivals with arrival_us <= now enter the bounded AdmissionQueue
+//     (full queue => the shed policy fires);
+//  2. the queue drains into the ContinuousBatcher while it has room
+//     (BatcherOptions::max_active is the backpressure that lets the queue
+//     fill under overload);
+//  3. the batcher packs up to token_budget tokens (decode steps first, then
+//     chunked prefill, FIFO within each class);
+//  4. the packed tokens become one MoeWorkload -- rows gathered from the
+//     per-request prompt tensors / decode feedback rows, padded to a
+//     multiple of EP, routed content-based through a softmax top-k gate --
+//     and run through CometExecutor::RunBatch (functional plane: real
+//     numerics at compute_dtype across the EP ranks; timing plane: the
+//     simulated iteration duration);
+//  5. the clock advances by host_overhead_us + the simulated duration;
+//     every packed request digests its output rows, the last row feeds the
+//     request's next decode step, and finished requests are retired with
+//     queue-wait / TTFT / ITL / end-to-end times.
+//
+// Determinism: arrivals, packing and routing are pure functions of seeds
+// and config; the executor's outputs are bit-identical at any thread count
+// and the timing plane is simulated -- so the SAME seed + config produce
+// bit-identical per-request output digests AND identical latency
+// percentiles whether the host runs 1 thread or 8 (serve_test pins this
+// across EP {1,4} x dtype {f32,bf16}).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/comet_executor.h"
+#include "moe/router.h"
+#include "serve/admission_queue.h"
+#include "serve/batcher.h"
+#include "serve/loadgen.h"
+#include "serve/request.h"
+#include "util/stats.h"
+
+namespace comet {
+
+// Latency SLO targets, simulated us; 0 disables that clause. A completed
+// request meets the SLO iff ttft_us <= slo.ttft_us (when set) and its mean
+// inter-token latency <= slo.itl_us (when set). Shed requests always count
+// as violations -- shedding is a latency failure the operator chose, not a
+// free pass.
+struct SloTargets {
+  double ttft_us = 0.0;
+  double itl_us = 0.0;
+
+  bool Configured() const { return ttft_us > 0.0 || itl_us > 0.0; }
+};
+
+struct ServeOptions {
+  ModelConfig model;
+  ParallelConfig parallel;
+  // Weights / gate seed (independent of the load generator's seed).
+  uint64_t seed = 1;
+  // Storage/compute dtype of the serving data plane (workload tensors and
+  // CometOptions::compute_dtype).
+  DType dtype = DType::kF32;
+  // Worker threads for the executor (0 = global default, 1 = serial).
+  int num_threads = 0;
+  // Fail-fast bound for a wedged rank (CometOptions::signal_wait_timeout_ms):
+  // serving default is 10 s, not the executor's 60 s.
+  int64_t signal_wait_timeout_ms = 10'000;
+  // Per-iteration token capacity of the batcher.
+  int64_t token_budget = 64;
+  // Max requests live in the batcher (0 = unbounded; see BatcherOptions).
+  int64_t max_active = 32;
+  // Bounded admission queue.
+  int64_t queue_capacity = 256;
+  AdmissionPolicy queue_policy = AdmissionPolicy::kShedNewest;
+  // Host-side cost added to every iteration on the simulated clock (kernel
+  // launches amortized by COMET's fusion are priced inside the executor;
+  // this is the serving loop's own scheduling overhead).
+  double host_overhead_us = 20.0;
+  SloTargets slo;
+};
+
+struct ServeReport {
+  // Completed requests, in request-id order.
+  std::vector<RequestRecord> completed;
+  int64_t offered = 0;
+  int64_t shed = 0;
+  int64_t iterations = 0;
+  // Tokens actually batched (excludes EP padding) / padding rows added.
+  int64_t batched_tokens = 0;
+  int64_t padding_tokens = 0;
+  // Simulated end-to-end duration (last iteration completion).
+  double sim_duration_us = 0.0;
+  // batched_tokens per simulated second.
+  double throughput_tokens_per_s = 0.0;
+
+  // Nearest-rank percentile summaries over completed requests (simulated
+  // us): deterministic for a deterministic run.
+  LatencySummary queue_wait_us;
+  LatencySummary ttft_us;
+  LatencySummary itl_us;  // over every inter-token gap of every request
+  LatencySummary e2e_us;
+
+  // SLO accounting: met / (completed + shed); 1.0 when no SLO configured.
+  double slo_attainment = 1.0;
+  int64_t slo_violations = 0;
+
+  // FNV-1a over per-request output digests in id order: one value that
+  // changes if any request's output changed anywhere.
+  uint64_t combined_digest = 0;
+};
+
+class MoeServer {
+ public:
+  MoeServer(ServeOptions options, ClusterSpec cluster);
+
+  // Serves `arrivals` (must be sorted by arrival_us, as LoadGenerator
+  // emits them) to completion and reports. Reusable: each call is an
+  // independent serving run over the same weights.
+  ServeReport Serve(const std::vector<RequestSpec>& arrivals);
+  ServeReport Serve(LoadGenerator& loadgen);
+
+  const ServeOptions& options() const { return options_; }
+  const ClusterSpec& cluster() const { return cluster_; }
+  // Executor diagnostics (e.g. batch_profile_entries after a run).
+  const CometExecutor& executor() const { return executor_; }
+
+ private:
+  struct LiveRequest;
+
+  // Builds the MoeWorkload for one packed iteration. `rows` receives the
+  // per-entry global row offsets (entry e's tokens are rows
+  // [rows[e], rows[e] + entries[e].num_tokens)).
+  MoeWorkload BuildBatchWorkload(const BatchPlan& plan,
+                                 const std::vector<LiveRequest*>& live,
+                                 std::vector<int64_t>* rows,
+                                 int64_t* padding) const;
+
+  ServeOptions options_;
+  ClusterSpec cluster_;
+  std::shared_ptr<const ExpertWeights> weights_;
+  std::shared_ptr<const ShardedExpertWeights> sharded_weights_;
+  GateNetwork gate_;
+  CometExecutor executor_;
+};
+
+}  // namespace comet

@@ -80,6 +80,58 @@ double SampleSet::Percentile(double p) const {
   return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
 }
 
+namespace {
+
+// Nearest-rank lookup over an already-sorted sample vector.
+double NearestRankSorted(std::span<const double> sorted, double p) {
+  COMET_CHECK(!sorted.empty());
+  COMET_CHECK_GE(p, 0.0);
+  COMET_CHECK_LE(p, 100.0);
+  // rank = ceil(p*n/100), clamped to [1, n]; p == 0 maps to rank 1 (min).
+  // Multiply BEFORE dividing: p*n is exact for integer-valued p (< 2^53),
+  // and an integer quotient divides exactly, so ceil never overshoots a
+  // rank the way ceil((p/100)*n) does (e.g. p=55, n=20: 0.55*20 rounds to
+  // 11.000000000000002, whose ceil is 12).
+  const auto rank = static_cast<size_t>(
+      std::ceil(p * static_cast<double>(sorted.size()) / 100.0));
+  const size_t index = rank == 0 ? 0 : rank - 1;
+  return sorted[std::min(index, sorted.size() - 1)];
+}
+
+}  // namespace
+
+double SampleSet::PercentileExact(double p) const {
+  EnsureSorted();
+  return NearestRankSorted(sorted_, p);
+}
+
+double PercentileNearestRank(std::span<const double> values, double p) {
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  return NearestRankSorted(sorted, p);
+}
+
+LatencySummary SummarizeLatency(std::span<const double> values) {
+  LatencySummary out;
+  if (values.empty()) {
+    return out;
+  }
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  out.count = sorted.size();
+  double sum = 0.0;
+  for (double v : sorted) {
+    sum += v;
+  }
+  out.mean = sum / static_cast<double>(sorted.size());
+  out.min = sorted.front();
+  out.max = sorted.back();
+  out.p50 = NearestRankSorted(sorted, 50.0);
+  out.p95 = NearestRankSorted(sorted, 95.0);
+  out.p99 = NearestRankSorted(sorted, 99.0);
+  return out;
+}
+
 double GeometricMean(const std::vector<double>& values) {
   COMET_CHECK(!values.empty());
   double log_sum = 0.0;

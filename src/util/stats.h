@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
 namespace comet {
@@ -43,6 +44,8 @@ class SampleSet {
   // Linear-interpolated percentile, p in [0, 100]. Requires non-empty.
   double Percentile(double p) const;
   double Median() const { return Percentile(50.0); }
+  // Exact nearest-rank percentile (see PercentileNearestRank below).
+  double PercentileExact(double p) const;
 
   const std::vector<double>& samples() const { return samples_; }
 
@@ -53,6 +56,29 @@ class SampleSet {
   mutable std::vector<double> sorted_;
   mutable bool sorted_valid_ = false;
 };
+
+// Exact nearest-rank percentile: the smallest sample x such that at least
+// ceil(p/100 * n) of the samples are <= x (p == 0 returns the minimum).
+// Unlike SampleSet::Percentile it never interpolates -- the result is always
+// a value that actually occurred, which keeps aggregated latency metrics
+// bit-reproducible across runs (the serving plane's determinism contract
+// extends to its reported percentiles). Requires non-empty, p in [0, 100].
+double PercentileNearestRank(std::span<const double> values, double p);
+
+// p50/p95/p99 reduction of a latency sample set (nearest-rank, so the
+// summary of a deterministic simulated-clock run is itself deterministic).
+// All fields are 0 for an empty input.
+struct LatencySummary {
+  size_t count = 0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+LatencySummary SummarizeLatency(std::span<const double> values);
 
 // Geometric mean of a set of positive ratios; the paper's "1.71x average
 // speedup" style aggregate. Requires all values > 0.

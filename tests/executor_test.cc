@@ -168,6 +168,28 @@ TEST(ExecutorTiming, CometHidesMostCommunication) {
   EXPECT_GT(run.timeline.HiddenCommFraction(), 0.6);
 }
 
+TEST(CometBatch, RunBatchMatchesRunAndCachesProfiles) {
+  // The serving plane's batch-reuse entry point must be a pure optimization:
+  // bit-identical outputs and identical simulated duration vs Run, with the
+  // adaptive division-point profile cached after the first call so repeated
+  // same-shape batches skip the candidate sweep.
+  const MoeWorkload w = TinyWorkload(/*tp=*/1, /*ep=*/4, /*tokens=*/64);
+  const auto cluster = H800Cluster(4);
+  CometExecutor plain{CometOptions{.tile_m = 8, .tile_n = 8}};
+  CometExecutor batched{CometOptions{.tile_m = 8, .tile_n = 8}};
+  const auto via_run = plain.Run(w, cluster, ExecMode::kFunctional);
+  EXPECT_EQ(batched.batch_profile_entries(), 0u);
+  const auto via_batch = batched.RunBatch(w, cluster, ExecMode::kFunctional);
+  ExpectBitExact(via_run.outputs, via_batch.outputs);
+  EXPECT_EQ(via_run.duration_us, via_batch.duration_us);
+  EXPECT_GT(batched.batch_profile_entries(), 0u);
+  // Division points agree between the swept and the cached path.
+  const auto again = batched.RunBatch(w, cluster, ExecMode::kFunctional);
+  EXPECT_EQ(again.duration_us, via_run.duration_us);
+  EXPECT_EQ(batched.last_layer0_comm_blocks(), plain.last_layer0_comm_blocks());
+  EXPECT_EQ(batched.last_layer1_comm_blocks(), plain.last_layer1_comm_blocks());
+}
+
 TEST(CometFunctional, CapacityDroppedRoutingStillBitExact) {
   // Enforce a tight capacity so pairs (and whole tokens) drop, rebuild the
   // plan, and run COMET functionally: short routes must flow through the

@@ -2,6 +2,8 @@
 // metadata store and string helpers.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <filesystem>
 
@@ -176,6 +178,119 @@ TEST(SampleSet, PercentileOfSingleton) {
   s.Add(7.0);
   EXPECT_DOUBLE_EQ(s.Percentile(0), 7.0);
   EXPECT_DOUBLE_EQ(s.Percentile(100), 7.0);
+}
+
+TEST(Stats, PercentileNearestRankOddCount) {
+  // Sorted: {10, 20, 30, 40, 50}. rank = ceil(p/100 * 5).
+  const std::vector<double> v{30.0, 10.0, 50.0, 20.0, 40.0};
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 95.0), 50.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 99.0), 50.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 100.0), 50.0);
+}
+
+TEST(Stats, PercentileNearestRankEvenCountNeverInterpolates) {
+  // p50 over an even count picks the LOWER middle (rank ceil(0.5*4) = 2),
+  // never the mean of the middles -- the result is always a real sample.
+  const std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 50.0), 2.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 75.0), 3.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 76.0), 4.0);
+}
+
+TEST(Stats, PercentileNearestRankExactIntegerRanks) {
+  // p*n/100 lands exactly on an integer rank: the naive (p/100)*n float
+  // ordering overshoots by one (0.55*20 = 11.000000000000002). rank must
+  // be exactly 11 -> the 11th smallest = 11.0.
+  std::vector<double> v;
+  for (int i = 1; i <= 20; ++i) {
+    v.push_back(static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 55.0), 11.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 20.0), 4.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(v, 5.0), 1.0);
+}
+
+TEST(Stats, PercentileNearestRankSingletonAndTies) {
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(std::vector<double>{7.0}, 99.0), 7.0);
+  const std::vector<double> ties{5.0, 5.0, 5.0, 9.0};
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(ties, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(ties, 75.0), 5.0);
+  EXPECT_DOUBLE_EQ(PercentileNearestRank(ties, 80.0), 9.0);
+}
+
+TEST(Stats, PercentileNearestRankMatchesBruteForce) {
+  // Cross-check the rank formula against the definition: the smallest
+  // sample with at least ceil(p/100 * n) samples <= it.
+  Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<double> v;
+    const int n = static_cast<int>(rng.UniformInt(1, 40));
+    for (int i = 0; i < n; ++i) {
+      v.push_back(rng.Uniform(-10.0, 10.0));
+    }
+    for (double p : {0.0, 12.5, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+      const double got = PercentileNearestRank(v, p);
+      std::vector<double> sorted = v;
+      std::sort(sorted.begin(), sorted.end());
+      const auto need = static_cast<size_t>(
+          std::ceil(p * static_cast<double>(n) / 100.0));
+      double expected = sorted.back();
+      for (double x : sorted) {
+        size_t at_most = 0;
+        for (double y : sorted) {
+          if (y <= x) ++at_most;
+        }
+        if (at_most >= std::max<size_t>(need, 1)) {
+          expected = x;
+          break;
+        }
+      }
+      EXPECT_DOUBLE_EQ(got, expected) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(Stats, PercentileNearestRankRejectsBadInput) {
+  EXPECT_THROW(PercentileNearestRank(std::vector<double>{}, 50.0), CheckError);
+  EXPECT_THROW(PercentileNearestRank(std::vector<double>{1.0}, -1.0),
+               CheckError);
+  EXPECT_THROW(PercentileNearestRank(std::vector<double>{1.0}, 101.0),
+               CheckError);
+}
+
+TEST(Stats, SampleSetPercentileExactAgreesWithFreeFunction) {
+  SampleSet s;
+  std::vector<double> v;
+  Rng rng(7);
+  for (int i = 0; i < 31; ++i) {
+    const double x = rng.Uniform(0.0, 1.0);
+    s.Add(x);
+    v.push_back(x);
+  }
+  for (double p : {0.0, 50.0, 95.0, 99.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(s.PercentileExact(p), PercentileNearestRank(v, p));
+  }
+}
+
+TEST(Stats, SummarizeLatency) {
+  std::vector<double> v;
+  for (int i = 1; i <= 100; ++i) {
+    v.push_back(static_cast<double>(i));
+  }
+  const LatencySummary s = SummarizeLatency(v);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.p50, 50.0);
+  EXPECT_DOUBLE_EQ(s.p95, 95.0);
+  EXPECT_DOUBLE_EQ(s.p99, 99.0);
+
+  const LatencySummary empty = SummarizeLatency(std::vector<double>{});
+  EXPECT_EQ(empty.count, 0u);
+  EXPECT_DOUBLE_EQ(empty.p99, 0.0);
 }
 
 TEST(Stats, GeometricMean) {
