@@ -27,6 +27,7 @@
 #include "core/comet_executor.h"
 #include "exec/execution.h"
 #include "moe/workload.h"
+#include "serve/placement.h"
 #include "util/table.h"
 
 namespace comet::bench {
@@ -92,6 +93,17 @@ void SetBenchRanks(int ranks);
 // (the paper's training dtype). kF32 disables the extra pass.
 DType BenchDType();
 void SetBenchDType(DType dtype);
+
+// Fleet sizes the cluster-scale serving sweep runs (serve_loadgen). Set by
+// `comet_bench --replicas 1,2,4` (comma list); default {1, 2, 4, 8}.
+const std::vector<int>& BenchReplicas();
+void SetBenchReplicas(std::vector<int> replicas);
+
+// Placement policies the cluster sweep runs. Set by `comet_bench
+// --placement rr,p2c` (comma list of rr | least-loaded | p2c | sticky);
+// default all four.
+const std::vector<PlacementPolicy>& BenchPlacements();
+void SetBenchPlacements(std::vector<PlacementPolicy> placements);
 
 // Runs exactly one bench by full name (used by the per-figure binaries).
 int RunSingleBench(const std::string& name);

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/check.h"
 #include "util/stats.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -125,11 +126,22 @@ void PrintUsage() {
       "  --dtype D        low-precision dtype for the dtype-parameterized\n"
       "                   benches: f32, bf16 or f16 (default bf16; f32\n"
       "                   disables the low-precision pass)\n"
+      "  --replicas LIST  fleet sizes for the cluster serving sweep, comma\n"
+      "                   list (default 1,2,4,8)\n"
+      "  --placement LIST placement policies for the cluster sweep, comma\n"
+      "                   list of rr|least-loaded|p2c|sticky (default all)\n"
       "  --help           this message\n";
 }
 
 int g_bench_ranks = 4;
 DType g_bench_dtype = DType::kBF16;
+std::vector<int> g_bench_replicas = {1, 2, 4, 8};
+std::vector<PlacementPolicy> g_bench_placements = {
+    PlacementPolicy::kRoundRobin,
+    PlacementPolicy::kLeastLoaded,
+    PlacementPolicy::kPowerOfTwo,
+    PlacementPolicy::kSticky,
+};
 
 }  // namespace
 
@@ -140,6 +152,20 @@ void SetBenchRanks(int ranks) { g_bench_ranks = ranks; }
 DType BenchDType() { return g_bench_dtype; }
 
 void SetBenchDType(DType dtype) { g_bench_dtype = dtype; }
+
+const std::vector<int>& BenchReplicas() { return g_bench_replicas; }
+
+void SetBenchReplicas(std::vector<int> replicas) {
+  g_bench_replicas = std::move(replicas);
+}
+
+const std::vector<PlacementPolicy>& BenchPlacements() {
+  return g_bench_placements;
+}
+
+void SetBenchPlacements(std::vector<PlacementPolicy> placements) {
+  g_bench_placements = std::move(placements);
+}
 
 std::vector<BenchInfo>& Registry() {
   static std::vector<BenchInfo>* registry = new std::vector<BenchInfo>();
@@ -252,6 +278,45 @@ int BenchMain(int argc, char** argv) {
                   << d << "'\n";
         return 2;
       }
+    } else if (arg == "--replicas") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      std::vector<int> replicas;
+      for (const std::string& part : Split(v, ',')) {
+        char* end = nullptr;
+        const long n = std::strtol(part.c_str(), &end, 10);
+        // 64 is the dispatcher's accepting_mask width.
+        if (part.empty() || end == part.c_str() || *end != '\0' || n < 1 ||
+            n > 64) {
+          std::cerr << "comet_bench: --replicas needs a comma list of "
+                    << "integers in [1, 64], got '" << v << "'\n";
+          return 2;
+        }
+        replicas.push_back(static_cast<int>(n));
+      }
+      if (replicas.empty()) {
+        std::cerr << "comet_bench: --replicas got an empty list\n";
+        return 2;
+      }
+      SetBenchReplicas(std::move(replicas));
+    } else if (arg == "--placement") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      std::vector<PlacementPolicy> placements;
+      for (const std::string& part : Split(v, ',')) {
+        try {
+          placements.push_back(ParsePlacementPolicy(part));
+        } catch (const CheckError&) {
+          std::cerr << "comet_bench: --placement must be a comma list of "
+                    << "rr|least-loaded|p2c|sticky, got '" << part << "'\n";
+          return 2;
+        }
+      }
+      if (placements.empty()) {
+        std::cerr << "comet_bench: --placement got an empty list\n";
+        return 2;
+      }
+      SetBenchPlacements(std::move(placements));
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;

@@ -29,12 +29,14 @@ AdmissionQueue::Admit AdmissionQueue::TryPush(const RequestSpec& spec) {
     }
     if (static_cast<int64_t>(items_.size()) < capacity_) {
       items_.push_back(spec);
+      queued_tokens_ += spec.TotalTokens();
       ++total_admitted_;
       result.admitted = true;
     } else if (policy_ == AdmissionPolicy::kShedOldest) {
       result.evicted = items_.front();
       items_.pop_front();
       items_.push_back(spec);
+      queued_tokens_ += spec.TotalTokens() - result.evicted->TotalTokens();
       ++total_admitted_;
       ++total_shed_;
       result.admitted = true;
@@ -55,6 +57,7 @@ std::optional<RequestSpec> AdmissionQueue::TryPop() {
   }
   RequestSpec spec = items_.front();
   items_.pop_front();
+  queued_tokens_ -= spec.TotalTokens();
   return spec;
 }
 
@@ -66,6 +69,7 @@ std::optional<RequestSpec> AdmissionQueue::Pop() {
   }
   RequestSpec spec = items_.front();
   items_.pop_front();
+  queued_tokens_ -= spec.TotalTokens();
   return spec;
 }
 
@@ -80,6 +84,11 @@ void AdmissionQueue::Close() {
 int64_t AdmissionQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int64_t>(items_.size());
+}
+
+int64_t AdmissionQueue::queued_tokens() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_tokens_;
 }
 
 int64_t AdmissionQueue::total_admitted() const {

@@ -65,6 +65,10 @@ class AdmissionQueue {
   int64_t capacity() const { return capacity_; }
   AdmissionPolicy policy() const { return policy_; }
   int64_t size() const;
+  // Sum of RequestSpec::TotalTokens over the currently queued requests --
+  // the dispatcher hook the cluster plane's least-loaded / power-of-two
+  // placement policies read as a replica's backlog.
+  int64_t queued_tokens() const;
   // Lifetime counters (monotonic).
   int64_t total_admitted() const;
   int64_t total_shed() const;
@@ -77,6 +81,7 @@ class AdmissionQueue {
   std::condition_variable ready_;
   std::deque<RequestSpec> items_;
   bool closed_ = false;
+  int64_t queued_tokens_ = 0;
   int64_t total_admitted_ = 0;
   int64_t total_shed_ = 0;
 };

@@ -1,0 +1,312 @@
+#include "serve/cluster.h"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+
+#include "util/check.h"
+
+namespace comet {
+
+MoeCluster::MoeCluster(ClusterOptions options, ClusterSpec replica_cluster)
+    : options_(std::move(options)) {
+  COMET_CHECK_GT(options_.replicas, 0);
+  COMET_CHECK_LE(options_.replicas, 64) << "DispatchDecision::accepting_mask";
+  COMET_CHECK_GE(options_.global_queue_tokens, 0);
+  for (size_t i = 0; i < options_.faults.events.size(); ++i) {
+    const FaultEvent& ev = options_.faults.events[i];
+    COMET_CHECK_GE(ev.replica, 0);
+    COMET_CHECK_LT(ev.replica, options_.replicas);
+    COMET_CHECK_GE(ev.time_us, 0.0);
+    if (i > 0) {
+      COMET_CHECK_GE(ev.time_us, options_.faults.events[i - 1].time_us)
+          << "fault events must be sorted by time_us";
+    }
+  }
+  replicas_.reserve(static_cast<size_t>(options_.replicas));
+  for (int r = 0; r < options_.replicas; ++r) {
+    replicas_.push_back(
+        std::make_unique<MoeServer>(options_.server, replica_cluster));
+  }
+}
+
+MoeCluster::~MoeCluster() = default;
+
+ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    COMET_CHECK_GE(arrivals[i].arrival_us, arrivals[i - 1].arrival_us)
+        << "arrivals must be sorted by arrival_us";
+  }
+
+  const int R = num_replicas();
+  for (auto& server : replicas_) {
+    server->BeginRun();
+  }
+  Dispatcher dispatcher(options_.placement, R, options_.placement_seed);
+
+  std::vector<bool> alive(static_cast<size_t>(R), true);
+  std::vector<bool> accepting(static_cast<size_t>(R), true);
+  std::vector<bool> busy(static_cast<size_t>(R), false);
+  std::vector<bool> fail_pending(static_cast<size_t>(R), false);
+  std::vector<bool> wedge_armed(static_cast<size_t>(R), false);
+  std::vector<double> busy_until(static_cast<size_t>(R), 0.0);
+
+  ClusterReport report;
+  report.offered = static_cast<int64_t>(arrivals.size());
+  std::deque<RequestSpec> backlog;  // recovered, awaiting re-dispatch
+
+  double now = 0.0;
+  size_t next_arrival = 0;
+  size_t next_fault = 0;
+
+  const auto loads = [&] {
+    std::vector<int64_t> v(static_cast<size_t>(R), 0);
+    for (int r = 0; r < R; ++r) {
+      v[static_cast<size_t>(r)] = replicas_[static_cast<size_t>(r)]
+                                      ->LoadTokens();
+    }
+    return v;
+  };
+  const auto global_load = [&] {
+    int64_t total = 0;
+    for (int r = 0; r < R; ++r) {
+      if (alive[static_cast<size_t>(r)]) {
+        total += replicas_[static_cast<size_t>(r)]->LoadTokens();
+      }
+    }
+    return total;
+  };
+  // Replica death: drain its in-flight requests into the backlog
+  // (kRedispatch) or the lost count (kCountAsViolation). Completed-request
+  // records on the dead replica are kept -- they finished.
+  const auto die = [&](int r) {
+    alive[static_cast<size_t>(r)] = false;
+    accepting[static_cast<size_t>(r)] = false;
+    ++report.replica_failures;
+    dispatcher.ForgetReplica(r);
+    std::vector<RequestSpec> in_flight =
+        replicas_[static_cast<size_t>(r)]->DrainInFlight();
+    if (options_.in_flight == InFlightPolicy::kRedispatch) {
+      backlog.insert(backlog.end(), in_flight.begin(), in_flight.end());
+    } else {
+      report.failed_in_flight += static_cast<int64_t>(in_flight.size());
+    }
+  };
+  // One request through the placement policy. `redispatch` marks recovered
+  // requests; a dispatch-level miss (no accepting replica) counts them as
+  // lost rather than shed.
+  const auto dispatch_one = [&](const RequestSpec& spec, bool redispatch) {
+    DispatchDecision decision;
+    const std::vector<int64_t> load_now = loads();
+    const int pick = dispatcher.Pick(spec, load_now, accepting, &decision);
+    decision.time_us = now;
+    decision.redispatch = redispatch;
+    if (pick < 0) {
+      if (redispatch) {
+        ++report.failed_in_flight;
+      } else {
+        ++report.shed;
+      }
+    } else {
+      ++report.dispatched;
+      if (redispatch) {
+        ++report.redispatched;
+      }
+      replicas_[static_cast<size_t>(pick)]->Offer(spec);
+    }
+    if (options_.record_dispatch_log) {
+      report.dispatch_log.push_back(decision);
+    }
+  };
+
+  while (true) {
+    // A. Fire due faults. kFail on a busy replica defers death to the end
+    // of the in-flight iteration (B), but stops dispatches immediately.
+    while (next_fault < options_.faults.events.size() &&
+           options_.faults.events[next_fault].time_us <= now) {
+      const FaultEvent& ev = options_.faults.events[next_fault];
+      ++next_fault;
+      const int r = ev.replica;
+      if (!alive[static_cast<size_t>(r)]) {
+        continue;  // already dead; the fault is moot
+      }
+      switch (ev.kind) {
+        case FaultKind::kFail:
+          accepting[static_cast<size_t>(r)] = false;
+          if (busy[static_cast<size_t>(r)]) {
+            fail_pending[static_cast<size_t>(r)] = true;
+          } else {
+            die(r);
+          }
+          break;
+        case FaultKind::kDrain:
+          if (accepting[static_cast<size_t>(r)]) {
+            accepting[static_cast<size_t>(r)] = false;
+            ++report.replicas_drained;
+            dispatcher.ForgetReplica(r);
+          }
+          break;
+        case FaultKind::kWedge:
+          wedge_armed[static_cast<size_t>(r)] = true;
+          break;
+      }
+    }
+
+    // B. Retire iterations whose simulated end has been reached.
+    for (int r = 0; r < R; ++r) {
+      if (busy[static_cast<size_t>(r)] &&
+          busy_until[static_cast<size_t>(r)] <= now) {
+        busy[static_cast<size_t>(r)] = false;
+        if (fail_pending[static_cast<size_t>(r)]) {
+          fail_pending[static_cast<size_t>(r)] = false;
+          die(r);
+        }
+      }
+    }
+
+    // C. Dispatch: recovered requests first (they were admitted earlier),
+    // then arrivals up to now.
+    while (!backlog.empty()) {
+      const RequestSpec spec = backlog.front();
+      backlog.pop_front();
+      dispatch_one(spec, /*redispatch=*/true);
+    }
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].arrival_us <= now) {
+      const RequestSpec& spec = arrivals[next_arrival];
+      ++next_arrival;
+      if (options_.global_queue_tokens > 0 &&
+          global_load() >= options_.global_queue_tokens) {
+        ++report.shed;  // global admission bound: shed outright
+        if (options_.record_dispatch_log) {
+          DispatchDecision d;
+          d.request_id = spec.id;
+          d.session = spec.session;
+          d.time_us = now;
+          report.dispatch_log.push_back(d);
+        }
+        continue;
+      }
+      dispatch_one(spec, /*redispatch=*/false);
+    }
+
+    // D. Start one iteration on every alive idle replica with work, in
+    // replica-index order (drained replicas keep stepping until empty; a
+    // wedge-armed replica is stepped so the wedge can fire).
+    for (int r = 0; r < R; ++r) {
+      if (!alive[static_cast<size_t>(r)] || busy[static_cast<size_t>(r)]) {
+        continue;
+      }
+      MoeServer& server = *replicas_[static_cast<size_t>(r)];
+      if (!server.HasWork() && !wedge_armed[static_cast<size_t>(r)]) {
+        continue;
+      }
+      if (wedge_armed[static_cast<size_t>(r)]) {
+        server.WedgeNextIteration();
+      }
+      try {
+        double end = 0.0;
+        if (server.StepIteration(now, &end)) {
+          busy[static_cast<size_t>(r)] = true;
+          busy_until[static_cast<size_t>(r)] = end;
+        }
+      } catch (const CheckError&) {
+        // The wedged (or internally failed) iteration fail-fasted: the
+        // replica is dead, not hung.
+        wedge_armed[static_cast<size_t>(r)] = false;
+        fail_pending[static_cast<size_t>(r)] = false;
+        die(r);
+      }
+    }
+
+    // E. Advance the clock to the next event; done when none remain.
+    double next = std::numeric_limits<double>::infinity();
+    for (int r = 0; r < R; ++r) {
+      if (busy[static_cast<size_t>(r)]) {
+        next = std::min(next, busy_until[static_cast<size_t>(r)]);
+      }
+    }
+    if (next_arrival < arrivals.size()) {
+      next = std::min(next, arrivals[next_arrival].arrival_us);
+    }
+    if (next_fault < options_.faults.events.size()) {
+      next = std::min(next, options_.faults.events[next_fault].time_us);
+    }
+    if (!backlog.empty()) {
+      // A replica died after this turn's dispatch phase: loop again at the
+      // same time so C re-dispatches (or accounts) the recovered requests.
+      // C always empties the backlog, so this cannot spin.
+      continue;
+    }
+    if (next == std::numeric_limits<double>::infinity()) {
+      break;
+    }
+    now = std::max(now, next);
+  }
+
+  // Aggregate the per-replica runs.
+  std::vector<double> queue_waits, ttfts, itls, e2es;
+  int64_t replica_shed = 0;
+  for (int r = 0; r < R; ++r) {
+    const RunView view = replicas_[static_cast<size_t>(r)]->View();
+    report.completed.insert(report.completed.end(), view.completed.begin(),
+                            view.completed.end());
+    queue_waits.insert(queue_waits.end(), view.queue_waits.begin(),
+                       view.queue_waits.end());
+    ttfts.insert(ttfts.end(), view.ttfts.begin(), view.ttfts.end());
+    itls.insert(itls.end(), view.itls.begin(), view.itls.end());
+    e2es.insert(e2es.end(), view.e2es.begin(), view.e2es.end());
+    replica_shed += view.shed;
+    report.iterations += view.iterations;
+    report.batched_tokens += view.batched_tokens;
+    report.padding_tokens += view.padding_tokens;
+    report.per_replica_completed.push_back(
+        static_cast<int64_t>(view.completed.size()));
+    report.per_replica_iterations.push_back(view.iterations);
+  }
+  report.shed += replica_shed;
+  report.sim_duration_us = now;
+  if (now > 0.0) {
+    report.throughput_tokens_per_s =
+        static_cast<double>(report.batched_tokens) / (now / 1e6);
+  }
+
+  std::sort(report.completed.begin(), report.completed.end(),
+            [](const RequestRecord& a, const RequestRecord& b) {
+              return a.id < b.id;
+            });
+  report.queue_wait_us = SummarizeLatency(queue_waits);
+  report.ttft_us = SummarizeLatency(ttfts);
+  report.itl_us = SummarizeLatency(itls);
+  report.e2e_us = SummarizeLatency(e2es);
+
+  uint64_t combined = Fnv1aInit();
+  int64_t met = 0;
+  const SloTargets& slo = options_.server.slo;
+  for (const RequestRecord& rec : report.completed) {
+    combined =
+        Fnv1aAdd(combined, &rec.output_digest, sizeof(rec.output_digest));
+    const bool ttft_ok = slo.ttft_us <= 0.0 || rec.ttft_us <= slo.ttft_us;
+    const bool itl_ok = slo.itl_us <= 0.0 || rec.mean_itl_us <= slo.itl_us;
+    if (ttft_ok && itl_ok) {
+      ++met;
+    }
+  }
+  report.combined_digest = combined;
+  if (slo.Configured()) {
+    const int64_t denom = static_cast<int64_t>(report.completed.size()) +
+                          report.shed + report.failed_in_flight;
+    report.slo_violations = denom - met;
+    report.slo_attainment =
+        denom > 0 ? static_cast<double>(met) / static_cast<double>(denom)
+                  : 1.0;
+  }
+  return report;
+}
+
+ClusterReport MoeCluster::Run(LoadGenerator& loadgen) {
+  const std::vector<RequestSpec> arrivals = loadgen.GenerateAll();
+  return Run(arrivals);
+}
+
+}  // namespace comet

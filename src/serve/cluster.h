@@ -1,0 +1,120 @@
+// Cluster-scale serving: N MoeServer replicas behind one global dispatcher,
+// on one global simulated clock.
+//
+// Each replica is a full serving plane of its own -- executor, symmetric
+// heap, EP group, admission queue, continuous batcher -- constructed from
+// the same ServeOptions (same seed => same weights: replicas of one model).
+// The cluster advances a single event loop; at every scheduling point it
+//  A. fires due FaultPlan events (fail / drain / wedge);
+//  B. retires replica iterations whose simulated end time has been reached
+//     (a replica that was failed mid-iteration dies here: the in-flight
+//     iteration stands, then its remaining requests are drained);
+//  C. dispatches work: recovered requests from failed replicas first (when
+//     InFlightPolicy::kRedispatch), then arrivals with arrival_us <= now,
+//     each through the placement policy to exactly one accepting replica
+//     (none accepting => counted shed / failed_in_flight, never silently
+//     dropped);
+//  D. starts one iteration on every alive idle replica with work, in
+//     replica-index order;
+//  E. advances the clock to the next event (iteration end, arrival, or
+//     fault) -- or terminates when none remain.
+//
+// Determinism: the loop is single-threaded and every step is a pure
+// function of (arrivals, options) -- replica numerics are bit-identical at
+// any executor thread count, iteration durations are simulated, p2c
+// placement draws from its own seeded stream. Same seed + config =>
+// bit-identical per-request digests, identical percentiles, identical
+// dispatch and fault interleavings, at COMET_THREADS=1 or 8. A 1-replica
+// cluster drives exactly the hooks the single-server Serve loop drives, in
+// the same order: its report matches MoeServer::Serve bit for bit.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/gpu_spec.h"
+#include "serve/fault_plan.h"
+#include "serve/placement.h"
+#include "serve/server.h"
+
+namespace comet {
+
+struct ClusterOptions {
+  // Per-replica serving config (model, parallel, dtype, budgets, SLO).
+  ServeOptions server;
+  int replicas = 1;
+  PlacementPolicy placement = PlacementPolicy::kRoundRobin;
+  // Seed of the dispatcher's own random stream (kPowerOfTwo sampling);
+  // independent of the load and weight seeds.
+  uint64_t placement_seed = 1;
+  FaultPlan faults;
+  InFlightPolicy in_flight = InFlightPolicy::kRedispatch;
+  // Global admission bound: when > 0, an arrival is shed outright if the
+  // sum of LoadTokens() over live replicas is already >= this. 0 disables.
+  int64_t global_queue_tokens = 0;
+  // Record a DispatchDecision per dispatch (and per dispatch-level shed)
+  // for the property tests.
+  bool record_dispatch_log = false;
+};
+
+struct ClusterReport {
+  // Completed requests from every replica, merged, in request-id order.
+  std::vector<RequestRecord> completed;
+  int64_t offered = 0;      // arrivals presented to the cluster
+  int64_t dispatched = 0;   // handed to some replica (incl. re-dispatches)
+  // Requests that never completed: shed at dispatch or by a replica queue,
+  // or lost in flight on a failed replica.
+  int64_t shed = 0;
+  int64_t failed_in_flight = 0;
+  int64_t redispatched = 0;
+  int64_t iterations = 0;
+  int64_t batched_tokens = 0;
+  int64_t padding_tokens = 0;
+  int64_t replica_failures = 0;
+  int64_t replicas_drained = 0;
+  std::vector<int64_t> per_replica_completed;
+  std::vector<int64_t> per_replica_iterations;
+  double sim_duration_us = 0.0;
+  double throughput_tokens_per_s = 0.0;
+
+  LatencySummary queue_wait_us;
+  LatencySummary ttft_us;
+  LatencySummary itl_us;
+  LatencySummary e2e_us;
+
+  // met / (completed + shed + failed_in_flight); 1.0 when no SLO is
+  // configured. Lost and shed requests are violations by definition.
+  double slo_attainment = 1.0;
+  int64_t slo_violations = 0;
+
+  // FNV-1a over per-request output digests in id order -- same formula as
+  // ServeReport, so cluster-vs-single digests are directly comparable.
+  uint64_t combined_digest = 0;
+
+  // Populated when ClusterOptions::record_dispatch_log.
+  std::vector<DispatchDecision> dispatch_log;
+};
+
+class MoeCluster {
+ public:
+  // `replica_cluster` is the hardware spec of ONE replica's EP group; every
+  // replica gets a copy (a homogeneous fleet).
+  MoeCluster(ClusterOptions options, ClusterSpec replica_cluster);
+  ~MoeCluster();
+
+  // Runs the fleet over `arrivals` (sorted by arrival_us) to completion.
+  // Reusable: each call is an independent run.
+  ClusterReport Run(const std::vector<RequestSpec>& arrivals);
+  ClusterReport Run(LoadGenerator& loadgen);
+
+  const ClusterOptions& options() const { return options_; }
+  int num_replicas() const { return static_cast<int>(replicas_.size()); }
+  const MoeServer& replica(int r) const { return *replicas_.at(r); }
+
+ private:
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<MoeServer>> replicas_;
+};
+
+}  // namespace comet

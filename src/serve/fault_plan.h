@@ -1,0 +1,85 @@
+// Deterministic fault plane for the cluster: a schedule of replica faults
+// on the SIMULATED clock.
+//
+// Faults are data, not chance: a FaultPlan is part of the cluster config,
+// so the same (seed, config, plan) reproduces the same failure interleaving
+// bit-for-bit -- which is what lets the fault tests assert exact SLO
+// accounting instead of "roughly N requests were affected". Kinds:
+//  * kFail  -- the replica dies. If it is mid-iteration, the iteration
+//    completes first (simulated work already in flight finishes; death is
+//    observed at the next scheduling point, as a real health checker
+//    would). Its in-flight requests are drained and either re-dispatched or
+//    counted as SLO violations, per InFlightPolicy.
+//  * kDrain -- graceful decommission: the replica stops accepting new
+//    dispatches but keeps iterating until its queue and batcher are empty.
+//  * kWedge -- the replica's next iteration parks in the symmetric heap's
+//    WaitUntilSignalGe fail-fast path (a signal no producer raises), so it
+//    throws CheckError after ServeOptions::signal_wait_timeout_ms. The
+//    cluster catches that and accounts the replica as failed: a wedged rank
+//    surfaces as a counted replica failure, never a hang.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace comet {
+
+enum class FaultKind {
+  kFail,
+  kDrain,
+  kWedge,
+};
+
+inline const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kFail:
+      return "fail";
+    case FaultKind::kDrain:
+      return "drain";
+    case FaultKind::kWedge:
+      return "wedge";
+  }
+  return "unknown";
+}
+
+struct FaultEvent {
+  // Simulated time at which the fault fires (applied at the first
+  // scheduling point with now >= time_us).
+  double time_us = 0.0;
+  int replica = 0;
+  FaultKind kind = FaultKind::kFail;
+};
+
+// What happens to a failed replica's in-flight (admitted, not completed)
+// requests.
+enum class InFlightPolicy {
+  // Recovered specs go back through the dispatcher (ahead of new arrivals,
+  // original order preserved) and are recomputed from scratch elsewhere.
+  // Because request outputs depend only on (seed, weights) -- never on
+  // batch composition -- a re-dispatched request's digest matches the
+  // no-fault run exactly; only its latency pays for the failure.
+  kRedispatch,
+  // Lost: counted as failed_in_flight and charged to the SLO denominator
+  // (like shed -- a latency failure the operator chose to take).
+  kCountAsViolation,
+};
+
+inline const char* InFlightPolicyName(InFlightPolicy policy) {
+  switch (policy) {
+    case InFlightPolicy::kRedispatch:
+      return "redispatch";
+    case InFlightPolicy::kCountAsViolation:
+      return "count-as-violation";
+  }
+  return "unknown";
+}
+
+// The full schedule. Events must be sorted by time_us (ties fire in vector
+// order); MoeCluster validates at construction.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+};
+
+}  // namespace comet

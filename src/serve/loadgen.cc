@@ -95,6 +95,7 @@ LoadGenerator::LoadGenerator(LoadGenOptions options)
   COMET_CHECK_GT(options_.offered_rps, 0.0);
   COMET_CHECK_GE(options_.num_requests, 0);
   COMET_CHECK_GE(options_.mean_burst, 1.0);
+  COMET_CHECK_GE(options_.num_sessions, 0);
   COMET_CHECK_GT(options_.prompt.Min(), 0);
   COMET_CHECK_GE(options_.decode.Min(), 0);
 }
@@ -125,6 +126,11 @@ RequestSpec LoadGenerator::Next() {
   spec.seed = rng_.NextU64();
   spec.prompt_tokens = options_.prompt.Sample(rng_);
   spec.decode_tokens = options_.decode.Sample(rng_);
+  spec.session =
+      options_.num_sessions > 0
+          ? static_cast<uint64_t>(
+                rng_.UniformInt(0, options_.num_sessions - 1))
+          : static_cast<uint64_t>(emitted_);
   spec.arrival_us = clock_us_;
   ++emitted_;
   return spec;

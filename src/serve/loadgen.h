@@ -67,6 +67,12 @@ struct LoadGenOptions {
   // kBursty: mean requests per burst epoch (>= 1; 1 degenerates to Poisson).
   double mean_burst = 4.0;
   int64_t num_requests = 100;
+  // Sessions for sticky placement: > 0 draws each request's session key
+  // uniformly from [0, num_sessions); 0 (default) gives every request its
+  // own session (session == id) WITHOUT consuming a draw, so existing
+  // seeded streams are bit-identical to what they were before sessions
+  // existed.
+  int64_t num_sessions = 0;
   LengthDist prompt = LengthDist::Uniform(4, 16);
   LengthDist decode = LengthDist::Uniform(1, 8);
 };

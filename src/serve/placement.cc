@@ -1,0 +1,164 @@
+#include "serve/placement.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "util/check.h"
+
+namespace comet {
+
+const char* PlacementPolicyName(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kRoundRobin:
+      return "rr";
+    case PlacementPolicy::kLeastLoaded:
+      return "least-loaded";
+    case PlacementPolicy::kPowerOfTwo:
+      return "p2c";
+    case PlacementPolicy::kSticky:
+      return "sticky";
+  }
+  return "unknown";
+}
+
+PlacementPolicy ParsePlacementPolicy(const std::string& name) {
+  if (name == "rr") return PlacementPolicy::kRoundRobin;
+  if (name == "least-loaded") return PlacementPolicy::kLeastLoaded;
+  if (name == "p2c") return PlacementPolicy::kPowerOfTwo;
+  if (name == "sticky") return PlacementPolicy::kSticky;
+  COMET_CHECK(false) << "unknown placement policy: " << name
+                     << " (want rr | least-loaded | p2c | sticky)";
+  return PlacementPolicy::kRoundRobin;
+}
+
+Dispatcher::Dispatcher(PlacementPolicy policy, int num_replicas, uint64_t seed)
+    : policy_(policy), num_replicas_(num_replicas), rng_(seed) {
+  COMET_CHECK_GT(num_replicas_, 0);
+  COMET_CHECK_LE(num_replicas_, 64) << "accepting_mask is a uint64_t";
+}
+
+int Dispatcher::PickLeastLoaded(std::span<const int64_t> loads,
+                                const std::vector<bool>& accepting) const {
+  int best = -1;
+  for (int r = 0; r < num_replicas_; ++r) {
+    if (!accepting[static_cast<size_t>(r)]) {
+      continue;
+    }
+    // Strict < keeps ties on the lowest index: deterministic.
+    if (best < 0 ||
+        loads[static_cast<size_t>(r)] < loads[static_cast<size_t>(best)]) {
+      best = r;
+    }
+  }
+  return best;
+}
+
+int Dispatcher::Pick(const RequestSpec& spec, std::span<const int64_t> loads,
+                     const std::vector<bool>& accepting,
+                     DispatchDecision* decision) {
+  COMET_CHECK_EQ(static_cast<int>(loads.size()), num_replicas_);
+  COMET_CHECK_EQ(static_cast<int>(accepting.size()), num_replicas_);
+
+  DispatchDecision local;
+  DispatchDecision& d = decision != nullptr ? *decision : local;
+  d = DispatchDecision{};
+  d.request_id = spec.id;
+  d.session = spec.session;
+  int num_accepting = 0;
+  for (int r = 0; r < num_replicas_; ++r) {
+    if (accepting[static_cast<size_t>(r)]) {
+      d.accepting_mask |= uint64_t{1} << r;
+      ++num_accepting;
+    }
+  }
+  if (num_accepting == 0) {
+    return -1;
+  }
+
+  int pick = -1;
+  switch (policy_) {
+    case PlacementPolicy::kRoundRobin: {
+      // Probe at most num_replicas_ slots from the cursor; the cursor
+      // advances past the pick so the next request continues the rotation.
+      for (int probe = 0; probe < num_replicas_; ++probe) {
+        const int r =
+            static_cast<int>((rr_next_ + probe) % num_replicas_);
+        if (accepting[static_cast<size_t>(r)]) {
+          pick = r;
+          rr_next_ = r + 1;
+          break;
+        }
+      }
+      break;
+    }
+    case PlacementPolicy::kLeastLoaded: {
+      pick = PickLeastLoaded(loads, accepting);
+      break;
+    }
+    case PlacementPolicy::kPowerOfTwo: {
+      if (num_accepting == 1) {
+        pick = PickLeastLoaded(loads, accepting);  // the only candidate
+        break;
+      }
+      // Two distinct indices into the accepting subset, classic
+      // "draw j from n-1 and shift" trick so the pair is uniform.
+      std::vector<int> live;
+      live.reserve(static_cast<size_t>(num_accepting));
+      for (int r = 0; r < num_replicas_; ++r) {
+        if (accepting[static_cast<size_t>(r)]) {
+          live.push_back(r);
+        }
+      }
+      const int n = static_cast<int>(live.size());
+      int i = static_cast<int>(rng_.UniformInt(0, n - 1));
+      int j = static_cast<int>(rng_.UniformInt(0, n - 2));
+      if (j >= i) {
+        ++j;
+      }
+      d.candidate_a = live[static_cast<size_t>(i)];
+      d.candidate_b = live[static_cast<size_t>(j)];
+      d.load_a = loads[static_cast<size_t>(d.candidate_a)];
+      d.load_b = loads[static_cast<size_t>(d.candidate_b)];
+      // Less loaded wins; tie goes to the lower index.
+      if (d.load_a < d.load_b) {
+        pick = d.candidate_a;
+      } else if (d.load_b < d.load_a) {
+        pick = d.candidate_b;
+      } else {
+        pick = std::min(d.candidate_a, d.candidate_b);
+      }
+      break;
+    }
+    case PlacementPolicy::kSticky: {
+      const auto it = session_replica_.find(spec.session);
+      if (it != session_replica_.end() &&
+          accepting[static_cast<size_t>(it->second)]) {
+        pick = it->second;
+        d.sticky_hit = true;
+        break;
+      }
+      // First sight of the session, or its pin stopped accepting: home it
+      // least-loaded and pin.
+      pick = PickLeastLoaded(loads, accepting);
+      session_replica_[spec.session] = pick;
+      break;
+    }
+  }
+
+  COMET_CHECK_GE(pick, 0);
+  COMET_CHECK(accepting[static_cast<size_t>(pick)]);
+  d.replica = pick;
+  return pick;
+}
+
+void Dispatcher::ForgetReplica(int replica) {
+  for (auto it = session_replica_.begin(); it != session_replica_.end();) {
+    if (it->second == replica) {
+      it = session_replica_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace comet

@@ -1,0 +1,97 @@
+// Pluggable placement policies for the cluster dispatcher.
+//
+// The global dispatcher sees every arriving request and must pick exactly
+// one live, accepting replica for it (or shed when none accepts). Policies:
+//  * kRoundRobin  -- rotate over replicas, skipping non-accepting ones.
+//    Zero state about load; the baseline every balancer is measured against.
+//  * kLeastLoaded -- pick the accepting replica with the fewest admitted-
+//    but-unexecuted tokens (MoeServer::LoadTokens: admission queue +
+//    batcher backlog). Global knowledge, best balance, but in a real
+//    deployment this signal is stale by one RTT.
+//  * kPowerOfTwo  -- sample two distinct accepting replicas with the
+//    policy's own seeded Rng, take the less loaded (the classic
+//    power-of-two-choices result: nearly least-loaded balance from two
+//    probes instead of a full scan).
+//  * kSticky      -- pin each session (RequestSpec::session) to one replica
+//    chosen least-loaded at first sight, and keep routing the session there
+//    while the replica accepts (decode/KV-cache affinity); re-home only
+//    when the pinned replica fails or drains.
+//
+// Determinism: a Dispatcher is a pure function of (policy, seed, the
+// sequence of Pick calls). kPowerOfTwo's sampling uses its own Rng seeded
+// at construction, so placement decisions do not perturb -- and are not
+// perturbed by -- any other random stream.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/rng.h"
+
+namespace comet {
+
+enum class PlacementPolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kPowerOfTwo,
+  kSticky,
+};
+
+const char* PlacementPolicyName(PlacementPolicy policy);
+// Inverse of PlacementPolicyName; throws CheckError on an unknown name.
+PlacementPolicy ParsePlacementPolicy(const std::string& name);
+
+// One dispatch decision, recorded (when enabled) for the property tests:
+// everything a checker needs to re-verify the policy's choice after the
+// fact without re-running the cluster.
+struct DispatchDecision {
+  int64_t request_id = 0;
+  uint64_t session = 0;
+  double time_us = 0.0;
+  int replica = -1;  // -1: no accepting replica (request shed / failed)
+  // Bit r set iff replica r was accepting at decision time.
+  uint64_t accepting_mask = 0;
+  // kPowerOfTwo: the two sampled candidates and their loads at decision
+  // time. -1 when not applicable (other policies, or a single candidate).
+  int candidate_a = -1;
+  int candidate_b = -1;
+  int64_t load_a = 0;
+  int64_t load_b = 0;
+  // kSticky: the session was already pinned and its replica accepted.
+  bool sticky_hit = false;
+  // This dispatch re-placed a request recovered from a failed replica.
+  bool redispatch = false;
+};
+
+class Dispatcher {
+ public:
+  Dispatcher(PlacementPolicy policy, int num_replicas, uint64_t seed);
+
+  // Picks a replica for `spec` given each replica's current load signal and
+  // accepting flag (both indexed by replica, size num_replicas). Returns -1
+  // when no replica is accepting. Fills *decision when non-null.
+  int Pick(const RequestSpec& spec, std::span<const int64_t> loads,
+           const std::vector<bool>& accepting, DispatchDecision* decision);
+
+  // kSticky bookkeeping: drop every pin to `replica` (failed/drained), so
+  // affected sessions re-home at their next request.
+  void ForgetReplica(int replica);
+
+  PlacementPolicy policy() const { return policy_; }
+
+ private:
+  int PickLeastLoaded(std::span<const int64_t> loads,
+                      const std::vector<bool>& accepting) const;
+
+  const PlacementPolicy policy_;
+  const int num_replicas_;
+  Rng rng_;           // kPowerOfTwo sampling stream
+  int64_t rr_next_ = 0;  // kRoundRobin cursor
+  std::unordered_map<uint64_t, int> session_replica_;  // kSticky pins
+};
+
+}  // namespace comet

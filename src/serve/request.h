@@ -22,6 +22,11 @@ struct RequestSpec {
   // Content seed: the prompt rows and the per-step decode perturbations are
   // drawn from Rng streams derived from this.
   uint64_t seed = 0;
+  // Session key for affinity-aware placement (the cluster plane's sticky
+  // policy keeps a session on one replica for decode/KV locality). The load
+  // generator defaults it to the request id, i.e. every request its own
+  // session, unless LoadGenOptions::num_sessions groups them.
+  uint64_t session = 0;
   int64_t prompt_tokens = 1;
   int64_t decode_tokens = 0;
   // Simulated arrival time, us.

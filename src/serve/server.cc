@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "comm/symmetric_heap.h"
 #include "moe/expert_weights.h"
 #include "moe/workload.h"
 #include "util/check.h"
@@ -56,6 +57,31 @@ struct MoeServer::LiveRequest {
   uint64_t digest = Fnv1aInit();
 };
 
+// All per-run state, recreated by BeginRun so a MoeServer (and each cluster
+// replica) is reusable across independent serving runs.
+struct MoeServer::RunState {
+  explicit RunState(const ServeOptions& options)
+      : queue(options.queue_capacity, options.queue_policy),
+        batcher(BatcherOptions{.token_budget = options.token_budget,
+                               .max_active = options.max_active}) {}
+
+  AdmissionQueue queue;
+  ContinuousBatcher batcher;
+  std::vector<std::unique_ptr<LiveRequest>> by_slot;
+
+  std::vector<RequestRecord> completed;  // retirement order
+  std::vector<double> queue_waits, ttfts, itls, e2es;
+  int64_t offered = 0;
+  int64_t shed = 0;
+  int64_t iterations = 0;
+  int64_t batched_tokens = 0;
+  int64_t padding_tokens = 0;
+  // Remaining (not yet executed) tokens of the batcher's live requests;
+  // together with queue.queued_tokens() this is the replica's load signal.
+  int64_t batcher_tokens = 0;
+  bool wedge_next = false;
+};
+
 MoeServer::MoeServer(ServeOptions options, ClusterSpec cluster)
     : options_(std::move(options)),
       cluster_(std::move(cluster)),
@@ -75,6 +101,8 @@ MoeServer::MoeServer(ServeOptions options, ClusterSpec cluster)
                   options_.parallel.ep);
   (void)probe;
 }
+
+MoeServer::~MoeServer() = default;
 
 MoeWorkload MoeServer::BuildBatchWorkload(
     const BatchPlan& plan, const std::vector<LiveRequest*>& live,
@@ -132,178 +160,232 @@ MoeWorkload MoeServer::BuildBatchWorkload(
                      ActivationKind::kGelu};
 }
 
-ServeReport MoeServer::Serve(const std::vector<RequestSpec>& arrivals) {
-  for (size_t i = 1; i < arrivals.size(); ++i) {
-    COMET_CHECK_GE(arrivals[i].arrival_us, arrivals[i - 1].arrival_us)
-        << "arrivals must be sorted by arrival_us";
+void MoeServer::BeginRun() { run_ = std::make_unique<RunState>(options_); }
+
+AdmissionQueue::Admit MoeServer::Offer(const RequestSpec& spec) {
+  COMET_CHECK(run_ != nullptr) << "Offer before BeginRun";
+  ++run_->offered;
+  const AdmissionQueue::Admit admit = run_->queue.TryPush(spec);
+  if (!admit.admitted || admit.evicted.has_value()) {
+    ++run_->shed;
+  }
+  return admit;
+}
+
+bool MoeServer::HasWork() const {
+  return run_ != nullptr &&
+         (run_->queue.size() > 0 || run_->batcher.HasLiveWork());
+}
+
+int64_t MoeServer::LoadTokens() const {
+  if (run_ == nullptr) {
+    return 0;
+  }
+  return run_->queue.queued_tokens() + run_->batcher_tokens;
+}
+
+void MoeServer::WedgeNextIteration() {
+  COMET_CHECK(run_ != nullptr) << "WedgeNextIteration before BeginRun";
+  run_->wedge_next = true;
+}
+
+std::vector<RequestSpec> MoeServer::DrainInFlight() {
+  COMET_CHECK(run_ != nullptr) << "DrainInFlight before BeginRun";
+  std::vector<RequestSpec> in_flight;
+  // Batcher live requests first (they were admitted earlier), slot order.
+  for (auto& live : run_->by_slot) {
+    if (live != nullptr) {
+      in_flight.push_back(live->spec);
+      live.reset();
+    }
+  }
+  // Then the queue, FIFO.
+  while (const auto spec = run_->queue.TryPop()) {
+    in_flight.push_back(*spec);
+  }
+  run_->batcher_tokens = 0;
+  return in_flight;
+}
+
+RunView MoeServer::View() const {
+  COMET_CHECK(run_ != nullptr) << "View before BeginRun";
+  RunView view;
+  view.completed = run_->completed;
+  view.queue_waits = run_->queue_waits;
+  view.ttfts = run_->ttfts;
+  view.itls = run_->itls;
+  view.e2es = run_->e2es;
+  view.offered = run_->offered;
+  view.shed = run_->shed;
+  view.iterations = run_->iterations;
+  view.batched_tokens = run_->batched_tokens;
+  view.padding_tokens = run_->padding_tokens;
+  return view;
+}
+
+bool MoeServer::StepIteration(double now, double* end_us) {
+  COMET_CHECK(run_ != nullptr) << "StepIteration before BeginRun";
+  RunState& run = *run_;
+
+  if (run.wedge_next) {
+    // Fault injection: park in the genuine fail-fast signal wait. No
+    // producer ever raises this signal, so the wait throws CheckError after
+    // signal_wait_timeout_ms -- the same path a wedged EP rank takes.
+    SymmetricHeap wedge_heap(1);
+    const auto sig = wedge_heap.AllocateSignals("serve-wedged-rank", 1);
+    wedge_heap.WaitUntilSignalGe(sig, /*rank=*/0, /*index=*/0, /*target=*/1,
+                                 options_.signal_wait_timeout_ms);
+    COMET_CHECK(false) << "wedged signal wait returned";  // unreachable
   }
 
-  AdmissionQueue queue(options_.queue_capacity, options_.queue_policy);
-  ContinuousBatcher batcher(
-      BatcherOptions{.token_budget = options_.token_budget,
-                     .max_active = options_.max_active});
-  std::vector<std::unique_ptr<LiveRequest>> by_slot;
+  // The batcher drains the queue while it has room (max_active is the
+  // backpressure bound that lets the queue fill under overload).
+  const int64_t n_embed = options_.model.embedding;
+  while (run.batcher.CanAdmit()) {
+    const std::optional<RequestSpec> spec = run.queue.TryPop();
+    if (!spec.has_value()) {
+      break;
+    }
+    const int64_t slot = run.batcher.Admit(*spec);
+    auto live = std::make_unique<LiveRequest>();
+    live->spec = *spec;
+    Rng content_rng(spec->seed);
+    live->prompt = Tensor::Randn(Shape{spec->prompt_tokens, n_embed},
+                                 content_rng, 1.0f, options_.dtype);
+    live->decode_rng = Rng(spec->seed ^ kDecodeStream);
+    if (static_cast<size_t>(slot) >= run.by_slot.size()) {
+      run.by_slot.resize(static_cast<size_t>(slot) + 1);
+    }
+    run.by_slot[static_cast<size_t>(slot)] = std::move(live);
+    run.batcher_tokens += spec->TotalTokens();
+  }
+
+  // Pack one iteration.
+  const BatchPlan plan = run.batcher.Pack();
+  if (plan.empty()) {
+    return false;
+  }
+
+  std::vector<LiveRequest*> live(plan.entries.size());
+  for (size_t e = 0; e < plan.entries.size(); ++e) {
+    live[e] = run.by_slot[static_cast<size_t>(plan.entries[e].slot)].get();
+    if (live[e]->first_scheduled_us < 0.0) {
+      live[e]->first_scheduled_us = now;
+    }
+  }
+
+  // One executor iteration: real numerics + simulated duration.
+  std::vector<int64_t> rows;
+  int64_t padding = 0;
+  const MoeWorkload workload = BuildBatchWorkload(plan, live, &rows, &padding);
+  const LayerExecution ex =
+      executor_.RunBatch(workload, cluster_, ExecMode::kFunctional);
+  const double end = now + options_.host_overhead_us + ex.duration_us;
+  ++run.iterations;
+  run.batched_tokens += plan.TotalTokens();
+  run.padding_tokens += padding;
+  run.batcher_tokens -= plan.TotalTokens();
+
+  // Harvest: digest outputs, emit token events, build next decode rows.
+  const int64_t per_group = workload.placement.tokens_per_group();
+  const auto output_row = [&](int64_t global_row) {
+    return ex.outputs[static_cast<size_t>(global_row / per_group)].row(
+        global_row % per_group);
+  };
+  for (size_t e = 0; e < plan.entries.size(); ++e) {
+    const BatchEntry& entry = plan.entries[e];
+    LiveRequest& lr = *live[e];
+    for (int64_t i = 0; i < entry.num_tokens; ++i) {
+      lr.digest = Fnv1aAddFloats(lr.digest, output_row(rows[e] + i));
+    }
+    const auto last_row = output_row(rows[e] + entry.num_tokens - 1);
+    const bool completes_prefill =
+        !entry.decode &&
+        entry.start_pos + entry.num_tokens == lr.spec.prompt_tokens;
+    if (completes_prefill) {
+      // The iteration that finishes the prompt yields the first token.
+      lr.first_token_us = end;
+      lr.last_token_us = end;
+    } else if (entry.decode) {
+      lr.itl_samples.push_back(end - lr.last_token_us);
+      lr.last_token_us = end;
+    }
+    const int64_t decode_done_after =
+        entry.decode ? entry.start_pos - lr.spec.prompt_tokens + 1 : 0;
+    if ((completes_prefill || entry.decode) &&
+        decode_done_after < lr.spec.decode_tokens) {
+      // Autoregressive feedback: the next decode input is the last output
+      // row plus a unit-variance "sampled token" perturbation (keeps
+      // magnitudes ~1 across arbitrarily long decodes), rounded to the
+      // serve dtype like any materialized token.
+      lr.decode_input.resize(static_cast<size_t>(n_embed));
+      for (int64_t n = 0; n < n_embed; ++n) {
+        lr.decode_input[static_cast<size_t>(n)] =
+            last_row[static_cast<size_t>(n)] +
+            static_cast<float>(lr.decode_rng.Normal(0.0, 1.0));
+      }
+      QuantizeSpan(lr.decode_input, options_.dtype);
+    }
+  }
+
+  // Retire finished requests.
+  for (const int64_t slot : run.batcher.Complete(plan)) {
+    LiveRequest& lr = *run.by_slot[static_cast<size_t>(slot)];
+    RequestRecord rec;
+    rec.id = lr.spec.id;
+    rec.prompt_tokens = lr.spec.prompt_tokens;
+    rec.decode_tokens = lr.spec.decode_tokens;
+    rec.arrival_us = lr.spec.arrival_us;
+    rec.queue_wait_us = lr.first_scheduled_us - lr.spec.arrival_us;
+    rec.ttft_us = lr.first_token_us - lr.spec.arrival_us;
+    rec.e2e_us = lr.last_token_us - lr.spec.arrival_us;
+    if (!lr.itl_samples.empty()) {
+      double sum = 0.0;
+      for (double s : lr.itl_samples) {
+        sum += s;
+      }
+      rec.mean_itl_us = sum / static_cast<double>(lr.itl_samples.size());
+    }
+    rec.output_digest = lr.digest;
+
+    run.queue_waits.push_back(rec.queue_wait_us);
+    run.ttfts.push_back(rec.ttft_us);
+    run.e2es.push_back(rec.e2e_us);
+    run.itls.insert(run.itls.end(), lr.itl_samples.begin(),
+                    lr.itl_samples.end());
+    run.completed.push_back(rec);
+    run.by_slot[static_cast<size_t>(slot)].reset();
+  }
+
+  *end_us = end;
+  return true;
+}
+
+ServeReport MoeServer::BuildReport(double sim_duration_us) const {
+  COMET_CHECK(run_ != nullptr) << "BuildReport before BeginRun";
+  const RunState& run = *run_;
 
   ServeReport report;
-  report.offered = static_cast<int64_t>(arrivals.size());
-  std::vector<RequestRecord> completed;
-  std::vector<double> queue_waits, ttfts, itls, e2es;
-
-  double now = 0.0;
-  size_t next_arrival = 0;
-  const int64_t n_embed = options_.model.embedding;
-
-  while (true) {
-    // 1. Open-loop arrivals up to the current simulated time hit the
-    // bounded queue; overload sheds here, per policy.
-    while (next_arrival < arrivals.size() &&
-           arrivals[next_arrival].arrival_us <= now) {
-      const AdmissionQueue::Admit admit =
-          queue.TryPush(arrivals[next_arrival]);
-      if (!admit.admitted || admit.evicted.has_value()) {
-        ++report.shed;
-      }
-      ++next_arrival;
-    }
-
-    // 2. The batcher drains the queue while it has room (max_active is the
-    // backpressure bound that lets the queue fill under overload).
-    while (batcher.CanAdmit()) {
-      const std::optional<RequestSpec> spec = queue.TryPop();
-      if (!spec.has_value()) {
-        break;
-      }
-      const int64_t slot = batcher.Admit(*spec);
-      auto live = std::make_unique<LiveRequest>();
-      live->spec = *spec;
-      Rng content_rng(spec->seed);
-      live->prompt = Tensor::Randn(Shape{spec->prompt_tokens, n_embed},
-                                   content_rng, 1.0f, options_.dtype);
-      live->decode_rng = Rng(spec->seed ^ kDecodeStream);
-      if (static_cast<size_t>(slot) >= by_slot.size()) {
-        by_slot.resize(static_cast<size_t>(slot) + 1);
-      }
-      by_slot[static_cast<size_t>(slot)] = std::move(live);
-    }
-
-    // 3. Pack one iteration.
-    const BatchPlan plan = batcher.Pack();
-    if (plan.empty()) {
-      if (next_arrival < arrivals.size()) {
-        // Idle: jump the clock to the next arrival.
-        now = std::max(now, arrivals[next_arrival].arrival_us);
-        continue;
-      }
-      break;  // no live work, no future arrivals: done
-    }
-
-    std::vector<LiveRequest*> live(plan.entries.size());
-    for (size_t e = 0; e < plan.entries.size(); ++e) {
-      live[e] = by_slot[static_cast<size_t>(plan.entries[e].slot)].get();
-      if (live[e]->first_scheduled_us < 0.0) {
-        live[e]->first_scheduled_us = now;
-      }
-    }
-
-    // 4. One executor iteration: real numerics + simulated duration.
-    std::vector<int64_t> rows;
-    int64_t padding = 0;
-    const MoeWorkload workload =
-        BuildBatchWorkload(plan, live, &rows, &padding);
-    const LayerExecution ex =
-        executor_.RunBatch(workload, cluster_, ExecMode::kFunctional);
-    const double end = now + options_.host_overhead_us + ex.duration_us;
-    ++report.iterations;
-    report.batched_tokens += plan.TotalTokens();
-    report.padding_tokens += padding;
-
-    // 5. Harvest: digest outputs, emit token events, build next decode rows.
-    const int64_t per_group = workload.placement.tokens_per_group();
-    const auto output_row = [&](int64_t global_row) {
-      return ex.outputs[static_cast<size_t>(global_row / per_group)].row(
-          global_row % per_group);
-    };
-    for (size_t e = 0; e < plan.entries.size(); ++e) {
-      const BatchEntry& entry = plan.entries[e];
-      LiveRequest& lr = *live[e];
-      for (int64_t i = 0; i < entry.num_tokens; ++i) {
-        lr.digest = Fnv1aAddFloats(lr.digest, output_row(rows[e] + i));
-      }
-      const auto last_row = output_row(rows[e] + entry.num_tokens - 1);
-      const bool completes_prefill =
-          !entry.decode &&
-          entry.start_pos + entry.num_tokens == lr.spec.prompt_tokens;
-      if (completes_prefill) {
-        // The iteration that finishes the prompt yields the first token.
-        lr.first_token_us = end;
-        lr.last_token_us = end;
-      } else if (entry.decode) {
-        lr.itl_samples.push_back(end - lr.last_token_us);
-        lr.last_token_us = end;
-      }
-      const int64_t decode_done_after =
-          entry.decode ? entry.start_pos - lr.spec.prompt_tokens + 1 : 0;
-      if ((completes_prefill || entry.decode) &&
-          decode_done_after < lr.spec.decode_tokens) {
-        // Autoregressive feedback: the next decode input is the last output
-        // row plus a unit-variance "sampled token" perturbation (keeps
-        // magnitudes ~1 across arbitrarily long decodes), rounded to the
-        // serve dtype like any materialized token.
-        lr.decode_input.resize(static_cast<size_t>(n_embed));
-        for (int64_t n = 0; n < n_embed; ++n) {
-          lr.decode_input[static_cast<size_t>(n)] =
-              last_row[static_cast<size_t>(n)] +
-              static_cast<float>(lr.decode_rng.Normal(0.0, 1.0));
-        }
-        QuantizeSpan(lr.decode_input, options_.dtype);
-      }
-    }
-
-    // 6. Retire finished requests.
-    for (const int64_t slot : batcher.Complete(plan)) {
-      LiveRequest& lr = *by_slot[static_cast<size_t>(slot)];
-      RequestRecord rec;
-      rec.id = lr.spec.id;
-      rec.prompt_tokens = lr.spec.prompt_tokens;
-      rec.decode_tokens = lr.spec.decode_tokens;
-      rec.arrival_us = lr.spec.arrival_us;
-      rec.queue_wait_us = lr.first_scheduled_us - lr.spec.arrival_us;
-      rec.ttft_us = lr.first_token_us - lr.spec.arrival_us;
-      rec.e2e_us = lr.last_token_us - lr.spec.arrival_us;
-      if (!lr.itl_samples.empty()) {
-        double sum = 0.0;
-        for (double s : lr.itl_samples) {
-          sum += s;
-        }
-        rec.mean_itl_us = sum / static_cast<double>(lr.itl_samples.size());
-      }
-      rec.output_digest = lr.digest;
-
-      queue_waits.push_back(rec.queue_wait_us);
-      ttfts.push_back(rec.ttft_us);
-      e2es.push_back(rec.e2e_us);
-      itls.insert(itls.end(), lr.itl_samples.begin(), lr.itl_samples.end());
-      completed.push_back(rec);
-      by_slot[static_cast<size_t>(slot)].reset();
-    }
-
-    now = end;
-  }
-
-  report.sim_duration_us = now;
-  if (now > 0.0) {
+  report.offered = run.offered;
+  report.shed = run.shed;
+  report.iterations = run.iterations;
+  report.batched_tokens = run.batched_tokens;
+  report.padding_tokens = run.padding_tokens;
+  report.sim_duration_us = sim_duration_us;
+  if (sim_duration_us > 0.0) {
     report.throughput_tokens_per_s =
-        static_cast<double>(report.batched_tokens) / (now / 1e6);
+        static_cast<double>(run.batched_tokens) / (sim_duration_us / 1e6);
   }
 
+  std::vector<RequestRecord> completed = run.completed;
   std::sort(completed.begin(), completed.end(),
             [](const RequestRecord& a, const RequestRecord& b) {
               return a.id < b.id;
             });
-  report.queue_wait_us = SummarizeLatency(queue_waits);
-  report.ttft_us = SummarizeLatency(ttfts);
-  report.itl_us = SummarizeLatency(itls);
-  report.e2e_us = SummarizeLatency(e2es);
+  report.queue_wait_us = SummarizeLatency(run.queue_waits);
+  report.ttft_us = SummarizeLatency(run.ttfts);
+  report.itl_us = SummarizeLatency(run.itls);
+  report.e2e_us = SummarizeLatency(run.e2es);
 
   uint64_t combined = Fnv1aInit();
   int64_t met = 0;
@@ -330,6 +412,38 @@ ServeReport MoeServer::Serve(const std::vector<RequestSpec>& arrivals) {
                   : 1.0;
   }
   return report;
+}
+
+ServeReport MoeServer::Serve(const std::vector<RequestSpec>& arrivals) {
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    COMET_CHECK_GE(arrivals[i].arrival_us, arrivals[i - 1].arrival_us)
+        << "arrivals must be sorted by arrival_us";
+  }
+
+  BeginRun();
+  double now = 0.0;
+  size_t next_arrival = 0;
+  while (true) {
+    // Open-loop arrivals up to the current simulated time hit the bounded
+    // queue; overload sheds here, per policy.
+    while (next_arrival < arrivals.size() &&
+           arrivals[next_arrival].arrival_us <= now) {
+      Offer(arrivals[next_arrival]);
+      ++next_arrival;
+    }
+    double end = 0.0;
+    if (StepIteration(now, &end)) {
+      now = end;
+      continue;
+    }
+    if (next_arrival < arrivals.size()) {
+      // Idle: jump the clock to the next arrival.
+      now = std::max(now, arrivals[next_arrival].arrival_us);
+      continue;
+    }
+    break;  // no live work, no future arrivals: done
+  }
+  return BuildReport(now);
 }
 
 ServeReport MoeServer::Serve(LoadGenerator& loadgen) {

@@ -30,6 +30,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/comet_executor.h"
@@ -111,15 +112,72 @@ struct ServeReport {
   uint64_t combined_digest = 0;
 };
 
+// Read-only view of the accumulated state of the current run, for the
+// cluster dispatcher's aggregation (the single-server Serve wraps the same
+// state into a ServeReport via BuildReport).
+struct RunView {
+  std::span<const RequestRecord> completed;  // retirement order
+  std::span<const double> queue_waits;
+  std::span<const double> ttfts;
+  std::span<const double> itls;  // every inter-token gap of every request
+  std::span<const double> e2es;
+  int64_t offered = 0;
+  int64_t shed = 0;
+  int64_t iterations = 0;
+  int64_t batched_tokens = 0;
+  int64_t padding_tokens = 0;
+};
+
 class MoeServer {
  public:
   MoeServer(ServeOptions options, ClusterSpec cluster);
+  ~MoeServer();  // out-of-line: RunState is incomplete here
 
   // Serves `arrivals` (must be sorted by arrival_us, as LoadGenerator
   // emits them) to completion and reports. Reusable: each call is an
-  // independent serving run over the same weights.
+  // independent serving run over the same weights. Implemented on the
+  // dispatcher hooks below: BeginRun + {Offer, StepIteration} + BuildReport.
   ServeReport Serve(const std::vector<RequestSpec>& arrivals);
   ServeReport Serve(LoadGenerator& loadgen);
+
+  // ---- dispatcher hooks (cluster plane) ------------------------------------
+  // MoeCluster drives N replicas through these on one global simulated
+  // clock; the single-server Serve loop drives exactly the same hooks, so
+  // a 1-replica cluster is the single-server plane, bit for bit.
+
+  // Resets all per-run state (queue, batcher, live requests, accounting).
+  void BeginRun();
+  // Offers one request to the bounded admission queue. Counts offered and
+  // (per the queue's shed policy) shed. Requires BeginRun.
+  AdmissionQueue::Admit Offer(const RequestSpec& spec);
+  // True when the replica could pack a non-empty iteration (queued or live
+  // in-flight work).
+  bool HasWork() const;
+  // Remaining admitted-but-unexecuted tokens (admission queue + batcher):
+  // the load signal placement policies balance on.
+  int64_t LoadTokens() const;
+  // Drains the queue into the batcher, packs one iteration starting at
+  // simulated time `now`, executes it (real numerics + simulated duration),
+  // harvests outputs and retires finished requests. Returns false (and
+  // leaves *end_us untouched) when there is nothing to pack. A wedged rank
+  // (WedgeNextIteration) or a dead producer surfaces as CheckError after
+  // ServeOptions::signal_wait_timeout_ms instead of hanging.
+  bool StepIteration(double now, double* end_us);
+  // Fault injection: the next StepIteration parks in the symmetric heap's
+  // WaitUntilSignalGe fail-fast path on a signal no producer will ever
+  // raise, so it throws CheckError after signal_wait_timeout_ms -- a wedged
+  // rank, observed exactly as production would observe it.
+  void WedgeNextIteration();
+  // Removes and returns every in-flight request (batcher live requests in
+  // admission order, then queued requests in FIFO order) -- the cluster
+  // calls this on replica failure to re-dispatch or account them. Specs
+  // keep their original arrival_us. Completed-request records stay.
+  std::vector<RequestSpec> DrainInFlight();
+  // Accumulated state of the current run.
+  RunView View() const;
+  // Wraps the current run state into a report; `sim_duration_us` is the
+  // run's end time on the simulated clock.
+  ServeReport BuildReport(double sim_duration_us) const;
 
   const ServeOptions& options() const { return options_; }
   const ClusterSpec& cluster() const { return cluster_; }
@@ -128,6 +186,7 @@ class MoeServer {
 
  private:
   struct LiveRequest;
+  struct RunState;
 
   // Builds the MoeWorkload for one packed iteration. `rows` receives the
   // per-entry global row offsets (entry e's tokens are rows
@@ -143,6 +202,7 @@ class MoeServer {
   std::shared_ptr<const ShardedExpertWeights> sharded_weights_;
   GateNetwork gate_;
   CometExecutor executor_;
+  std::unique_ptr<RunState> run_;
 };
 
 }  // namespace comet
