@@ -105,6 +105,14 @@ void SetBenchReplicas(std::vector<int> replicas);
 const std::vector<PlacementPolicy>& BenchPlacements();
 void SetBenchPlacements(std::vector<PlacementPolicy> placements);
 
+// Recovery-plane sweep of the cluster serving bench (serve_loadgen): a
+// fail-then-recover scenario swept over MTTR x retry budget x hedging,
+// reporting SLO attainment, lost requests, wasted tokens, and whether every
+// served bit matched the no-fault run. Set by `comet_bench --faults`;
+// default off (the sweep roughly doubles serve_loadgen's runtime).
+bool BenchFaults();
+void SetBenchFaults(bool on);
+
 // Runs exactly one bench by full name (used by the per-figure binaries).
 int RunSingleBench(const std::string& name);
 

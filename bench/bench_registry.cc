@@ -130,6 +130,8 @@ void PrintUsage() {
       "                   list (default 1,2,4,8)\n"
       "  --placement LIST placement policies for the cluster sweep, comma\n"
       "                   list of rr|least-loaded|p2c|sticky (default all)\n"
+      "  --faults         also run the fail-then-recover recovery sweep of\n"
+      "                   the cluster serving bench (default off)\n"
       "  --help           this message\n";
 }
 
@@ -142,6 +144,7 @@ std::vector<PlacementPolicy> g_bench_placements = {
     PlacementPolicy::kPowerOfTwo,
     PlacementPolicy::kSticky,
 };
+bool g_bench_faults = false;
 
 }  // namespace
 
@@ -166,6 +169,10 @@ const std::vector<PlacementPolicy>& BenchPlacements() {
 void SetBenchPlacements(std::vector<PlacementPolicy> placements) {
   g_bench_placements = std::move(placements);
 }
+
+bool BenchFaults() { return g_bench_faults; }
+
+void SetBenchFaults(bool on) { g_bench_faults = on; }
 
 std::vector<BenchInfo>& Registry() {
   static std::vector<BenchInfo>* registry = new std::vector<BenchInfo>();
@@ -317,6 +324,8 @@ int BenchMain(int argc, char** argv) {
         return 2;
       }
       SetBenchPlacements(std::move(placements));
+    } else if (arg == "--faults") {
+      SetBenchFaults(true);
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;

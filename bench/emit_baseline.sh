@@ -3,9 +3,11 @@
 # per metric, as BENCH_<PR>.json at the repo root. Later PRs diff their own
 # emission against the committed files to prove speedups / catch regressions.
 #
-# usage: bench/emit_baseline.sh [OUT_JSON] [BENCH_BINARY]
+# usage: bench/emit_baseline.sh [OUT_JSON] [BENCH_BINARY] [EXTRA_ARGS...]
 #   OUT_JSON      output path (default: BENCH_2.json in the repo root)
 #   BENCH_BINARY  comet_bench driver (default: build/bench/comet_bench)
+#   EXTRA_ARGS    forwarded to the driver verbatim (e.g. --faults to include
+#                 the serve_loadgen fail-then-recover recovery sweep)
 #
 # Notes:
 #   * wall_ms records are machine-dependent; the simulated-time metrics
@@ -25,5 +27,5 @@ if [[ ! -x "$BIN" ]]; then
   exit 1
 fi
 
-"$BIN" --repeat 3 --median --json "$OUT"
+"$BIN" --repeat 3 --median --json "$OUT" "${@:3}"
 echo "wrote $OUT"

@@ -2,16 +2,45 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstring>
 #include <thread>
 
 #include "util/check.h"
 
 namespace comet {
 
-SymmetricHeap::SymmetricHeap(int world_size)
+namespace {
+
+// FNV-1a over the f32 bit patterns of a stored row -- the same family the
+// serving plane digests with, so a checksum pins exact bits, not values.
+uint64_t RowChecksum(std::span<const float> row) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  const auto* p = reinterpret_cast<const unsigned char*>(row.data());
+  const size_t n = row.size() * sizeof(float);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint64_t>(p[i]);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// splitmix64 finalizer: the corruption injector's pure decision hash.
+uint64_t HashMix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SymmetricHeap::SymmetricHeap(int world_size, HeapIntegrityOptions integrity)
     : world_size_(world_size),
+      integrity_(integrity),
       traffic_(static_cast<size_t>(world_size) * static_cast<size_t>(world_size)) {
   COMET_CHECK_GT(world_size_, 0);
+  COMET_CHECK_GE(integrity_.corrupt_rate, 0.0);
+  COMET_CHECK_LE(integrity_.corrupt_rate, 1.0);
 }
 
 SymmetricBufferId SymmetricHeap::Allocate(const std::string& name,
@@ -22,8 +51,88 @@ SymmetricBufferId SymmetricHeap::Allocate(const std::string& name,
   for (int r = 0; r < world_size_; ++r) {
     alloc.per_rank.emplace_back(shape, dtype);
   }
+  if (integrity_.checksum_rows) {
+    const size_t rows = static_cast<size_t>(alloc.per_rank[0].rows());
+    alloc.integrity.resize(static_cast<size_t>(world_size_));
+    for (auto& ri : alloc.integrity) {
+      ri.sum.assign(rows, 0);
+      ri.valid.assign(rows, 0);
+      ri.puts.assign(rows, 0);
+    }
+  }
   buffers_.push_back(std::move(alloc));
   return static_cast<SymmetricBufferId>(buffers_.size()) - 1;
+}
+
+void SymmetricHeap::RecordRow(const Allocation& alloc, int rank,
+                              int64_t row) const {
+  if (alloc.integrity.empty()) {
+    return;
+  }
+  auto& ri = const_cast<Allocation&>(alloc).integrity[static_cast<size_t>(rank)];
+  const Tensor& t = alloc.per_rank[static_cast<size_t>(rank)];
+  ri.sum[static_cast<size_t>(row)] = RowChecksum(t.row(row));
+  ri.valid[static_cast<size_t>(row)] = 1;
+}
+
+void SymmetricHeap::VerifyRow(const Allocation& alloc, int rank, int64_t row,
+                              const char* op) const {
+  if (alloc.integrity.empty()) {
+    return;
+  }
+  const auto& ri = alloc.integrity[static_cast<size_t>(rank)];
+  if (ri.valid[static_cast<size_t>(row)] == 0) {
+    return;  // never put: bulk-initialized data carries no checksum
+  }
+  const Tensor& t = alloc.per_rank[static_cast<size_t>(rank)];
+  const uint64_t have = RowChecksum(t.row(row));
+  rows_verified_.fetch_add(1, std::memory_order_relaxed);
+  COMET_CHECK_EQ(have, ri.sum[static_cast<size_t>(row)])
+      << "transport integrity: checksum mismatch in " << op << " on \""
+      << alloc.name << "\" row " << row << "@rank" << rank
+      << " -- payload corrupted in flight";
+}
+
+void SymmetricHeap::MaybeCorrupt(SymmetricBufferId buf,
+                                 const Allocation& alloc, int rank,
+                                 int64_t row) const {
+  if (integrity_.corrupt_rate <= 0.0 || alloc.integrity.empty()) {
+    return;
+  }
+  auto& ri = const_cast<Allocation&>(alloc).integrity[static_cast<size_t>(rank)];
+  // Keyed on the per-row put count, not on any global order: concurrent
+  // ranks putting disjoint rows reach identical decisions at any thread
+  // count, so a corrupted run is bit-reproducible.
+  const uint32_t nth_put = ++ri.puts[static_cast<size_t>(row)];
+  const uint64_t key =
+      HashMix(integrity_.corrupt_seed ^
+              HashMix(static_cast<uint64_t>(buf) * 0x9e3779b97f4a7c15ULL ^
+                      (static_cast<uint64_t>(rank) << 40) ^
+                      (static_cast<uint64_t>(row) << 8) ^ nth_put));
+  const double draw =
+      static_cast<double>(key >> 11) * (1.0 / 9007199254740992.0);  // [0, 1)
+  if (draw >= integrity_.corrupt_rate) {
+    return;
+  }
+  Tensor& t =
+      const_cast<Tensor&>(alloc.per_rank[static_cast<size_t>(rank)]);
+  auto stored = t.row(row);
+  const uint64_t where = HashMix(key);
+  const size_t elem = static_cast<size_t>(where % stored.size());
+  const uint32_t bit = static_cast<uint32_t>((where >> 32) % 32);
+  uint32_t bits = 0;
+  std::memcpy(&bits, &stored[elem], sizeof(bits));
+  bits ^= uint32_t{1} << bit;
+  std::memcpy(&stored[elem], &bits, sizeof(bits));
+  rows_corrupted_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void SymmetricHeap::InvalidateRank(const Allocation& alloc, int rank) const {
+  if (alloc.integrity.empty()) {
+    return;
+  }
+  auto& ri = const_cast<Allocation&>(alloc).integrity[static_cast<size_t>(rank)];
+  std::fill(ri.valid.begin(), ri.valid.end(), uint8_t{0});
 }
 
 SymmetricHeap::Allocation& SymmetricHeap::Get(SymmetricBufferId buf) {
@@ -81,7 +190,11 @@ void CopyThroughWire(std::span<const float> src, std::span<float> dst,
 }  // namespace
 
 Tensor& SymmetricHeap::Local(SymmetricBufferId buf, int rank) {
-  return DataLocal(Get(buf), rank, "Local");
+  const Allocation& alloc = Get(buf);
+  // Mutable access invalidates the rank's checksums: the caller is about to
+  // bulk-rewrite rows outside the put path (setup-phase initialization).
+  InvalidateRank(alloc, rank);
+  return DataLocal(alloc, rank, "Local");
 }
 
 const Tensor& SymmetricHeap::Local(SymmetricBufferId buf, int rank) const {
@@ -106,6 +219,11 @@ void SymmetricHeap::PutRow(SymmetricBufferId buf, int src_rank, int dst_rank,
   Tensor& dst = DataLocal(alloc, dst_rank, "PutRow");
   CheckRowInRange(alloc.name, dst, dst_row, "PutRow");
   CopyThroughWire(data, dst.row(dst_row), dst.dtype());
+  // Checksum the stored bits FIRST, then maybe corrupt: an injected flip is
+  // guaranteed to disagree with the recorded sum, so the first consumer of
+  // the row detects it.
+  RecordRow(alloc, dst_rank, dst_row);
+  MaybeCorrupt(buf, alloc, dst_rank, dst_row);
   AccountTraffic(src_rank, dst_rank,
                  static_cast<double>(data.size()) *
                      static_cast<double>(DTypeSize(dst.dtype())));
@@ -117,6 +235,7 @@ std::vector<float> SymmetricHeap::GetRow(SymmetricBufferId buf, int reader_rank,
   CheckRank(alloc, reader_rank, "GetRow", "reader");
   const Tensor& src = DataLocal(alloc, owner_rank, "GetRow");
   CheckRowInRange(alloc.name, src, row, "GetRow");
+  VerifyRow(alloc, owner_rank, row, "GetRow");
   auto view = src.row(row);
   AccountTraffic(owner_rank, reader_rank,
                  static_cast<double>(view.size()) *
@@ -132,6 +251,7 @@ void SymmetricHeap::CopyRow(SymmetricBufferId buf, int reader_rank,
   CheckRank(alloc, reader_rank, "CopyRow", "reader");
   const Tensor& src = DataLocal(alloc, owner_rank, "CopyRow");
   CheckRowInRange(alloc.name, src, row, "CopyRow");
+  VerifyRow(alloc, owner_rank, row, "CopyRow");
   auto view = src.row(row);
   COMET_CHECK_EQ(view.size(), dst.size());
   AccountTraffic(owner_rank, reader_rank,
@@ -147,6 +267,11 @@ void SymmetricHeap::AccumulateRow(SymmetricBufferId buf, int src_rank,
   CheckRank(alloc, src_rank, "AccumulateRow", "source");
   Tensor& dst = DataLocal(alloc, dst_rank, "AccumulateRow");
   CheckRowInRange(alloc.name, dst, dst_row, "AccumulateRow");
+  // Read-modify-write: verify the current contents before folding into them,
+  // re-checksum after (the injector does not target accumulates -- it models
+  // link corruption on puts; an accumulate still DETECTS a previously
+  // corrupted destination row).
+  VerifyRow(alloc, dst_rank, dst_row, "AccumulateRow");
   // The payload crosses the wire at the buffer dtype like every other row
   // op (an unrepresentable f32 payload must not leak extra bits into the
   // destination); then f32 accumulate and round the updated row back on
@@ -157,6 +282,7 @@ void SymmetricHeap::AccumulateRow(SymmetricBufferId buf, int src_rank,
   CopyThroughWire(data, wire, dst.dtype());
   dst.AccumulateRow(dst_row, wire, weight);
   dst.QuantizeRow(dst_row);
+  RecordRow(alloc, dst_rank, dst_row);
   AccountTraffic(src_rank, dst_rank,
                  static_cast<double>(data.size()) *
                      static_cast<double>(DTypeSize(dst.dtype())));

@@ -48,11 +48,44 @@ namespace comet {
 
 using SymmetricBufferId = int64_t;
 
+// Transport-integrity options, off by default (training and bench paths
+// trust the in-process heap; the serving plane turns verification on).
+//
+// With checksum_rows, every put/accumulate records an FNV-1a checksum of the
+// row it stored (post-wire-quantization bits), and every get/copy/accumulate
+// re-hashes the stored row and compares before handing the data out. A
+// mismatch throws CheckError naming the buffer, rank and row -- a corrupted
+// payload is always detected at its first consumer, never silently served.
+// Rows that were never put (bulk Local() initialization) carry no checksum
+// and are not verified; a non-const Local() invalidates that rank's
+// checksums, so bulk rewrites do not trip stale sums.
+//
+// corrupt_rate > 0 arms the deterministic link-corruption injector: each
+// PutRow flips one bit of the STORED payload (after the checksum is
+// recorded, so detection is guaranteed) with probability corrupt_rate. The
+// decision and the flipped bit are a pure hash of (corrupt_seed, buffer,
+// rank, row, per-row put count) -- independent of thread interleaving, so a
+// corrupted run is exactly reproducible at any thread count.
+struct HeapIntegrityOptions {
+  bool checksum_rows = false;
+  double corrupt_rate = 0.0;
+  uint64_t corrupt_seed = 0;
+};
+
 class SymmetricHeap {
  public:
-  explicit SymmetricHeap(int world_size);
+  explicit SymmetricHeap(int world_size, HeapIntegrityOptions integrity = {});
 
   int world_size() const { return world_size_; }
+  const HeapIntegrityOptions& integrity() const { return integrity_; }
+  // Lifetime counters: rows the injector corrupted / reads that verified a
+  // checksum (relaxed atomics; exact totals, arbitrary order).
+  int64_t rows_corrupted() const {
+    return static_cast<int64_t>(rows_corrupted_.load(std::memory_order_relaxed));
+  }
+  int64_t rows_verified() const {
+    return static_cast<int64_t>(rows_verified_.load(std::memory_order_relaxed));
+  }
 
   // Allocates a buffer of `shape` on every rank (zero-filled). The name is
   // for diagnostics only.
@@ -146,6 +179,17 @@ class SymmetricHeap {
     std::vector<Tensor> per_rank;
     // Non-empty for signal allocations: world_size arrays of `count` words.
     std::vector<std::vector<std::atomic<uint64_t>>> signals;
+    // Per-rank row checksums (only when HeapIntegrityOptions::checksum_rows;
+    // empty otherwise -- zero overhead when integrity is off). Distinct rows
+    // touch distinct elements, so the executors' row-disjointness contract
+    // covers these exactly like the data rows; producer->consumer visibility
+    // rides the same release/acquire signal protocol as the payload.
+    struct RowIntegrity {
+      std::vector<uint64_t> sum;
+      std::vector<uint8_t> valid;
+      std::vector<uint32_t> puts;  // per-row put count: corruption stream key
+    };
+    std::vector<RowIntegrity> integrity;
   };
 
   Allocation& Get(SymmetricBufferId buf);
@@ -160,8 +204,20 @@ class SymmetricHeap {
   void CheckRank(const Allocation& alloc, int rank, const char* op,
                  const char* role) const;
   void AccountTraffic(int src, int dst, double bytes);
+  // Integrity hooks (all no-ops when checksum_rows is off). Record hashes
+  // the stored row and marks it valid; Verify re-hashes and CHECK-fails on
+  // mismatch; MaybeCorrupt applies the deterministic injector.
+  void RecordRow(const Allocation& alloc, int rank, int64_t row) const;
+  void VerifyRow(const Allocation& alloc, int rank, int64_t row,
+                 const char* op) const;
+  void MaybeCorrupt(SymmetricBufferId buf, const Allocation& alloc, int rank,
+                    int64_t row) const;
+  void InvalidateRank(const Allocation& alloc, int rank) const;
 
   int world_size_;
+  HeapIntegrityOptions integrity_;
+  mutable std::atomic<uint64_t> rows_corrupted_{0};
+  mutable std::atomic<uint64_t> rows_verified_{0};
   std::vector<Allocation> buffers_;
   // world x world, row-major. Byte counts are integers, so relaxed atomic
   // adds make the totals independent of the arrival order a concurrent run

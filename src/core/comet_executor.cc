@@ -205,7 +205,10 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
       << " but compute_dtype is " << DTypeName(dtype)
       << " (set WorkloadOptions::dtype to match)";
 
-  SymmetricHeap heap(world);
+  SymmetricHeap heap(world,
+                     HeapIntegrityOptions{options_.verify_transport,
+                                          options_.corrupt_rate,
+                                          options_.corrupt_seed});
   const SymmetricBufferId in_buf =
       heap.Allocate("moe-input", Shape{group_tokens, n_embed}, dtype);
   const SymmetricBufferId contrib_buf =

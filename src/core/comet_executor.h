@@ -50,6 +50,17 @@ struct CometOptions {
   // load tests lower this so a wedged rank surfaces in seconds instead of
   // hanging a minute; must be > 0.
   int64_t signal_wait_timeout_ms = 60'000;
+  // Transport integrity (see comm/symmetric_heap.h HeapIntegrityOptions).
+  // verify_transport checksums every symmetric-heap row put and verifies at
+  // every get -- corrupted payloads throw CheckError at their first consumer
+  // instead of being served. Off by default here (bench/training paths trust
+  // the in-process heap); the serving plane turns it ON by default.
+  // corrupt_rate > 0 arms the deterministic link-corruption injector (fault
+  // testing): each put flips one stored bit with this probability, decided by
+  // a pure hash of (corrupt_seed, buffer, rank, row, put count).
+  bool verify_transport = false;
+  double corrupt_rate = 0.0;
+  uint64_t corrupt_seed = 0;
   // Optional cross-run profile cache (paper: metadata written at deployment
   // time). Borrowed pointer; may be null.
   MetadataStore* profile_cache = nullptr;
@@ -78,6 +89,17 @@ class CometExecutor : public MoeLayerExecutor {
   // thread-safe: one serving loop per executor.
   LayerExecution RunBatch(const MoeWorkload& workload,
                           const ClusterSpec& cluster, ExecMode mode);
+
+  // Re-arms the transport-integrity knobs between iterations (the serving
+  // plane uses this to inject a one-iteration corruption fault without
+  // rebuilding the executor). Takes effect at the next Run/RunBatch, which
+  // constructs its symmetric heap from these options.
+  void SetTransportIntegrity(bool verify, double corrupt_rate,
+                             uint64_t corrupt_seed) {
+    options_.verify_transport = verify;
+    options_.corrupt_rate = corrupt_rate;
+    options_.corrupt_seed = corrupt_seed;
+  }
 
   // Division points chosen for the last Run (diagnostics / tests).
   int last_layer0_comm_blocks() const { return last_nc0_; }

@@ -73,6 +73,19 @@ std::optional<RequestSpec> AdmissionQueue::Pop() {
   return spec;
 }
 
+std::optional<RequestSpec> AdmissionQueue::Remove(int64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = items_.begin(); it != items_.end(); ++it) {
+    if (it->id == id) {
+      RequestSpec spec = *it;
+      items_.erase(it);
+      queued_tokens_ -= spec.TotalTokens();
+      return spec;
+    }
+  }
+  return std::nullopt;
+}
+
 void AdmissionQueue::Close() {
   {
     std::lock_guard<std::mutex> lock(mu_);

@@ -59,6 +59,13 @@ class AdmissionQueue {
   // AND drained (then returns nullopt).
   std::optional<RequestSpec> Pop();
 
+  // Removes (and returns) the queued request with RequestSpec::id == id,
+  // preserving the order of the rest; nullopt when not queued. The cluster's
+  // hedged dispatch uses this for loser cancellation: when one copy of a
+  // hedged request completes, the still-queued copy is withdrawn. Not
+  // counted as shed (the request completed elsewhere).
+  std::optional<RequestSpec> Remove(int64_t id);
+
   // Wakes all blocked consumers; subsequent TryPush calls shed everything.
   void Close();
 

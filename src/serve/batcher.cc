@@ -109,6 +109,15 @@ std::vector<int64_t> ContinuousBatcher::Complete(const BatchPlan& plan) {
   return finished;
 }
 
+void ContinuousBatcher::Cancel(int64_t slot) {
+  COMET_CHECK_GE(slot, 0);
+  COMET_CHECK_LT(slot, static_cast<int64_t>(slots_.size()));
+  Slot& s = slots_[static_cast<size_t>(slot)];
+  COMET_CHECK(!s.finished) << "cancel of finished request " << s.spec.id;
+  s.finished = true;  // terminal: never packed again
+  std::erase(live_, slot);
+}
+
 bool ContinuousBatcher::SlotFinished(const Slot& s) {
   return s.prefill_done == s.spec.prompt_tokens &&
          s.decode_done == s.spec.decode_tokens;

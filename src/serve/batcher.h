@@ -85,6 +85,12 @@ class ContinuousBatcher {
   // this iteration, in slot order.
   std::vector<int64_t> Complete(const BatchPlan& plan);
 
+  // Withdraws a live (not finished) request: it stops being packed and no
+  // longer counts against max_active. Hedged-dispatch loser cancellation;
+  // CHECK-fails on an already-finished slot (cancel-after-complete is a
+  // caller bug -- the winner was already decided).
+  void Cancel(int64_t slot);
+
   // Live = admitted and not finished.
   int64_t live_count() const { return static_cast<int64_t>(live_.size()); }
   bool HasLiveWork() const { return !live_.empty(); }

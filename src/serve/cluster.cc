@@ -1,32 +1,43 @@
 #include "serve/cluster.h"
 
 #include <algorithm>
+#include <cmath>
 #include <deque>
 #include <limits>
+#include <map>
+#include <set>
+#include <tuple>
 
 #include "util/check.h"
+#include "util/rng.h"
 
 namespace comet {
 
 MoeCluster::MoeCluster(ClusterOptions options, ClusterSpec replica_cluster)
-    : options_(std::move(options)) {
+    : options_(std::move(options)), replica_cluster_(replica_cluster) {
   COMET_CHECK_GT(options_.replicas, 0);
   COMET_CHECK_LE(options_.replicas, 64) << "DispatchDecision::accepting_mask";
   COMET_CHECK_GE(options_.global_queue_tokens, 0);
-  for (size_t i = 0; i < options_.faults.events.size(); ++i) {
-    const FaultEvent& ev = options_.faults.events[i];
-    COMET_CHECK_GE(ev.replica, 0);
-    COMET_CHECK_LT(ev.replica, options_.replicas);
-    COMET_CHECK_GE(ev.time_us, 0.0);
-    if (i > 0) {
-      COMET_CHECK_GE(ev.time_us, options_.faults.events[i - 1].time_us)
-          << "fault events must be sorted by time_us";
-    }
-  }
+  COMET_CHECK_GE(options_.recovery_warmup_us, 0.0)
+      << "ClusterOptions::recovery_warmup_us";
+  COMET_CHECK_GE(options_.retry_budget, 0) << "ClusterOptions::retry_budget";
+  COMET_CHECK_GT(options_.retry_backoff_us, 0.0)
+      << "ClusterOptions::retry_backoff_us";
+  COMET_CHECK_GE(options_.retry_jitter_frac, 0.0)
+      << "ClusterOptions::retry_jitter_frac";
+  COMET_CHECK_LE(options_.retry_jitter_frac, 1.0)
+      << "ClusterOptions::retry_jitter_frac";
+  COMET_CHECK_GE(options_.hedge_queue_wait_us, 0.0)
+      << "ClusterOptions::hedge_queue_wait_us";
+  ValidateFaultPlan(options_.faults, options_.replicas);
+  // Validates HealthOptions loudly at construction even when health is
+  // disabled -- a malformed config should never ride along silently.
+  ReplicaHealth probe(options_.replicas, options_.health);
+  (void)probe;
   replicas_.reserve(static_cast<size_t>(options_.replicas));
   for (int r = 0; r < options_.replicas; ++r) {
     replicas_.push_back(
-        std::make_unique<MoeServer>(options_.server, replica_cluster));
+        std::make_unique<MoeServer>(options_.server, replica_cluster_));
   }
 }
 
@@ -39,21 +50,74 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
   }
 
   const int R = num_replicas();
+  const bool health_on = options_.health_enabled;
   for (auto& server : replicas_) {
     server->BeginRun();
   }
   Dispatcher dispatcher(options_.placement, R, options_.placement_seed);
+  ReplicaHealth health(R, options_.health);
+  Rng retry_rng(options_.retry_seed);
 
   std::vector<bool> alive(static_cast<size_t>(R), true);
   std::vector<bool> accepting(static_cast<size_t>(R), true);
   std::vector<bool> busy(static_cast<size_t>(R), false);
   std::vector<bool> fail_pending(static_cast<size_t>(R), false);
   std::vector<bool> wedge_armed(static_cast<size_t>(R), false);
+  std::vector<bool> warming(static_cast<size_t>(R), false);
   std::vector<double> busy_until(static_cast<size_t>(R), 0.0);
+  std::vector<double> warm_until(static_cast<size_t>(R), 0.0);
+  // Completed records of replica r already observed by the winner logic
+  // below (prefix of View().completed; cancellation only ever erases
+  // UNOBSERVED records, so the prefix is stable).
+  std::vector<size_t> observed(static_cast<size_t>(R), 0);
+
+  // Finished work harvested from replaced (kRecover) replica incarnations;
+  // final aggregation reads archive + the live incarnation's View.
+  struct Archive {
+    std::vector<RequestRecord> completed;
+    std::vector<double> queue_waits, ttfts, itls, e2es;
+    int64_t iterations = 0;
+    int64_t batched_tokens = 0;
+    int64_t padding_tokens = 0;
+  };
+  std::vector<Archive> archives(static_cast<size_t>(R));
+  const auto archive_replica = [&](int r) {
+    const RunView view = replicas_[static_cast<size_t>(r)]->View();
+    Archive& a = archives[static_cast<size_t>(r)];
+    a.completed.insert(a.completed.end(), view.completed.begin(),
+                       view.completed.end());
+    a.queue_waits.insert(a.queue_waits.end(), view.queue_waits.begin(),
+                         view.queue_waits.end());
+    a.ttfts.insert(a.ttfts.end(), view.ttfts.begin(), view.ttfts.end());
+    a.itls.insert(a.itls.end(), view.itls.begin(), view.itls.end());
+    a.e2es.insert(a.e2es.end(), view.e2es.begin(), view.e2es.end());
+    a.iterations += view.iterations;
+    a.batched_tokens += view.batched_tokens;
+    a.padding_tokens += view.padding_tokens;
+  };
+
+  // Every arrival gets exactly one Track; at loop exit each is terminal --
+  // done (completed somewhere, exactly once) or lost (counted in exactly
+  // one of shed / failed_in_flight / retries_exhausted). That partition IS
+  // the conservation law the chaos suite asserts.
+  struct Track {
+    RequestSpec spec;
+    int attempts = 0;           // dispatch attempts (first + retries)
+    bool hedged = false;        // one-shot hedge consumed
+    int hedge_replica = -1;     // where the hedge copy went
+    double dispatched_us = -1.0;  // last successful primary admission
+    std::vector<int> copies;    // replicas currently holding a copy
+    bool done = false;
+    bool lost = false;
+  };
+  std::map<int64_t, Track> track;
+  // Due-time-ordered backoff retries; seq breaks ties deterministically.
+  std::set<std::tuple<double, int64_t, int64_t>> pending;  // (ready, seq, id)
+  int64_t pending_seq = 0;
+  std::deque<int64_t> backlog;  // kRedispatch: re-dispatch now, in order
 
   ClusterReport report;
   report.offered = static_cast<int64_t>(arrivals.size());
-  std::deque<RequestSpec> backlog;  // recovered, awaiting re-dispatch
 
   double now = 0.0;
   size_t next_arrival = 0;
@@ -76,67 +140,218 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
     }
     return total;
   };
-  // Replica death: drain its in-flight requests into the backlog
-  // (kRedispatch) or the lost count (kCountAsViolation). Completed-request
-  // records on the dead replica are kept -- they finished.
-  const auto die = [&](int r) {
-    alive[static_cast<size_t>(r)] = false;
-    accepting[static_cast<size_t>(r)] = false;
-    ++report.replica_failures;
-    dispatcher.ForgetReplica(r);
-    std::vector<RequestSpec> in_flight =
-        replicas_[static_cast<size_t>(r)]->DrainInFlight();
-    if (options_.in_flight == InFlightPolicy::kRedispatch) {
-      backlog.insert(backlog.end(), in_flight.begin(), in_flight.end());
-    } else {
-      report.failed_in_flight += static_cast<int64_t>(in_flight.size());
+  // What every placement policy actually sees: accepting AND (when health
+  // is on) allowed by the replica's circuit breaker.
+  const auto eligibility = [&] {
+    std::vector<bool> e(static_cast<size_t>(R), false);
+    for (int r = 0; r < R; ++r) {
+      e[static_cast<size_t>(r)] =
+          accepting[static_cast<size_t>(r)] &&
+          (!health_on || health.AllowDispatch(r, now));
     }
+    return e;
   };
-  // One request through the placement policy. `redispatch` marks recovered
-  // requests; a dispatch-level miss (no accepting replica) counts them as
-  // lost rather than shed.
-  const auto dispatch_one = [&](const RequestSpec& spec, bool redispatch) {
+
+  // Schedules the next backoff retry for a track whose last copy failed, or
+  // exhausts its budget. Deterministic: the jitter draw comes from the
+  // dedicated retry stream, consumed in the (deterministic) event order.
+  const auto schedule_retry = [&](Track& t) {
+    if (t.attempts - 1 >= options_.retry_budget) {
+      ++report.retries_exhausted;
+      t.lost = true;
+      return;
+    }
+    const double jitter =
+        1.0 + options_.retry_jitter_frac * retry_rng.NextDouble();
+    const double delay = options_.retry_backoff_us *
+                         std::pow(2.0, static_cast<double>(t.attempts - 1)) *
+                         jitter;
+    pending.emplace(now + delay, pending_seq++, t.spec.id);
+  };
+
+  // Offers one copy of `t` to replica `pick`'s admission queue. Handles the
+  // shed-oldest eviction: the evicted request loses that copy, and losing
+  // its LAST copy is a terminal shed (admission control, not a failure --
+  // evictions are never retried, matching the single-server semantics).
+  const auto offer_to = [&](int pick, Track& t) -> bool {
+    const AdmissionQueue::Admit admit =
+        replicas_[static_cast<size_t>(pick)]->Offer(t.spec);
+    if (admit.evicted.has_value()) {
+      Track& ev = track.at(admit.evicted->id);
+      COMET_CHECK(!ev.done && !ev.lost);
+      std::erase(ev.copies, pick);
+      if (ev.copies.empty()) {
+        ++report.shed;
+        ev.lost = true;
+      }
+    }
+    if (!admit.admitted) {
+      return false;
+    }
+    t.copies.push_back(pick);
+    return true;
+  };
+
+  // One PRIMARY copy through the placement policy (arrival, kRedispatch
+  // recovery, or backoff retry). A miss or queue refusal is terminal for
+  // arrivals/redispatches (shed / failed_in_flight, the PR6 accounting) but
+  // consumes-and-reschedules for backoff retries, so a retried request
+  // keeps retrying until it lands or its budget runs out.
+  const auto dispatch_one = [&](Track& t, bool redispatch, bool retry) {
     DispatchDecision decision;
     const std::vector<int64_t> load_now = loads();
-    const int pick = dispatcher.Pick(spec, load_now, accepting, &decision);
+    const std::vector<bool> elig = eligibility();
+    const int pick = dispatcher.Pick(t.spec, load_now, elig, &decision);
     decision.time_us = now;
     decision.redispatch = redispatch;
-    if (pick < 0) {
-      if (redispatch) {
-        ++report.failed_in_flight;
-      } else {
-        ++report.shed;
-      }
-    } else {
+    decision.retry = retry;
+    bool admitted = false;
+    if (pick >= 0) {
       ++report.dispatched;
       if (redispatch) {
         ++report.redispatched;
       }
-      replicas_[static_cast<size_t>(pick)]->Offer(spec);
+      const bool probe =
+          health_on && health.state(pick, now) == BreakerState::kHalfOpen;
+      admitted = offer_to(pick, t);
+      if (admitted) {
+        t.dispatched_us = now;
+        if (probe) {
+          health.OnProbeDispatched(pick, now);
+          decision.probe = true;
+        }
+      }
+    }
+    if (!admitted) {
+      if (retry) {
+        schedule_retry(t);
+      } else if (pick < 0 && redispatch) {
+        ++report.failed_in_flight;
+        t.lost = true;
+      } else {
+        ++report.shed;
+        t.lost = true;
+      }
     }
     if (options_.record_dispatch_log) {
       report.dispatch_log.push_back(decision);
     }
   };
 
+  // Replica death: account it, open its breaker, drain its in-flight
+  // copies. A drained request that still has a copy elsewhere (hedge) just
+  // loses this one; losing the LAST copy goes through the InFlightPolicy.
+  const auto die = [&](int r, bool corrupted) {
+    alive[static_cast<size_t>(r)] = false;
+    accepting[static_cast<size_t>(r)] = false;
+    warming[static_cast<size_t>(r)] = false;
+    ++report.replica_failures;
+    if (corrupted) {
+      ++report.corruptions_detected;
+    }
+    dispatcher.ForgetReplica(r);
+    if (health_on) {
+      health.ForceOpen(r, now);
+    }
+    const std::vector<RequestSpec> in_flight =
+        replicas_[static_cast<size_t>(r)]->DrainInFlight();
+    for (const RequestSpec& spec : in_flight) {
+      Track& t = track.at(spec.id);
+      COMET_CHECK(!t.done && !t.lost);
+      std::erase(t.copies, r);
+      if (!t.copies.empty()) {
+        continue;  // the hedge (or primary) copy lives on elsewhere
+      }
+      switch (options_.in_flight) {
+        case InFlightPolicy::kRedispatch:
+          backlog.push_back(spec.id);
+          break;
+        case InFlightPolicy::kCountAsViolation:
+          ++report.failed_in_flight;
+          t.lost = true;
+          break;
+        case InFlightPolicy::kRetryBackoff:
+          schedule_retry(t);
+          break;
+      }
+    }
+  };
+
+  // Observes replica r's newly completed requests. The FIRST observed
+  // completion of a request wins (observation order is deterministic:
+  // retirement order within a replica, replica index order across them);
+  // every other copy is cancelled wherever it is and its executed tokens
+  // become wasted_tokens.
+  const auto harvest_completions = [&](int r) {
+    const RunView view = replicas_[static_cast<size_t>(r)]->View();
+    while (observed[static_cast<size_t>(r)] < view.completed.size()) {
+      const RequestRecord& rec =
+          view.completed[observed[static_cast<size_t>(r)]];
+      ++observed[static_cast<size_t>(r)];
+      Track& t = track.at(rec.id);
+      COMET_CHECK(!t.done) << "request " << rec.id << " completed twice";
+      COMET_CHECK(!t.lost) << "request " << rec.id << " completed after loss";
+      t.done = true;
+      if (t.hedge_replica == r) {
+        ++report.hedge_wins;
+      }
+      for (const int other : t.copies) {
+        if (other == r) {
+          continue;
+        }
+        const MoeServer::CancelResult cancel =
+            replicas_[static_cast<size_t>(other)]->CancelRequest(rec.id);
+        if (cancel.found) {
+          report.wasted_tokens += cancel.executed_tokens;
+        }
+      }
+      t.copies.assign(1, r);
+      if (health_on) {
+        health.ObserveSuccess(r, now);
+      }
+    }
+  };
+
   while (true) {
     // A. Fire due faults. kFail on a busy replica defers death to the end
     // of the in-flight iteration (B), but stops dispatches immediately.
+    // kRecover rebuilds a DEAD replica from scratch: fresh executor, heap,
+    // EP group, cold profile cache; it starts accepting only after the
+    // configured warm-up.
     while (next_fault < options_.faults.events.size() &&
            options_.faults.events[next_fault].time_us <= now) {
       const FaultEvent& ev = options_.faults.events[next_fault];
       ++next_fault;
       const int r = ev.replica;
+      if (ev.kind == FaultKind::kRecover) {
+        if (alive[static_cast<size_t>(r)]) {
+          continue;  // never actually went down; the recovery is moot
+        }
+        archive_replica(r);
+        replicas_[static_cast<size_t>(r)] =
+            std::make_unique<MoeServer>(options_.server, replica_cluster_);
+        replicas_[static_cast<size_t>(r)]->BeginRun();
+        observed[static_cast<size_t>(r)] = 0;
+        busy[static_cast<size_t>(r)] = false;
+        fail_pending[static_cast<size_t>(r)] = false;
+        wedge_armed[static_cast<size_t>(r)] = false;
+        alive[static_cast<size_t>(r)] = true;
+        warming[static_cast<size_t>(r)] = true;
+        warm_until[static_cast<size_t>(r)] = now + options_.recovery_warmup_us;
+        ++report.replicas_recovered;
+        continue;
+      }
       if (!alive[static_cast<size_t>(r)]) {
         continue;  // already dead; the fault is moot
       }
       switch (ev.kind) {
         case FaultKind::kFail:
           accepting[static_cast<size_t>(r)] = false;
+          warming[static_cast<size_t>(r)] = false;
           if (busy[static_cast<size_t>(r)]) {
             fail_pending[static_cast<size_t>(r)] = true;
           } else {
-            die(r);
+            die(r, /*corrupted=*/false);
           }
           break;
         case FaultKind::kDrain:
@@ -149,35 +364,67 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
         case FaultKind::kWedge:
           wedge_armed[static_cast<size_t>(r)] = true;
           break;
+        case FaultKind::kCorrupt:
+          replicas_[static_cast<size_t>(r)]->CorruptNextIteration();
+          break;
+        case FaultKind::kRecover:
+          break;  // handled above
       }
     }
 
-    // B. Retire iterations whose simulated end has been reached.
+    // Recovered replicas whose warm-up has elapsed re-enter the accepting
+    // set (their breaker may still gate them through half-open probes).
+    for (int r = 0; r < R; ++r) {
+      if (warming[static_cast<size_t>(r)] &&
+          warm_until[static_cast<size_t>(r)] <= now) {
+        warming[static_cast<size_t>(r)] = false;
+        accepting[static_cast<size_t>(r)] = true;
+      }
+    }
+
+    // B. Retire iterations whose simulated end has been reached: observe
+    // their completions (winner logic), then execute any deferred death --
+    // the in-flight iteration stands, exactly like PR 6.
     for (int r = 0; r < R; ++r) {
       if (busy[static_cast<size_t>(r)] &&
           busy_until[static_cast<size_t>(r)] <= now) {
         busy[static_cast<size_t>(r)] = false;
+        harvest_completions(r);
         if (fail_pending[static_cast<size_t>(r)]) {
           fail_pending[static_cast<size_t>(r)] = false;
-          die(r);
+          die(r, /*corrupted=*/false);
         }
       }
     }
 
-    // C. Dispatch: recovered requests first (they were admitted earlier),
-    // then arrivals up to now.
+    // C. Dispatch, oldest obligations first: due backoff retries, then
+    // kRedispatch recoveries, then arrivals up to now, then hedges.
+    while (!pending.empty() && std::get<0>(*pending.begin()) <= now) {
+      const int64_t id = std::get<2>(*pending.begin());
+      pending.erase(pending.begin());
+      Track& t = track.at(id);
+      COMET_CHECK(!t.done && !t.lost);
+      ++t.attempts;
+      ++report.retries;
+      dispatch_one(t, /*redispatch=*/true, /*retry=*/true);
+    }
     while (!backlog.empty()) {
-      const RequestSpec spec = backlog.front();
+      const int64_t id = backlog.front();
       backlog.pop_front();
-      dispatch_one(spec, /*redispatch=*/true);
+      Track& t = track.at(id);
+      ++t.attempts;
+      dispatch_one(t, /*redispatch=*/true, /*retry=*/false);
     }
     while (next_arrival < arrivals.size() &&
            arrivals[next_arrival].arrival_us <= now) {
       const RequestSpec& spec = arrivals[next_arrival];
       ++next_arrival;
+      Track& t = track[spec.id];
+      t.spec = spec;
       if (options_.global_queue_tokens > 0 &&
           global_load() >= options_.global_queue_tokens) {
         ++report.shed;  // global admission bound: shed outright
+        t.lost = true;
         if (options_.record_dispatch_log) {
           DispatchDecision d;
           d.request_id = spec.id;
@@ -187,7 +434,67 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
         }
         continue;
       }
-      dispatch_one(spec, /*redispatch=*/false);
+      t.attempts = 1;
+      dispatch_one(t, /*redispatch=*/false, /*retry=*/false);
+    }
+    // Hedging: a request still queue-waiting hedge_queue_wait_us after its
+    // admission gets ONE speculative copy on the least-loaded other
+    // eligible replica (chosen directly, NOT through the dispatcher, so
+    // hedging never perturbs the rr cursor / p2c stream and placement
+    // decisions are identical with hedging on or off). One-shot: the
+    // deadline consumes the hedge whether or not a copy could be placed.
+    if (options_.hedge_queue_wait_us > 0.0) {
+      for (auto& [id, t] : track) {
+        // The deadline MUST be computed as dispatched_us + wait -- the same
+        // expression the clock-advance phase (E) uses -- not as a
+        // now - dispatched_us difference: the two can disagree by one ulp,
+        // and a deadline the clock can land on but never satisfy livelocks
+        // the loop.
+        if (t.done || t.lost || t.hedged || t.copies.size() != 1 ||
+            t.dispatched_us < 0.0 ||
+            t.dispatched_us + options_.hedge_queue_wait_us > now) {
+          continue;
+        }
+        t.hedged = true;
+        const int primary = t.copies[0];
+        if (replicas_[static_cast<size_t>(primary)]->RequestStarted(id)) {
+          continue;  // already executing: a second copy buys nothing
+        }
+        const std::vector<int64_t> load_now = loads();
+        const std::vector<bool> elig = eligibility();
+        int pick = -1;
+        for (int r = 0; r < R; ++r) {
+          if (r == primary || !elig[static_cast<size_t>(r)]) {
+            continue;
+          }
+          if (pick < 0 || load_now[static_cast<size_t>(r)] <
+                              load_now[static_cast<size_t>(pick)]) {
+            pick = r;
+          }
+        }
+        if (pick < 0) {
+          continue;  // nowhere to hedge to
+        }
+        if (offer_to(pick, t)) {
+          t.hedge_replica = pick;
+          ++report.hedged;
+          ++report.dispatched;
+          if (options_.record_dispatch_log) {
+            DispatchDecision d;
+            d.request_id = id;
+            d.session = t.spec.session;
+            d.time_us = now;
+            d.replica = pick;
+            d.hedge = true;
+            for (int r = 0; r < R; ++r) {
+              if (elig[static_cast<size_t>(r)]) {
+                d.accepting_mask |= uint64_t{1} << r;
+              }
+            }
+            report.dispatch_log.push_back(d);
+          }
+        }
+      }
     }
 
     // D. Start one iteration on every alive idle replica with work, in
@@ -210,12 +517,17 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
           busy[static_cast<size_t>(r)] = true;
           busy_until[static_cast<size_t>(r)] = end;
         }
-      } catch (const CheckError&) {
-        // The wedged (or internally failed) iteration fail-fasted: the
-        // replica is dead, not hung.
+      } catch (const CheckError& e) {
+        // The wedged / corrupted (or internally failed) iteration
+        // fail-fasted: the replica is dead, not hung, and a transport-
+        // integrity CheckError means an injected bit-flip was DETECTED
+        // before anything consumed it.
+        const bool corrupted =
+            std::string(e.what()).find("transport integrity") !=
+            std::string::npos;
         wedge_armed[static_cast<size_t>(r)] = false;
         fail_pending[static_cast<size_t>(r)] = false;
-        die(r);
+        die(r, corrupted);
       }
     }
 
@@ -225,12 +537,27 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
       if (busy[static_cast<size_t>(r)]) {
         next = std::min(next, busy_until[static_cast<size_t>(r)]);
       }
+      if (warming[static_cast<size_t>(r)]) {
+        next = std::min(next, warm_until[static_cast<size_t>(r)]);
+      }
     }
     if (next_arrival < arrivals.size()) {
       next = std::min(next, arrivals[next_arrival].arrival_us);
     }
     if (next_fault < options_.faults.events.size()) {
       next = std::min(next, options_.faults.events[next_fault].time_us);
+    }
+    if (!pending.empty()) {
+      next = std::min(next, std::get<0>(*pending.begin()));
+    }
+    if (options_.hedge_queue_wait_us > 0.0) {
+      for (const auto& [id, t] : track) {
+        if (!t.done && !t.lost && !t.hedged && t.copies.size() == 1 &&
+            t.dispatched_us >= 0.0) {
+          next = std::min(next,
+                          t.dispatched_us + options_.hedge_queue_wait_us);
+        }
+      }
     }
     if (!backlog.empty()) {
       // A replica died after this turn's dispatch phase: loop again at the
@@ -244,37 +571,67 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
     now = std::max(now, next);
   }
 
-  // Aggregate the per-replica runs.
+  // Conservation: every tracked request ended exactly one way.
+  for (const auto& [id, t] : track) {
+    COMET_CHECK(t.done != t.lost)
+        << "request " << id << " ended " << (t.done ? "both" : "neither")
+        << " completed and lost";
+  }
+  COMET_CHECK(pending.empty() && backlog.empty());
+
+  // Aggregate the per-replica runs: archived incarnations first, then the
+  // live (or dead-but-final) incarnation of each slot.
   std::vector<double> queue_waits, ttfts, itls, e2es;
-  int64_t replica_shed = 0;
   for (int r = 0; r < R; ++r) {
+    const Archive& a = archives[static_cast<size_t>(r)];
     const RunView view = replicas_[static_cast<size_t>(r)]->View();
+    report.completed.insert(report.completed.end(), a.completed.begin(),
+                            a.completed.end());
     report.completed.insert(report.completed.end(), view.completed.begin(),
                             view.completed.end());
+    queue_waits.insert(queue_waits.end(), a.queue_waits.begin(),
+                       a.queue_waits.end());
     queue_waits.insert(queue_waits.end(), view.queue_waits.begin(),
                        view.queue_waits.end());
+    ttfts.insert(ttfts.end(), a.ttfts.begin(), a.ttfts.end());
     ttfts.insert(ttfts.end(), view.ttfts.begin(), view.ttfts.end());
+    itls.insert(itls.end(), a.itls.begin(), a.itls.end());
     itls.insert(itls.end(), view.itls.begin(), view.itls.end());
+    e2es.insert(e2es.end(), a.e2es.begin(), a.e2es.end());
     e2es.insert(e2es.end(), view.e2es.begin(), view.e2es.end());
-    replica_shed += view.shed;
-    report.iterations += view.iterations;
-    report.batched_tokens += view.batched_tokens;
-    report.padding_tokens += view.padding_tokens;
+    report.iterations += a.iterations + view.iterations;
+    report.batched_tokens += a.batched_tokens + view.batched_tokens;
+    report.padding_tokens += a.padding_tokens + view.padding_tokens;
     report.per_replica_completed.push_back(
-        static_cast<int64_t>(view.completed.size()));
-    report.per_replica_iterations.push_back(view.iterations);
+        static_cast<int64_t>(a.completed.size() + view.completed.size()));
+    report.per_replica_iterations.push_back(a.iterations + view.iterations);
   }
-  report.shed += replica_shed;
   report.sim_duration_us = now;
   if (now > 0.0) {
     report.throughput_tokens_per_s =
         static_cast<double>(report.batched_tokens) / (now / 1e6);
+  }
+  if (health_on) {
+    report.breaker_opens = health.total_opens();
+    report.probes = health.total_probes();
   }
 
   std::sort(report.completed.begin(), report.completed.end(),
             [](const RequestRecord& a, const RequestRecord& b) {
               return a.id < b.id;
             });
+  // Recovery-plane annotations (not digested: retries/hedges change
+  // latency, never bits).
+  for (RequestRecord& rec : report.completed) {
+    const Track& t = track.at(rec.id);
+    rec.retries = t.attempts > 0 ? t.attempts - 1 : 0;
+    rec.hedged = t.hedged;
+  }
+  COMET_CHECK_EQ(report.offered,
+                 static_cast<int64_t>(report.completed.size()) + report.shed +
+                     report.failed_in_flight + report.retries_exhausted)
+      << "cluster accounting is not conservative";
+
   report.queue_wait_us = SummarizeLatency(queue_waits);
   report.ttft_us = SummarizeLatency(ttfts);
   report.itl_us = SummarizeLatency(itls);
@@ -295,7 +652,8 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
   report.combined_digest = combined;
   if (slo.Configured()) {
     const int64_t denom = static_cast<int64_t>(report.completed.size()) +
-                          report.shed + report.failed_in_flight;
+                          report.shed + report.failed_in_flight +
+                          report.retries_exhausted;
     report.slo_violations = denom - met;
     report.slo_attainment =
         denom > 0 ? static_cast<double>(met) / static_cast<double>(denom)

@@ -130,12 +130,23 @@ int Dispatcher::Pick(const RequestSpec& spec, std::span<const int64_t> loads,
       break;
     }
     case PlacementPolicy::kSticky: {
+      // Re-validate the pin against the CURRENT accepting set on every
+      // dispatch: a pin can go stale between a session's requests (the
+      // replica died, drained, was breaker-opened, or is warming up after
+      // recovery), and a recovered replica must win its sessions back
+      // through re-homing, not inherit them from before the failure.
       const auto it = session_replica_.find(spec.session);
-      if (it != session_replica_.end() &&
-          accepting[static_cast<size_t>(it->second)]) {
-        pick = it->second;
-        d.sticky_hit = true;
-        break;
+      if (it != session_replica_.end()) {
+        const int pinned = it->second;
+        if (pinned >= 0 && pinned < num_replicas_ &&
+            accepting[static_cast<size_t>(pinned)]) {
+          pick = pinned;
+          d.sticky_hit = true;
+          break;
+        }
+        // Stale pin: drop it BEFORE re-homing, so a failed re-home (throw
+        // below) cannot leave the dead pin in place for the next dispatch.
+        session_replica_.erase(it);
       }
       // First sight of the session, or its pin stopped accepting: home it
       // least-loaded and pin.

@@ -65,6 +65,11 @@ struct DispatchDecision {
   bool sticky_hit = false;
   // This dispatch re-placed a request recovered from a failed replica.
   bool redispatch = false;
+  // Recovery plane: this dispatch was a backoff retry / a speculative
+  // hedge copy / a circuit-breaker half-open probe.
+  bool retry = false;
+  bool hedge = false;
+  bool probe = false;
 };
 
 class Dispatcher {

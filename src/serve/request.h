@@ -63,6 +63,11 @@ struct RequestRecord {
   // produced, in token order. Two runs served the same request identically
   // iff the digests match bit-for-bit.
   uint64_t output_digest = 0;
+  // Recovery-plane annotations, stamped by the cluster after aggregation
+  // (zero in single-server runs). NOT part of the combined digest: retries
+  // and hedging change latency, never bits.
+  int32_t retries = 0;   // re-dispatch attempts beyond the first
+  bool hedged = false;   // a second copy was speculatively dispatched
 };
 
 // FNV-1a, the digest the serving plane uses to pin bit-identical outputs.

@@ -35,6 +35,7 @@ CometOptions MakeExecutorOptions(const ServeOptions& options) {
   comet.compute_dtype = options.dtype;
   comet.num_threads = options.num_threads;
   comet.signal_wait_timeout_ms = options.signal_wait_timeout_ms;
+  comet.verify_transport = options.verify_transport;
   comet.name_override = "Comet-serve";
   return comet;
 }
@@ -42,6 +43,8 @@ CometOptions MakeExecutorOptions(const ServeOptions& options) {
 // Stream tag separating a request's decode perturbation draws from its
 // prompt-content draws (which use the seed directly).
 constexpr uint64_t kDecodeStream = 0xdec0de5eed0c0deULL;
+// Stream tag for the one-shot corruption injector's heap seed.
+constexpr uint64_t kCorruptStream = 0xbadb17f11b5eed5ULL;
 
 }  // namespace
 
@@ -53,6 +56,9 @@ struct MoeServer::LiveRequest {
   double first_scheduled_us = -1.0;
   double first_token_us = -1.0;
   double last_token_us = -1.0;
+  // Tokens of this request already executed here (wasted work if the
+  // request is cancelled as a hedging loser).
+  int64_t executed_tokens = 0;
   std::vector<double> itl_samples;
   uint64_t digest = Fnv1aInit();
 };
@@ -71,6 +77,10 @@ struct MoeServer::RunState {
 
   std::vector<RequestRecord> completed;  // retirement order
   std::vector<double> queue_waits, ttfts, itls, e2es;
+  // itl_counts[i] = number of itl samples request completed[i] contributed
+  // (aligned with `completed`), so CancelRequest of a completed-but-
+  // unobserved hedging loser can excise exactly its slice of `itls`.
+  std::vector<int64_t> itl_counts;
   int64_t offered = 0;
   int64_t shed = 0;
   int64_t iterations = 0;
@@ -80,6 +90,7 @@ struct MoeServer::RunState {
   // together with queue.queued_tokens() this is the replica's load signal.
   int64_t batcher_tokens = 0;
   bool wedge_next = false;
+  bool corrupt_next = false;
 };
 
 MoeServer::MoeServer(ServeOptions options, ClusterSpec cluster)
@@ -95,6 +106,8 @@ MoeServer::MoeServer(ServeOptions options, ClusterSpec cluster)
   COMET_CHECK_GT(options_.token_budget, 0);
   COMET_CHECK_GE(options_.max_active, 0);
   COMET_CHECK_GE(options_.host_overhead_us, 0.0);
+  COMET_CHECK_GT(options_.signal_wait_timeout_ms, 0)
+      << "a non-positive wedge fail-fast bound cannot detect a dead producer";
   // Trips the model/parallel divisibility checks now, not at the first
   // batch (one EP group's worth of tokens is always a legal placement).
   Placement probe(options_.model, options_.parallel,
@@ -189,6 +202,81 @@ void MoeServer::WedgeNextIteration() {
   run_->wedge_next = true;
 }
 
+void MoeServer::CorruptNextIteration() {
+  COMET_CHECK(run_ != nullptr) << "CorruptNextIteration before BeginRun";
+  run_->corrupt_next = true;
+}
+
+MoeServer::CancelResult MoeServer::CancelRequest(int64_t id) {
+  COMET_CHECK(run_ != nullptr) << "CancelRequest before BeginRun";
+  RunState& run = *run_;
+  CancelResult result;
+  // Live in the batcher (possibly mid-execution)?
+  for (size_t slot = 0; slot < run.by_slot.size(); ++slot) {
+    LiveRequest* lr = run.by_slot[slot].get();
+    if (lr == nullptr || lr->spec.id != id) {
+      continue;
+    }
+    result.found = true;
+    result.executed_tokens = lr->executed_tokens;
+    run.batcher_tokens -= lr->spec.TotalTokens() - lr->executed_tokens;
+    run.batcher.Cancel(static_cast<int64_t>(slot));
+    run.by_slot[slot].reset();
+    return result;
+  }
+  // Still queued?
+  if (run.queue.Remove(id).has_value()) {
+    result.found = true;
+    return result;
+  }
+  // Completed but not yet observed by the cluster: the race a real hedging
+  // layer has to handle -- both copies finished, the cluster picked the
+  // other as winner. Discard this copy's record AND its latency samples so
+  // the loser leaves no trace in any percentile.
+  for (size_t i = 0; i < run.completed.size(); ++i) {
+    if (run.completed[i].id != id) {
+      continue;
+    }
+    result.found = true;
+    result.was_completed = true;
+    result.executed_tokens =
+        run.completed[i].prompt_tokens + run.completed[i].decode_tokens;
+    int64_t itl_begin = 0;
+    for (size_t j = 0; j < i; ++j) {
+      itl_begin += run.itl_counts[j];
+    }
+    run.itls.erase(
+        run.itls.begin() + static_cast<std::ptrdiff_t>(itl_begin),
+        run.itls.begin() +
+            static_cast<std::ptrdiff_t>(itl_begin + run.itl_counts[i]));
+    run.completed.erase(run.completed.begin() + static_cast<std::ptrdiff_t>(i));
+    run.queue_waits.erase(run.queue_waits.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+    run.ttfts.erase(run.ttfts.begin() + static_cast<std::ptrdiff_t>(i));
+    run.e2es.erase(run.e2es.begin() + static_cast<std::ptrdiff_t>(i));
+    run.itl_counts.erase(run.itl_counts.begin() +
+                         static_cast<std::ptrdiff_t>(i));
+    return result;
+  }
+  return result;
+}
+
+bool MoeServer::RequestStarted(int64_t id) const {
+  COMET_CHECK(run_ != nullptr) << "RequestStarted before BeginRun";
+  const RunState& run = *run_;
+  for (const auto& lr : run.by_slot) {
+    if (lr != nullptr && lr->spec.id == id) {
+      return lr->first_scheduled_us >= 0.0;
+    }
+  }
+  for (const RequestRecord& rec : run.completed) {
+    if (rec.id == id) {
+      return true;
+    }
+  }
+  return false;
+}
+
 std::vector<RequestSpec> MoeServer::DrainInFlight() {
   COMET_CHECK(run_ != nullptr) << "DrainInFlight before BeginRun";
   std::vector<RequestSpec> in_flight;
@@ -274,6 +362,18 @@ bool MoeServer::StepIteration(double now, double* end_us) {
     }
   }
 
+  // One-shot corruption fault: arm the executor's link-corruption injector
+  // for this iteration only, with checksums forced on so the flip is
+  // DETECTED (CheckError out of RunBatch below) rather than served. The
+  // injector seed is fixed per server, so the corrupted (buffer, rank, row)
+  // is reproducible at any thread count. Consumed only when an iteration
+  // actually executes -- an idle corrupt-armed replica stays armed.
+  const bool corrupt = run.corrupt_next;
+  run.corrupt_next = false;
+  executor_.SetTransportIntegrity(options_.verify_transport || corrupt,
+                                  corrupt ? 1.0 : 0.0,
+                                  options_.seed ^ kCorruptStream);
+
   // One executor iteration: real numerics + simulated duration.
   std::vector<int64_t> rows;
   int64_t padding = 0;
@@ -295,6 +395,7 @@ bool MoeServer::StepIteration(double now, double* end_us) {
   for (size_t e = 0; e < plan.entries.size(); ++e) {
     const BatchEntry& entry = plan.entries[e];
     LiveRequest& lr = *live[e];
+    lr.executed_tokens += entry.num_tokens;
     for (int64_t i = 0; i < entry.num_tokens; ++i) {
       lr.digest = Fnv1aAddFloats(lr.digest, output_row(rows[e] + i));
     }
@@ -353,6 +454,7 @@ bool MoeServer::StepIteration(double now, double* end_us) {
     run.e2es.push_back(rec.e2e_us);
     run.itls.insert(run.itls.end(), lr.itl_samples.begin(),
                     lr.itl_samples.end());
+    run.itl_counts.push_back(static_cast<int64_t>(lr.itl_samples.size()));
     run.completed.push_back(rec);
     run.by_slot[static_cast<size_t>(slot)].reset();
   }

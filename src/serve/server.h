@@ -66,8 +66,16 @@ struct ServeOptions {
   // Worker threads for the executor (0 = global default, 1 = serial).
   int num_threads = 0;
   // Fail-fast bound for a wedged rank (CometOptions::signal_wait_timeout_ms):
-  // serving default is 10 s, not the executor's 60 s.
+  // serving default is 10 s, not the executor's 60 s. Must be > 0 (validated
+  // at construction -- a non-positive bound would make every signal wait
+  // fail instantly or hang forever).
   int64_t signal_wait_timeout_ms = 10'000;
+  // Per-row checksums on every symmetric-heap transfer of the data plane
+  // (CometOptions::verify_transport): a corrupted payload throws CheckError
+  // naming buffer/rank/row at its first consumer instead of being served.
+  // ON by default in serving -- production never serves silent corruption;
+  // benches that want the last few percent can turn it off.
+  bool verify_transport = true;
   // Per-iteration token capacity of the batcher.
   int64_t token_budget = 64;
   // Max requests live in the batcher (0 = unbounded; see BatcherOptions).
@@ -168,6 +176,32 @@ class MoeServer {
   // raise, so it throws CheckError after signal_wait_timeout_ms -- a wedged
   // rank, observed exactly as production would observe it.
   void WedgeNextIteration();
+  // Fault injection: the next StepIteration runs with the symmetric heap's
+  // link-corruption injector armed at rate 1 (and checksums forced on even
+  // if verify_transport is off), so the iteration throws CheckError naming
+  // the corrupted buffer/rank/row -- corrupted transport is always DETECTED,
+  // never silently served. One-shot: the injector disarms afterwards.
+  void CorruptNextIteration();
+
+  // Outcome of CancelRequest: whether the request was found on this replica,
+  // how many of its tokens had already been executed here (wasted work), and
+  // whether it had already completed (record discarded -- the cluster
+  // decided another copy won).
+  struct CancelResult {
+    bool found = false;
+    int64_t executed_tokens = 0;
+    bool was_completed = false;
+  };
+  // Withdraws request `id` from this replica, wherever it is: still queued,
+  // live in the batcher (possibly mid-prefill/decode), or completed but not
+  // yet observed by the cluster (its record and latency samples are
+  // discarded). Hedged-dispatch loser cancellation. Safe no-op (found ==
+  // false) when the replica never saw the request.
+  CancelResult CancelRequest(int64_t id);
+  // True when request `id` has entered at least one batch here (or already
+  // completed). The cluster's hedging uses this: a request that started
+  // executing is past queue-wait, so hedging it buys nothing.
+  bool RequestStarted(int64_t id) const;
   // Removes and returns every in-flight request (batcher live requests in
   // admission order, then queued requests in FIFO order) -- the cluster
   // calls this on replica failure to re-dispatch or account them. Specs
