@@ -32,7 +32,22 @@ uint64_t HashMix(uint64_t x) {
   return x ^ (x >> 31);
 }
 
+// Per-thread wire buffer for read-modify-write row ops; thread-local so
+// concurrent ranks share nothing.
+std::vector<float>& HeapWireScratch() {
+  thread_local std::vector<float> wire;
+  return wire;
+}
+
 }  // namespace
+
+void WarmHeapWireScratch(int64_t max_cols) {
+  COMET_CHECK_GE(max_cols, 0);
+  std::vector<float>& wire = HeapWireScratch();
+  if (wire.capacity() < static_cast<size_t>(max_cols)) {
+    wire.reserve(static_cast<size_t>(max_cols));
+  }
+}
 
 SymmetricHeap::SymmetricHeap(int world_size, HeapIntegrityOptions integrity)
     : world_size_(world_size),
@@ -66,7 +81,10 @@ SymmetricBufferId SymmetricHeap::Allocate(const std::string& name,
 
 void SymmetricHeap::RecordRow(const Allocation& alloc, int rank,
                               int64_t row) const {
-  if (alloc.integrity.empty()) {
+  // Both gates: SetIntegrity may disable checksumming while the (persistent)
+  // arrays remain materialized -- behavior must match a heap built with
+  // checksumming off.
+  if (!integrity_.checksum_rows || alloc.integrity.empty()) {
     return;
   }
   auto& ri = const_cast<Allocation&>(alloc).integrity[static_cast<size_t>(rank)];
@@ -77,7 +95,7 @@ void SymmetricHeap::RecordRow(const Allocation& alloc, int rank,
 
 void SymmetricHeap::VerifyRow(const Allocation& alloc, int rank, int64_t row,
                               const char* op) const {
-  if (alloc.integrity.empty()) {
+  if (!integrity_.checksum_rows || alloc.integrity.empty()) {
     return;
   }
   const auto& ri = alloc.integrity[static_cast<size_t>(rank)];
@@ -96,7 +114,8 @@ void SymmetricHeap::VerifyRow(const Allocation& alloc, int rank, int64_t row,
 void SymmetricHeap::MaybeCorrupt(SymmetricBufferId buf,
                                  const Allocation& alloc, int rank,
                                  int64_t row) const {
-  if (integrity_.corrupt_rate <= 0.0 || alloc.integrity.empty()) {
+  if (integrity_.corrupt_rate <= 0.0 || !integrity_.checksum_rows ||
+      alloc.integrity.empty()) {
     return;
   }
   auto& ri = const_cast<Allocation&>(alloc).integrity[static_cast<size_t>(rank)];
@@ -128,7 +147,7 @@ void SymmetricHeap::MaybeCorrupt(SymmetricBufferId buf,
 }
 
 void SymmetricHeap::InvalidateRank(const Allocation& alloc, int rank) const {
-  if (alloc.integrity.empty()) {
+  if (!integrity_.checksum_rows || alloc.integrity.empty()) {
     return;
   }
   auto& ri = const_cast<Allocation&>(alloc).integrity[static_cast<size_t>(rank)];
@@ -277,7 +296,7 @@ void SymmetricHeap::AccumulateRow(SymmetricBufferId buf, int src_rank,
   // destination); then f32 accumulate and round the updated row back on
   // store -- the same contract as the GEMM epilogue (NVSHMEM atomics on a
   // 2-byte buffer cannot hold wider partials either).
-  thread_local std::vector<float> wire;
+  std::vector<float>& wire = HeapWireScratch();
   wire.resize(data.size());
   CopyThroughWire(data, wire, dst.dtype());
   dst.AccumulateRow(dst_row, wire, weight);
@@ -371,6 +390,56 @@ void SymmetricHeap::WaitUntilSignalGe(SymmetricBufferId sig, int rank,
           << "]@rank" << rank << ": producer never reached " << expected
           << " within " << timeout_ms << " ms (last value "
           << word.load(std::memory_order_acquire) << ")";
+    }
+  }
+}
+
+void SymmetricHeap::ResizeRows(SymmetricBufferId buf, int64_t rows) {
+  Allocation& alloc = Get(buf);
+  COMET_CHECK(!alloc.per_rank.empty())
+      << "ResizeRows on \"" << alloc.name
+      << "\": signal-only allocation has no data rows";
+  COMET_CHECK_EQ(alloc.per_rank[0].shape().rank(), 2u)
+      << "ResizeRows on \"" << alloc.name << "\": rank-2 buffers only";
+  COMET_CHECK_GE(rows, 0);
+  const int64_t cols = alloc.per_rank[0].cols();
+  for (auto& t : alloc.per_rank) {
+    t.ResetFormat2D(rows, cols, t.dtype());
+  }
+  for (auto& ri : alloc.integrity) {
+    ri.sum.assign(static_cast<size_t>(rows), 0);
+    ri.valid.assign(static_cast<size_t>(rows), 0);
+    ri.puts.assign(static_cast<size_t>(rows), 0);
+  }
+}
+
+void SymmetricHeap::ResetSignals(SymmetricBufferId sig) {
+  Allocation& alloc = Get(sig);
+  COMET_CHECK(!alloc.signals.empty())
+      << "ResetSignals on \"" << alloc.name << "\": not a signal allocation";
+  for (auto& words : alloc.signals) {
+    for (auto& w : words) {
+      w.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SymmetricHeap::SetIntegrity(const HeapIntegrityOptions& integrity) {
+  COMET_CHECK_GE(integrity.corrupt_rate, 0.0);
+  COMET_CHECK_LE(integrity.corrupt_rate, 1.0);
+  integrity_ = integrity;
+  for (auto& alloc : buffers_) {
+    if (alloc.per_rank.empty()) {
+      continue;  // signal allocations carry no row integrity
+    }
+    const size_t rows = static_cast<size_t>(alloc.per_rank[0].rows());
+    if (integrity_.checksum_rows && alloc.integrity.empty()) {
+      alloc.integrity.resize(static_cast<size_t>(world_size_));
+    }
+    for (auto& ri : alloc.integrity) {
+      ri.sum.assign(rows, 0);
+      ri.valid.assign(rows, 0);
+      ri.puts.assign(rows, 0);
     }
   }
 }

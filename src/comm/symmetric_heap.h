@@ -48,6 +48,12 @@ namespace comet {
 
 using SymmetricBufferId = int64_t;
 
+// Pre-sizes the CALLING thread's transport wire scratch (the read-modify-
+// write buffer AccumulateRow moves payloads through) for rows of up to
+// `max_cols` elements. Thread-local; the serving plane warms every worker
+// during PrepareServing so steady-state row ops never allocate.
+void WarmHeapWireScratch(int64_t max_cols);
+
 // Transport-integrity options, off by default (training and bench paths
 // trust the in-process heap; the serving plane turns verification on).
 //
@@ -160,6 +166,33 @@ class SymmetricHeap {
   // lowers it so a wedged rank fails a load test fast.
   void WaitUntilSignalGe(SymmetricBufferId sig, int rank, int64_t sig_index,
                          uint64_t expected, int64_t timeout_ms = 60000) const;
+
+  // ---- in-place reuse (the serving plane's persistent heap) -----------------
+  //
+  // A continuous batcher runs thousands of iterations against the same few
+  // buffer shapes; constructing a fresh heap per iteration is pure warm-up
+  // cost. The executor instead keeps one heap alive and, before each batch,
+  // restores exactly the observable state a freshly constructed heap would
+  // have: SetIntegrity re-arms the integrity knobs and drops every checksum
+  // and per-row put count (so the deterministic corruption injector replays
+  // the stream a fresh heap would produce), ResizeRows re-formats a data
+  // buffer to the batch's row count (contents unspecified, like a fresh
+  // zero-filled buffer whose rows are always fully written before any read),
+  // ResetSignals zeroes every signal word, and ResetTraffic clears the
+  // matrix. All four are allocation-free once capacities reach the run's
+  // high-water mark (allocate buffers at their bounds up front). NOT
+  // thread-safe -- call between iterations, never while ranks run.
+
+  // Re-formats rank-2 data allocation `buf` to `rows` rows on every rank,
+  // keeping columns and dtype. Checksums and put counts of the buffer reset.
+  void ResizeRows(SymmetricBufferId buf, int64_t rows);
+  // Zeroes every signal word of signal allocation `sig` on every rank.
+  void ResetSignals(SymmetricBufferId sig);
+  // Swaps the integrity options in place and resets all per-row integrity
+  // state (checksums, valid flags, put counts) across every allocation.
+  // First enable of checksum_rows materializes the per-row arrays (allocates
+  // once); after that the reset reuses them.
+  void SetIntegrity(const HeapIntegrityOptions& integrity);
 
   // Bytes moved src -> dst over the fabric since the last reset. Local
   // accesses are excluded.

@@ -1,6 +1,7 @@
 #include "core/comet_executor.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "comm/symmetric_heap.h"
 #include "core/fused_kernel.h"
@@ -12,6 +13,69 @@
 #include "util/thread_pool.h"
 
 namespace comet {
+namespace {
+
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+// Thread-local combine row buffer (the f32 staging row the canonical
+// combine reduction reads contributions into). File-scope accessor so
+// PrepareServing can warm it on every pool worker and rank thread before a
+// zero-allocation window opens.
+std::vector<float>& CombineRowBuf() {
+  thread_local std::vector<float> buf;
+  return buf;
+}
+
+}  // namespace
+
+// Per-rank timing-plane workspaces: one fused-kernel workspace plus the two
+// persistent results, reused every iteration.
+struct CometExecutor::TimedScratch {
+  struct RankSim {
+    FusedKernelWorkspace ws;
+    FusedKernelResult l0;
+    FusedKernelResult l1;
+    double gate = 0.0;
+    double act = 0.0;
+    double total = 0.0;
+  };
+  std::vector<RankSim> sims;
+};
+
+// Persistent functional-plane state: the symmetric heap (allocated at the
+// serving bound and re-formatted per batch), per-rank schedule and tensor
+// workspaces, and the parked rank threads.
+struct CometExecutor::FunctionalScratch {
+  std::optional<SymmetricHeap> heap;
+  SymmetricBufferId in_buf = -1;
+  SymmetricBufferId contrib_buf = -1;
+  SymmetricBufferId contrib_sig = -1;
+  // Bounds the heap was allocated for; a batch beyond them rebuilds it.
+  int heap_world = 0;
+  int64_t heap_group_tokens = 0;
+  int64_t heap_topk = 0;
+  int64_t heap_n_embed = 0;
+  DType heap_dtype = DType::kF32;
+
+  struct RankScratch {
+    ScheduleScratch sched;
+    Layer0Schedule schedule0;
+    Layer1Schedule schedule1;
+    std::vector<Tensor> a_in;
+    std::vector<Tensor> h_mid;
+    std::vector<Tensor> y_out;
+    GroupGemmProblem problem0;
+    GroupGemmProblem problem1;
+  };
+  std::vector<RankScratch> ranks;
+  PersistentRankGroup group;
+};
+
+struct CometExecutor::ServingState {
+  TimedScratch timed;
+  FunctionalScratch fn;
+  std::vector<NcMemoEntry> nc_memo;
+};
 
 CometExecutor::CometExecutor(CometOptions options)
     : options_(std::move(options)) {
@@ -20,6 +84,8 @@ CometExecutor::CometExecutor(CometOptions options)
   COMET_CHECK_GE(options_.fixed_comm_blocks, 0);
   COMET_CHECK_GT(options_.signal_wait_timeout_ms, 0);
 }
+
+CometExecutor::~CometExecutor() = default;
 
 std::string CometExecutor::name() const {
   if (!options_.name_override.empty()) {
@@ -78,16 +144,140 @@ LayerExecution CometExecutor::RunWithCache(const MoeWorkload& workload,
 
   LayerExecution out;
   out.executor = name();
-  RunTimed(workload, cluster, out, cache);
+  TimedScratch timed;
+  RunTimedInto(workload, cluster, out, cache, timed, nullptr);
   if (mode == ExecMode::kFunctional) {
-    RunFunctional(workload, out);
+    FunctionalScratch fn;
+    RunFunctionalInto(workload, out, fn);
   }
   return out;
 }
 
-void CometExecutor::RunTimed(const MoeWorkload& workload,
-                             const ClusterSpec& cluster, LayerExecution& out,
-                             MetadataStore* cache) {
+void CometExecutor::PrepareServing(const Placement& max_placement,
+                                   const ClusterSpec& cluster) {
+  COMET_CHECK_EQ(cluster.world_size, max_placement.world());
+  // Resolve concurrency and warm thread-locals under the same thread limit
+  // the iterations will install.
+  ScopedThreadLimit thread_limit(options_.num_threads);
+
+  serving_ = std::make_unique<ServingState>();
+  ServingState& state = *serving_;
+  const int world = max_placement.world();
+  const int64_t total_tokens = max_placement.total_tokens();
+  const int64_t n_embed = max_placement.model().embedding;
+  const int64_t hidden = max_placement.HiddenPerTpRank();
+  const int64_t epg = max_placement.ExpertsPerGroup();
+  const int ep = max_placement.parallel().ep;
+  state.nc_memo.reserve(64);
+
+  // ---- timing plane: fused-kernel workspaces at their analytic bounds -------
+  // Worst-case rows per expert is the whole batch (every token may pick the
+  // same expert); chunk/tile counts follow from the tile geometry. These are
+  // over-approximations -- capacity is cheap, a mid-window realloc is not.
+  const int64_t max_rows = total_tokens;
+  const int64_t chunks_max = epg * CeilDiv(max_rows, options_.tile_m);
+  const int64_t col_tiles0 = CeilDiv(hidden, options_.tile_n);
+  const int64_t col_tiles1 = CeilDiv(n_embed, options_.tile_n);
+  const int64_t tiles_max = chunks_max * std::max(col_tiles0, col_tiles1);
+  state.timed.sims.resize(static_cast<size_t>(world));
+  for (auto& sim : state.timed.sims) {
+    FusedKernelWorkspace& ws = sim.ws;
+    ws.schedule_scratch.class_count.reserve(static_cast<size_t>(ep));
+    ws.schedule_scratch.class_offset.reserve(static_cast<size_t>(ep));
+    ws.schedule_scratch.tiles_tmp.reserve(static_cast<size_t>(tiles_max));
+    ws.layer0.row_order.resize(static_cast<size_t>(epg));
+    for (auto& order : ws.layer0.row_order) {
+      order.reserve(static_cast<size_t>(max_rows));
+    }
+    ws.layer0.tiles.reserve(static_cast<size_t>(tiles_max));
+    ws.layer1.tiles.reserve(static_cast<size_t>(tiles_max));
+    ws.chunk_base.reserve(static_cast<size_t>(epg));
+    ws.chunk_seen.reserve(static_cast<size_t>(chunks_max));
+    ws.chunk_intra.reserve(static_cast<size_t>(chunks_max));
+    ws.chunk_inter.reserve(static_cast<size_t>(chunks_max));
+    ws.chunk_arrival.reserve(static_cast<size_t>(chunks_max));
+    ws.chunk_order.reserve(static_cast<size_t>(chunks_max));
+    ws.tasks.reserve(static_cast<size_t>(tiles_max));
+    ws.jobs.reserve(static_cast<size_t>(std::max(chunks_max, col_tiles1)));
+    ws.job_chunks.reserve(static_cast<size_t>(chunks_max));
+    ws.transfers.reserve(static_cast<size_t>(std::max(chunks_max, col_tiles1)));
+    ws.slot_heap.reserve(static_cast<size_t>(cluster.gpu.num_sms));
+    ws.panel_done.reserve(static_cast<size_t>(col_tiles1));
+    ws.slot_schedule.tasks.reserve(static_cast<size_t>(tiles_max));
+    sim.l0.timeline.Clear();
+    sim.l1.timeline.Clear();
+  }
+
+  // ---- functional plane: heap at bounds + per-rank tensor slabs -------------
+  EnsureFunctionalCapacity(state.fn, max_placement);
+  for (auto& rs : state.fn.ranks) {
+    rs.sched.class_count.reserve(static_cast<size_t>(ep));
+    rs.sched.class_offset.reserve(static_cast<size_t>(ep));
+    rs.sched.tiles_tmp.reserve(static_cast<size_t>(tiles_max));
+    rs.schedule0.row_order.resize(static_cast<size_t>(epg));
+    for (auto& order : rs.schedule0.row_order) {
+      order.reserve(static_cast<size_t>(max_rows));
+    }
+    rs.schedule0.tiles.reserve(static_cast<size_t>(tiles_max));
+    rs.schedule1.tiles.reserve(static_cast<size_t>(tiles_max));
+    rs.a_in.resize(static_cast<size_t>(epg));
+    rs.h_mid.resize(static_cast<size_t>(epg));
+    rs.y_out.resize(static_cast<size_t>(epg));
+    for (int64_t le = 0; le < epg; ++le) {
+      rs.a_in[static_cast<size_t>(le)].Reserve(max_rows * n_embed);
+      rs.h_mid[static_cast<size_t>(le)].Reserve(max_rows * hidden);
+      rs.y_out[static_cast<size_t>(le)].Reserve(max_rows * n_embed);
+    }
+    rs.problem0.a.reserve(static_cast<size_t>(epg));
+    rs.problem0.b.reserve(static_cast<size_t>(epg));
+    rs.problem0.c.reserve(static_cast<size_t>(epg));
+    rs.problem1.a.reserve(static_cast<size_t>(epg));
+    rs.problem1.b.reserve(static_cast<size_t>(epg));
+    rs.problem1.c.reserve(static_cast<size_t>(epg));
+  }
+
+  // ---- warm thread-local scratch on every thread that can touch it ----------
+  // Pool workers run GEMM tiles and row gathers; rank threads additionally
+  // run them inline (nested regions execute on the caller) and stage combine
+  // rows. Warm all three TLS buffers everywhere.
+  const int64_t max_gemm_k = std::max(n_embed, hidden);
+  const auto warm = [&](int) {
+    WarmGemmScratch(max_gemm_k);
+    WarmHeapWireScratch(n_embed);
+    CombineRowBuf().reserve(static_cast<size_t>(n_embed));
+  };
+  GlobalThreadPool().ForEachWorker(warm);
+  warm(0);  // the calling thread executes chunk 0 of every region
+  state.fn.group.Configure(
+      world, RankGroupOptions{.num_threads = options_.num_threads});
+  state.fn.group.Run(warm);
+}
+
+void CometExecutor::RunBatchInto(const MoeWorkload& workload,
+                                 const ClusterSpec& cluster, ExecMode mode,
+                                 LayerExecution* out) {
+  COMET_CHECK(out != nullptr);
+  COMET_CHECK(serving_ != nullptr)
+      << "RunBatchInto requires PrepareServing first";
+  COMET_CHECK_EQ(cluster.world_size, workload.world())
+      << "cluster and workload world sizes disagree";
+  ScopedThreadLimit thread_limit(options_.num_threads);
+  MetadataStore* cache = options_.profile_cache != nullptr
+                             ? options_.profile_cache
+                             : &batch_profile_cache_;
+  out->executor = name();
+  RunTimedInto(workload, cluster, *out, cache, serving_->timed,
+               &serving_->nc_memo);
+  if (mode == ExecMode::kFunctional) {
+    RunFunctionalInto(workload, *out, serving_->fn);
+  }
+}
+
+void CometExecutor::RunTimedInto(const MoeWorkload& workload,
+                                 const ClusterSpec& cluster,
+                                 LayerExecution& out, MetadataStore* cache,
+                                 TimedScratch& scratch,
+                                 std::vector<NcMemoEntry>* nc_memo) {
   const OpCostModel costs(cluster);
   const Placement& placement = workload.placement;
   const RoutePlan& plan = workload.plan;
@@ -100,49 +290,77 @@ void CometExecutor::RunTimed(const MoeWorkload& workload,
   base.reschedule = options_.reschedule;
   base.vertical_fusion = !options_.specialized;
 
-  // Profile on the most loaded rank (the one that sets the makespan) and use
-  // one division point everywhere, as the paper's pre-compiled kernel
-  // selection does.
-  int busiest = 0;
-  for (int r = 1; r < world; ++r) {
-    if (plan.ForRank(r).TotalRows() > plan.ForRank(busiest).TotalRows()) {
-      busiest = r;
+  // Division points. The serving memo short-circuits the MetadataStore
+  // round-trip (whose key is cluster | model | M | TP | EP | stage -- all
+  // fixed for one serving executor except M) with a flat lookup on M.
+  const NcMemoEntry* memo_hit = nullptr;
+  if (nc_memo != nullptr) {
+    for (const NcMemoEntry& e : *nc_memo) {
+      if (e.total_tokens == placement.total_tokens()) {
+        memo_hit = &e;
+        break;
+      }
     }
   }
-  auto pick_nc = [&](MoePipelineStage stage) {
-    if (base.vertical_fusion) {
-      return 0;
+  if (memo_hit != nullptr) {
+    last_nc0_ = memo_hit->nc0;
+    last_nc1_ = memo_hit->nc1;
+  } else {
+    if (nc_memo != nullptr) {
+      // First sight of this batch size: re-run the decomposition sanity
+      // check RunWithCache performs on every call (warm-up only here).
+      const int64_t shared_rows =
+          placement.total_tokens() * placement.model().topk;
+      COMET_CHECK(ResolveDecomposition(Layer0SharedTensor(
+                      shared_rows, placement.model().embedding)) ==
+                  DecomposeDim::kM);
+      COMET_CHECK(ResolveDecomposition(Layer1SharedTensor(
+                      shared_rows, placement.model().embedding)) ==
+                  DecomposeDim::kN);
     }
-    if (!options_.adaptive) {
-      return std::min(options_.fixed_comm_blocks, base.total_blocks - 1);
+    // Profile on the most loaded rank (the one that sets the makespan) and
+    // use one division point everywhere, as the paper's pre-compiled kernel
+    // selection does.
+    int busiest = 0;
+    for (int r = 1; r < world; ++r) {
+      if (plan.ForRank(r).TotalRows() > plan.ForRank(busiest).TotalRows()) {
+        busiest = r;
+      }
     }
-    return assigner_.SelectCommBlocks(stage, plan, busiest, costs, base,
-                                      cache);
-  };
-  last_nc0_ = pick_nc(MoePipelineStage::kLayer0);
-  last_nc1_ = pick_nc(MoePipelineStage::kLayer1);
+    const auto pick_nc = [&](MoePipelineStage stage) {
+      if (base.vertical_fusion) {
+        return 0;
+      }
+      if (!options_.adaptive) {
+        return std::min(options_.fixed_comm_blocks, base.total_blocks - 1);
+      }
+      return assigner_.SelectCommBlocks(stage, plan, busiest, costs, base,
+                                        cache);
+    };
+    last_nc0_ = pick_nc(MoePipelineStage::kLayer0);
+    last_nc1_ = pick_nc(MoePipelineStage::kLayer1);
+    if (nc_memo != nullptr) {
+      nc_memo->push_back(
+          NcMemoEntry{placement.total_tokens(), last_nc0_, last_nc1_});
+    }
+  }
 
   // Per-rank simulations are independent: fan them out across the pool and
   // reduce serially afterwards, so the simulated times and the critical-rank
   // timeline are identical at any thread count.
-  struct RankSim {
-    FusedKernelResult l0;
-    FusedKernelResult l1;
-    double gate = 0.0;
-    double act = 0.0;
-    double total = 0.0;
-  };
-  std::vector<RankSim> sims(static_cast<size_t>(world));
+  scratch.sims.resize(static_cast<size_t>(world));
   ParallelFor(
       0, world, 1,
       [&](int64_t r) {
-        RankSim& sim = sims[static_cast<size_t>(r)];
+        TimedScratch::RankSim& sim = scratch.sims[static_cast<size_t>(r)];
         FusedKernelConfig config0 = base;
         config0.comm_blocks = last_nc0_;
         FusedKernelConfig config1 = base;
         config1.comm_blocks = last_nc1_;
-        sim.l0 = SimulateLayer0Fused(plan, static_cast<int>(r), costs, config0);
-        sim.l1 = SimulateLayer1Fused(plan, static_cast<int>(r), costs, config1);
+        SimulateLayer0FusedInto(plan, static_cast<int>(r), costs, config0,
+                                sim.ws, &sim.l0);
+        SimulateLayer1FusedInto(plan, static_cast<int>(r), costs, config1,
+                                sim.ws, &sim.l1);
         sim.gate = costs.GatingUs(placement.tokens_per_group(),
                                   placement.model().embedding,
                                   placement.model().num_experts);
@@ -156,33 +374,72 @@ void CometExecutor::RunTimed(const MoeWorkload& workload,
       });
 
   out.per_rank_us.assign(static_cast<size_t>(world), 0.0);
+  int worst_rank = 0;
   double worst = -1.0;
   for (int r = 0; r < world; ++r) {
-    const RankSim& sim = sims[static_cast<size_t>(r)];
-    out.per_rank_us[static_cast<size_t>(r)] = sim.total;
-    if (sim.total > worst) {
-      worst = sim.total;
-      // Rebuild the critical rank's timeline: host+gate, fused l0, act,
-      // fused l1 in sequence.
-      Timeline tl;
-      double t = 0.0;
-      tl.Add("launch", OpCategory::kHost, -1, t, t + 4.0 * costs.LaunchUs());
-      t += 4.0 * costs.LaunchUs();
-      tl.Add("gating", OpCategory::kGating, 0, t, t + sim.gate);
-      t += sim.gate;
-      tl.Merge(sim.l0.timeline, t);
-      t += sim.l0.duration_us;
-      tl.Add("activation", OpCategory::kActivation, 0, t, t + sim.act);
-      t += sim.act;
-      tl.Merge(sim.l1.timeline, t);
-      out.timeline = std::move(tl);
+    const double total = scratch.sims[static_cast<size_t>(r)].total;
+    out.per_rank_us[static_cast<size_t>(r)] = total;
+    if (total > worst) {
+      worst = total;
+      worst_rank = r;
     }
   }
+  // Rebuild the critical rank's timeline in place: host+gate, fused l0,
+  // act, fused l1 in sequence.
+  const TimedScratch::RankSim& sim =
+      scratch.sims[static_cast<size_t>(worst_rank)];
+  Timeline& tl = out.timeline;
+  tl.Clear();
+  double t = 0.0;
+  tl.Add("launch", OpCategory::kHost, -1, t, t + 4.0 * costs.LaunchUs());
+  t += 4.0 * costs.LaunchUs();
+  tl.Add("gating", OpCategory::kGating, 0, t, t + sim.gate);
+  t += sim.gate;
+  tl.Merge(sim.l0.timeline, t);
+  t += sim.l0.duration_us;
+  tl.Add("activation", OpCategory::kActivation, 0, t, t + sim.act);
+  t += sim.act;
+  tl.Merge(sim.l1.timeline, t);
   out.duration_us = worst;
 }
 
-void CometExecutor::RunFunctional(const MoeWorkload& workload,
-                                  LayerExecution& out) const {
+void CometExecutor::EnsureFunctionalCapacity(FunctionalScratch& scratch,
+                                             const Placement& placement) {
+  const int world = placement.world();
+  const int64_t group_tokens = placement.tokens_per_group();
+  const int64_t topk = placement.model().topk;
+  const int64_t n_embed = placement.model().embedding;
+  const DType dtype = options_.compute_dtype;
+  if (!scratch.heap.has_value() || scratch.heap_world != world ||
+      scratch.heap_group_tokens < group_tokens || scratch.heap_topk != topk ||
+      scratch.heap_n_embed != n_embed || scratch.heap_dtype != dtype) {
+    scratch.heap.emplace(world,
+                         HeapIntegrityOptions{options_.verify_transport,
+                                              options_.corrupt_rate,
+                                              options_.corrupt_seed});
+    scratch.in_buf = scratch.heap->Allocate(
+        "moe-input", Shape{group_tokens, n_embed}, dtype);
+    scratch.contrib_buf = scratch.heap->Allocate(
+        "moe-contrib", Shape{group_tokens * topk, n_embed}, dtype);
+    // One arrival signal per contrib row per rank: the undispatch puts bump
+    // it, the combine waits on it -- the NVSHMEM put-with-signal discipline
+    // the real fused kernels use to gate consumption on delivery. Signal
+    // arrays cannot resize (atomics), so they are sized at the bound; a
+    // smaller batch simply leaves the tail words untouched at zero.
+    scratch.contrib_sig =
+        scratch.heap->AllocateSignals("moe-contrib-ready", group_tokens * topk);
+    scratch.heap_world = world;
+    scratch.heap_group_tokens = group_tokens;
+    scratch.heap_topk = topk;
+    scratch.heap_n_embed = n_embed;
+    scratch.heap_dtype = dtype;
+  }
+  scratch.ranks.resize(static_cast<size_t>(world));
+}
+
+void CometExecutor::RunFunctionalInto(const MoeWorkload& workload,
+                                      LayerExecution& out,
+                                      FunctionalScratch& scratch) {
   COMET_CHECK(workload.weights != nullptr && !workload.inputs.empty())
       << "functional execution requires a materialized workload";
   const Placement& placement = workload.placement;
@@ -205,19 +462,24 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
       << " but compute_dtype is " << DTypeName(dtype)
       << " (set WorkloadOptions::dtype to match)";
 
-  SymmetricHeap heap(world,
-                     HeapIntegrityOptions{options_.verify_transport,
-                                          options_.corrupt_rate,
-                                          options_.corrupt_seed});
-  const SymmetricBufferId in_buf =
-      heap.Allocate("moe-input", Shape{group_tokens, n_embed}, dtype);
-  const SymmetricBufferId contrib_buf =
-      heap.Allocate("moe-contrib", Shape{group_tokens * topk, n_embed}, dtype);
-  // One arrival signal per contrib row per rank: the undispatch puts bump
-  // it, the combine waits on it -- the NVSHMEM put-with-signal discipline
-  // the real fused kernels use to gate consumption on delivery.
-  const SymmetricBufferId contrib_sig =
-      heap.AllocateSignals("moe-contrib-ready", group_tokens * topk);
+  // Restore the persistent heap to exactly the observable state a freshly
+  // constructed heap of this batch's shape would have: integrity re-armed
+  // (checksums, valid flags and injector put-counts all reset), buffers
+  // re-formatted to the batch's row counts, every signal word zero, traffic
+  // matrix clear. For a cold scratch (the non-serving path) this is a no-op
+  // on top of a genuinely fresh heap.
+  EnsureFunctionalCapacity(scratch, placement);
+  SymmetricHeap& heap = *scratch.heap;
+  heap.SetIntegrity(HeapIntegrityOptions{options_.verify_transport,
+                                         options_.corrupt_rate,
+                                         options_.corrupt_seed});
+  heap.ResizeRows(scratch.in_buf, group_tokens);
+  heap.ResizeRows(scratch.contrib_buf, group_tokens * topk);
+  heap.ResetSignals(scratch.contrib_sig);
+  heap.ResetTraffic();
+  const SymmetricBufferId in_buf = scratch.in_buf;
+  const SymmetricBufferId contrib_buf = scratch.contrib_buf;
+  const SymmetricBufferId contrib_sig = scratch.contrib_sig;
 
   for (int r = 0; r < world; ++r) {
     heap.Local(in_buf, r) =
@@ -226,30 +488,39 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
 
   // --- layer0 + activation + layer1, per rank, in the rescheduled order ---
   //
-  // Each rank is one RankGroup task. In concurrent mode every rank runs on
-  // its own thread, exchanging real rows through the heap while peers are
-  // still computing -- the put-with-signal traffic below is then genuine
-  // cross-thread synchronization, not an after-the-fact assertion.
+  // Each rank is one rank-group task. In concurrent mode every rank runs on
+  // its own (parked, persistent) thread, exchanging real rows through the
+  // heap while peers are still computing -- the put-with-signal traffic
+  // below is then genuine cross-thread synchronization, not an
+  // after-the-fact assertion.
   const auto produce = [&](int r) {
     const int group = placement.EpGroupOfRank(r);
     const int lane = placement.TpLaneOfRank(r);
     const RankPlan& rank_plan = plan.ForRank(r);
+    FunctionalScratch::RankScratch& rs =
+        scratch.ranks[static_cast<size_t>(r)];
 
-    const Layer0Schedule schedule0 =
-        BuildLayer0Schedule(rank_plan, group, ep, hidden, options_.tile_m,
-                            options_.tile_n, options_.reschedule);
+    BuildLayer0ScheduleInto(rank_plan, group, ep, hidden, options_.tile_m,
+                            options_.tile_n, options_.reschedule, rs.sched,
+                            &rs.schedule0);
+    const Layer0Schedule& schedule0 = rs.schedule0;
 
     // Materialize the layer0 shared tensor per expert with rows in the
     // permuted layout; remote rows travel through the symmetric heap. Rows
     // land in disjoint destination slots, so the gather fans out per row.
-    std::vector<Tensor> a_in;
-    std::vector<Tensor> h_mid;
-    std::vector<Tensor> y_out;
-    a_in.reserve(rank_plan.experts.size());
-    for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
+    // Workspace tensors are re-formatted in place; every row of every
+    // intermediate is fully written below (gather -> GEMM tiles ->
+    // activation), so stale contents never survive into a result.
+    const size_t n_experts = rank_plan.experts.size();
+    rs.a_in.resize(n_experts);
+    rs.h_mid.resize(n_experts);
+    rs.y_out.resize(n_experts);
+    for (size_t le = 0; le < n_experts; ++le) {
       const auto& slice = rank_plan.experts[le];
       const auto& order = schedule0.row_order[le];
-      Tensor a(Shape{static_cast<int64_t>(slice.rows.size()), n_embed}, dtype);
+      const int64_t rows = static_cast<int64_t>(slice.rows.size());
+      Tensor& a = rs.a_in[le];
+      a.ResetFormat2D(rows, n_embed, dtype);
       ParallelFor(
           0, static_cast<int64_t>(order.size()), 8,
           [&](int64_t pos) {
@@ -261,19 +532,19 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
                          placement.RankOf(row.source_group, lane), src_local,
                          a.row(pos));
           });
-      a_in.push_back(std::move(a));
-      h_mid.emplace_back(
-          Shape{static_cast<int64_t>(slice.rows.size()), hidden}, dtype);
-      y_out.emplace_back(
-          Shape{static_cast<int64_t>(slice.rows.size()), n_embed}, dtype);
+      rs.h_mid[le].ResetFormat2D(rows, hidden, dtype);
+      rs.y_out[le].ResetFormat2D(rows, n_embed, dtype);
     }
 
-    GroupGemmProblem problem0;
-    for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
-      problem0.a.push_back(&a_in[le]);
+    GroupGemmProblem& problem0 = rs.problem0;
+    problem0.a.clear();
+    problem0.b.clear();
+    problem0.c.clear();
+    for (size_t le = 0; le < n_experts; ++le) {
+      problem0.a.push_back(&rs.a_in[le]);
       problem0.b.push_back(
           &workload.sharded_weights->W0Shard(rank_plan.experts[le].expert, lane));
-      problem0.c.push_back(&h_mid[le]);
+      problem0.c.push_back(&rs.h_mid[le]);
     }
     // Tiles write disjoint output patches: dispatch them across the pool in
     // any completion order without changing a single bit of the result.
@@ -285,19 +556,23 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
                                           tile.row_end, tile.col_begin,
                                           tile.col_end});
         });
-    for (auto& h : h_mid) {
+    for (auto& h : rs.h_mid) {
       ApplyActivation(h, workload.activation);
     }
 
-    const Layer1Schedule schedule1 =
-        BuildLayer1Schedule(rank_plan, n_embed, options_.tile_m,
-                            options_.tile_n, options_.reschedule);
-    GroupGemmProblem problem1;
-    for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
-      problem1.a.push_back(&h_mid[le]);
+    BuildLayer1ScheduleInto(rank_plan, n_embed, options_.tile_m,
+                            options_.tile_n, options_.reschedule,
+                            &rs.schedule1);
+    const Layer1Schedule& schedule1 = rs.schedule1;
+    GroupGemmProblem& problem1 = rs.problem1;
+    problem1.a.clear();
+    problem1.b.clear();
+    problem1.c.clear();
+    for (size_t le = 0; le < n_experts; ++le) {
+      problem1.a.push_back(&rs.h_mid[le]);
       problem1.b.push_back(
           &workload.sharded_weights->W1Shard(rank_plan.experts[le].expert, lane));
-      problem1.c.push_back(&y_out[le]);
+      problem1.c.push_back(&rs.y_out[le]);
     }
     ParallelFor(
         0, static_cast<int64_t>(schedule1.tiles.size()), 1,
@@ -312,7 +587,7 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
     // the token's home group, unweighted; weights are applied at the
     // canonical combine below. Each (token, slot) pair owns its destination
     // row and signal word, so the scatter parallelizes per row.
-    for (size_t le = 0; le < rank_plan.experts.size(); ++le) {
+    for (size_t le = 0; le < n_experts; ++le) {
       const auto& slice = rank_plan.experts[le];
       const auto& order = schedule0.row_order[le];
       ParallelFor(
@@ -326,7 +601,7 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
                     topk +
                 row.slot;
             heap.PutRowWithSignal(contrib_buf, r, dst, dst_row,
-                                  y_out[le].row(pos), contrib_sig, dst_row);
+                                  rs.y_out[le].row(pos), contrib_sig, dst_row);
           });
     }
   };
@@ -339,7 +614,7 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
   // threads are still streaming rows in), then reduces. The reduction order
   // is a pure function of (token, slot, lane), never of arrival order, so
   // serial, concurrent and any-thread-count runs are bit-identical.
-  std::vector<Tensor> outputs(static_cast<size_t>(ep));
+  out.outputs.resize(static_cast<size_t>(ep));
   const auto consume = [&](int r) {
     if (placement.TpLaneOfRank(r) != 0) {
       return;
@@ -362,14 +637,18 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
         }
       }
     }
-    Tensor result(Shape{group_tokens, n_embed}, dtype);
+    Tensor& result = out.outputs[static_cast<size_t>(g)];
+    result.ResetFormat2D(group_tokens, n_embed, dtype);
     // Tokens reduce independently (one output row each); the slot-major,
     // TP-lane-inner order within a token is preserved inside the body.
     ParallelFor(
         0, group_tokens, 4,
         [&](int64_t t) {
-          thread_local std::vector<float> row_buf;
+          std::vector<float>& row_buf = CombineRowBuf();
           row_buf.resize(static_cast<size_t>(n_embed));
+          // Accumulation starts from an explicitly zeroed row (the workspace
+          // tensor carries the previous batch's bits).
+          result.FillZeroRows(t, t + 1);
           const TokenRoute& route =
               workload.routing.tokens[static_cast<size_t>(first + t)];
           // Routes may carry fewer than topk entries (capacity-dropped
@@ -389,12 +668,15 @@ void CometExecutor::RunFunctional(const MoeWorkload& workload,
           // sharded reference's per-row output rounding exactly.
           result.QuantizeRow(t);
         });
-    outputs[static_cast<size_t>(g)] = std::move(result);
   };
 
-  RankGroup group(world, RankGroupOptions{.num_threads = options_.num_threads});
-  group.Run(produce, consume);
-  out.outputs = std::move(outputs);
+  // Configure resolves concurrency against the ambient thread limit exactly
+  // like the one-shot RankGroup constructor did; with an unchanged shape it
+  // is an allocation-free no-op, so steady-state iterations reuse the parked
+  // rank threads.
+  scratch.group.Configure(
+      world, RankGroupOptions{.num_threads = options_.num_threads});
+  scratch.group.Run(produce, consume);
 }
 
 }  // namespace comet

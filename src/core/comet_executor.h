@@ -16,6 +16,7 @@
 #pragma once
 
 #include <memory>
+#include <vector>
 
 #include "core/adaptive.h"
 #include "exec/execution.h"
@@ -71,6 +72,7 @@ struct CometOptions {
 class CometExecutor : public MoeLayerExecutor {
  public:
   explicit CometExecutor(CometOptions options = {});
+  ~CometExecutor() override;
 
   std::string name() const override;
   bool Supports(const ParallelConfig& parallel) const override;
@@ -90,6 +92,31 @@ class CometExecutor : public MoeLayerExecutor {
   LayerExecution RunBatch(const MoeWorkload& workload,
                           const ClusterSpec& cluster, ExecMode mode);
 
+  // ---- zero-allocation serving fast path ------------------------------------
+  //
+  // A serving loop re-executes the same layer shape thousands of times. The
+  // pair below turns that steady state malloc-free: PrepareServing allocates
+  // every workspace the iteration needs at its run-level bound (symmetric
+  // heap buffers and signals, per-rank schedule/simulation workspaces,
+  // per-expert tensor slabs, parked rank threads) and warms the thread-local
+  // scratch of every pool worker and rank thread; RunBatchInto then executes
+  // one batch into a caller-persistent LayerExecution, reusing all of it.
+  // Results are bit-identical to RunBatch for the same inputs.
+
+  // Preallocates serving workspaces for batches up to `max_placement`'s
+  // token count (its model/parallel shape must match the batches served).
+  // Call once before the loop; allocates, so keep it outside any
+  // allocation-counting window. Idempotent.
+  void PrepareServing(const Placement& max_placement,
+                      const ClusterSpec& cluster);
+
+  // RunBatch semantics (including the adaptive-profile cache) built into
+  // `*out` in place. After PrepareServing and one warm-up call per distinct
+  // batch token count, performs zero heap allocations per call. In
+  // kTimedOnly mode `out->outputs` is left untouched.
+  void RunBatchInto(const MoeWorkload& workload, const ClusterSpec& cluster,
+                    ExecMode mode, LayerExecution* out);
+
   // Re-arms the transport-integrity knobs between iterations (the serving
   // plane uses this to inject a one-iteration corruption fault without
   // rebuilding the executor). Takes effect at the next Run/RunBatch, which
@@ -108,18 +135,34 @@ class CometExecutor : public MoeLayerExecutor {
   size_t batch_profile_entries() const { return batch_profile_cache_.size(); }
 
  private:
+  // Cached division points for one batch token count (serving fast path;
+  // bit-identical to re-consulting the MetadataStore, minus the string key).
+  struct NcMemoEntry {
+    int64_t total_tokens = 0;
+    int nc0 = 0;
+    int nc1 = 0;
+  };
+  struct TimedScratch;       // per-rank simulation workspaces (.cc)
+  struct FunctionalScratch;  // persistent heap + per-rank tensor slabs (.cc)
+  struct ServingState;       // everything PrepareServing owns (.cc)
+
   LayerExecution RunWithCache(const MoeWorkload& workload,
                               const ClusterSpec& cluster, ExecMode mode,
                               MetadataStore* cache);
-  void RunTimed(const MoeWorkload& workload, const ClusterSpec& cluster,
-                LayerExecution& out, MetadataStore* cache);
-  void RunFunctional(const MoeWorkload& workload, LayerExecution& out) const;
+  void RunTimedInto(const MoeWorkload& workload, const ClusterSpec& cluster,
+                    LayerExecution& out, MetadataStore* cache,
+                    TimedScratch& scratch, std::vector<NcMemoEntry>* nc_memo);
+  void RunFunctionalInto(const MoeWorkload& workload, LayerExecution& out,
+                         FunctionalScratch& scratch);
+  void EnsureFunctionalCapacity(FunctionalScratch& scratch,
+                                const Placement& placement);
 
   CometOptions options_;
   AdaptiveAssigner assigner_;
   MetadataStore batch_profile_cache_;
   int last_nc0_ = 0;
   int last_nc1_ = 0;
+  std::unique_ptr<ServingState> serving_;
 };
 
 }  // namespace comet

@@ -1,18 +1,13 @@
 #include "core/fused_kernel.h"
 
 #include <algorithm>
-#include <map>
 
-#include "sim/bandwidth_queue.h"
-#include "sim/slot_pool.h"
 #include "util/check.h"
 
 namespace comet {
 namespace {
 
-// Identifies a row chunk (the unit of token delivery): tiles of the same
-// expert and row range share one delivery.
-using ChunkKey = std::pair<int64_t, int64_t>;  // (expert_local, row_begin)
+int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
 
 // Harmonic blend of per-class transfer rates: moving each byte class at its
 // own rate back-to-back through one channel yields total/sum(bytes_i/rate_i).
@@ -59,11 +54,42 @@ double TierLatencyUs(const TierSplit& split, const ClusterSpec& cluster) {
              : cluster.link.latency_us;
 }
 
+void ResetResult(FusedKernelResult* result) {
+  result->duration_us = 0.0;
+  result->compute_makespan_us = 0.0;
+  result->comm_makespan_us = 0.0;
+  result->stall_us = 0.0;
+  result->comm_bytes = 0.0;
+  result->timeline.Clear();
+}
+
+// Lays out the flat chunk id space for `plan` and clears the per-chunk
+// accumulators. Returns the total chunk count.
+int64_t PrepareChunks(const RankPlan& rank_plan, int64_t tile_m,
+                      FusedKernelWorkspace& ws) {
+  const size_t n_experts = rank_plan.experts.size();
+  ws.chunk_base.resize(n_experts);
+  int64_t total_chunks = 0;
+  for (size_t le = 0; le < n_experts; ++le) {
+    ws.chunk_base[le] = total_chunks;
+    const int64_t m = static_cast<int64_t>(rank_plan.experts[le].rows.size());
+    total_chunks += CeilDiv(m, tile_m);
+  }
+  ws.chunk_seen.assign(static_cast<size_t>(total_chunks), 0);
+  ws.chunk_intra.assign(static_cast<size_t>(total_chunks), 0.0);
+  ws.chunk_inter.assign(static_cast<size_t>(total_chunks), 0.0);
+  ws.chunk_arrival.assign(static_cast<size_t>(total_chunks), 0.0);
+  ws.chunk_order.clear();
+  return total_chunks;
+}
+
 }  // namespace
 
-FusedKernelResult SimulateLayer0Fused(const RoutePlan& plan, int rank,
-                                      const OpCostModel& costs,
-                                      const FusedKernelConfig& config) {
+void SimulateLayer0FusedInto(const RoutePlan& plan, int rank,
+                             const OpCostModel& costs,
+                             const FusedKernelConfig& config,
+                             FusedKernelWorkspace& ws,
+                             FusedKernelResult* result) {
   const Placement& placement = plan.placement();
   const int group = placement.EpGroupOfRank(rank);
   const int ep = placement.parallel().ep;
@@ -77,22 +103,25 @@ FusedKernelResult SimulateLayer0Fused(const RoutePlan& plan, int rank,
   COMET_CHECK_GE(config.comm_blocks, 0);
   COMET_CHECK_LT(config.comm_blocks, config.total_blocks);
 
-  const Layer0Schedule schedule =
-      BuildLayer0Schedule(rank_plan, group, ep, out_cols, config.tile_m,
-                          config.tile_n, config.reschedule);
+  BuildLayer0ScheduleInto(rank_plan, group, ep, out_cols, config.tile_m,
+                          config.tile_n, config.reschedule,
+                          ws.schedule_scratch, &ws.layer0);
+  const Layer0Schedule& schedule = ws.layer0;
 
   // Remote bytes per row chunk (split by fabric tier), in tile first-use
   // order.
   const ClusterSpec& cluster = costs.cluster();
   const int lane = placement.TpLaneOfRank(rank);
-  std::map<ChunkKey, TierSplit> chunk_remote_bytes;
-  std::vector<ChunkKey> chunk_order;
+  PrepareChunks(rank_plan, config.tile_m, ws);
   TierSplit total_split;
   for (const TileRef& tile : schedule.tiles) {
-    const ChunkKey key{tile.expert_local, tile.row_begin};
-    if (chunk_remote_bytes.count(key)) {
+    const int64_t chunk =
+        ws.chunk_base[static_cast<size_t>(tile.expert_local)] +
+        tile.row_begin / config.tile_m;
+    if (ws.chunk_seen[static_cast<size_t>(chunk)]) {
       continue;
     }
+    ws.chunk_seen[static_cast<size_t>(chunk)] = 1;
     const auto& rows = rank_plan.experts[static_cast<size_t>(tile.expert_local)].rows;
     const auto& order = schedule.row_order[static_cast<size_t>(tile.expert_local)];
     TierSplit remote;
@@ -109,53 +138,57 @@ FusedKernelResult SimulateLayer0Fused(const RoutePlan& plan, int rank,
         remote.inter += row_bytes;
       }
     }
-    chunk_remote_bytes[key] = remote;
+    ws.chunk_intra[static_cast<size_t>(chunk)] = remote.intra;
+    ws.chunk_inter[static_cast<size_t>(chunk)] = remote.inter;
     total_split.intra += remote.intra;
     total_split.inter += remote.inter;
-    chunk_order.push_back(key);
+    ws.chunk_order.push_back(chunk);
   }
 
-  FusedKernelResult result;
-  result.comm_bytes = total_split.intra + total_split.inter;
+  ResetResult(result);
+  result->comm_bytes = total_split.intra + total_split.inter;
 
-  std::map<ChunkKey, double> chunk_arrival;
-  const double total_comm_bytes = result.comm_bytes;
+  const double total_comm_bytes = result->comm_bytes;
 
   if (config.vertical_fusion) {
     // Every block fetches its own tile's rows inline: column tiles of the
     // same row chunk re-fetch the rows (the redundant-access problem of
     // vertical fusion), and the broken async pipeline slows the math itself.
-    std::vector<SlotTask> tasks;
-    tasks.reserve(schedule.tiles.size());
+    ws.tasks.clear();
     const double tile_us =
         costs.gemm().TileTimeUs(n_embed, config.tile_m, config.tile_n) *
         (1.0 + config.vertical_fusion_penalty);
     for (const TileRef& tile : schedule.tiles) {
-      const TierSplit& chunk =
-          chunk_remote_bytes[ChunkKey{tile.expert_local, tile.row_begin}];
-      const double total = chunk.intra + chunk.inter;
+      const size_t chunk = static_cast<size_t>(
+          ws.chunk_base[static_cast<size_t>(tile.expert_local)] +
+          tile.row_begin / config.tile_m);
+      const double intra_bytes = ws.chunk_intra[chunk];
+      const double inter_bytes = ws.chunk_inter[chunk];
+      const double total = intra_bytes + inter_bytes;
       const double fetch =
           total > 0.0
               ? total / HarmonicBlend(
-                            {{chunk.intra,
+                            {{intra_bytes,
                               link.per_block_bandwidth_scattered_bytes_per_us},
-                             {chunk.inter,
+                             {inter_bytes,
                               cluster.inter_link
                                   .per_block_bandwidth_scattered_bytes_per_us}},
                             link.per_block_bandwidth_scattered_bytes_per_us)
               : 0.0;
-      tasks.push_back(SlotTask{0.0, tile_us + fetch});
+      ws.tasks.push_back(SlotTask{0.0, tile_us + fetch});
     }
-    const SlotSchedule sched = ScheduleInOrder(tasks, config.total_blocks);
-    result.compute_makespan_us = sched.makespan_us;
-    result.comm_makespan_us = sched.makespan_us;
-    result.stall_us = sched.stall_us;
-    result.duration_us = sched.makespan_us;
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      result.timeline.Add("l0-tile", OpCategory::kLayer0Comp, 0,
-                          sched.tasks[i].start_us, sched.tasks[i].end_us);
+    ScheduleInOrderInto(ws.tasks, config.total_blocks, 0.0, ws.slot_heap,
+                        &ws.slot_schedule);
+    const SlotSchedule& sched = ws.slot_schedule;
+    result->compute_makespan_us = sched.makespan_us;
+    result->comm_makespan_us = sched.makespan_us;
+    result->stall_us = sched.stall_us;
+    result->duration_us = sched.makespan_us;
+    for (size_t i = 0; i < ws.tasks.size(); ++i) {
+      result->timeline.Add("l0-tile", OpCategory::kLayer0Comp, 0,
+                           sched.tasks[i].start_us, sched.tasks[i].end_us);
     }
-    return result;
+    return;
   }
 
   COMET_CHECK(total_comm_bytes == 0.0 || config.comm_blocks > 0)
@@ -167,54 +200,63 @@ FusedKernelResult SimulateLayer0Fused(const RoutePlan& plan, int rank,
     const double bw =
         ScatteredChannelBandwidth(total_split, cluster, config.comm_blocks);
     BandwidthQueue channel(bw, TierLatencyUs(total_split, cluster));
-    std::vector<TransferJob> jobs;
-    std::vector<ChunkKey> job_keys;
-    for (const ChunkKey& key : chunk_order) {
-      const TierSplit& chunk = chunk_remote_bytes[key];
-      const double bytes = chunk.intra + chunk.inter;
+    ws.jobs.clear();
+    ws.job_chunks.clear();
+    for (const int64_t chunk : ws.chunk_order) {
+      const double bytes = ws.chunk_intra[static_cast<size_t>(chunk)] +
+                           ws.chunk_inter[static_cast<size_t>(chunk)];
       if (bytes > 0.0) {
-        jobs.push_back(TransferJob{0.0, bytes});
-        job_keys.push_back(key);
+        ws.jobs.push_back(TransferJob{0.0, bytes});
+        ws.job_chunks.push_back(chunk);
       }
     }
-    const auto deliveries = channel.Schedule(jobs);
-    for (size_t i = 0; i < deliveries.size(); ++i) {
-      chunk_arrival[job_keys[i]] = deliveries[i].end_us;
-      result.comm_makespan_us =
-          std::max(result.comm_makespan_us, deliveries[i].end_us);
-      result.timeline.Add("l0-recv", OpCategory::kLayer0Comm, 1,
-                          deliveries[i].start_us, deliveries[i].end_us);
+    channel.ScheduleInto(ws.jobs, 0.0, &ws.transfers);
+    for (size_t i = 0; i < ws.transfers.size(); ++i) {
+      ws.chunk_arrival[static_cast<size_t>(ws.job_chunks[i])] =
+          ws.transfers[i].end_us;
+      result->comm_makespan_us =
+          std::max(result->comm_makespan_us, ws.transfers[i].end_us);
+      result->timeline.Add("l0-recv", OpCategory::kLayer0Comm, 1,
+                           ws.transfers[i].start_us, ws.transfers[i].end_us);
     }
   }
 
   // Compute side: in-order tile issue on the np GEMM blocks.
-  std::vector<SlotTask> tasks;
-  tasks.reserve(schedule.tiles.size());
+  ws.tasks.clear();
   const double tile_us =
       costs.gemm().TileTimeUs(n_embed, config.tile_m, config.tile_n);
   for (const TileRef& tile : schedule.tiles) {
-    double ready = 0.0;
-    const auto it = chunk_arrival.find(ChunkKey{tile.expert_local, tile.row_begin});
-    if (it != chunk_arrival.end()) {
-      ready = it->second;
-    }
-    tasks.push_back(SlotTask{ready, tile_us});
+    const size_t chunk = static_cast<size_t>(
+        ws.chunk_base[static_cast<size_t>(tile.expert_local)] +
+        tile.row_begin / config.tile_m);
+    ws.tasks.push_back(SlotTask{ws.chunk_arrival[chunk], tile_us});
   }
   const int np = config.total_blocks - config.comm_blocks;
-  const SlotSchedule sched = ScheduleInOrder(tasks, np);
-  result.compute_makespan_us = sched.makespan_us;
-  result.stall_us = sched.stall_us;
-  result.duration_us = std::max(sched.makespan_us, result.comm_makespan_us);
-  for (size_t i = 0; i < tasks.size(); ++i) {
-    result.timeline.Add("l0-tile", OpCategory::kLayer0Comp, 0,
-                        sched.tasks[i].start_us, sched.tasks[i].end_us);
+  ScheduleInOrderInto(ws.tasks, np, 0.0, ws.slot_heap, &ws.slot_schedule);
+  const SlotSchedule& sched = ws.slot_schedule;
+  result->compute_makespan_us = sched.makespan_us;
+  result->stall_us = sched.stall_us;
+  result->duration_us = std::max(sched.makespan_us, result->comm_makespan_us);
+  for (size_t i = 0; i < ws.tasks.size(); ++i) {
+    result->timeline.Add("l0-tile", OpCategory::kLayer0Comp, 0,
+                         sched.tasks[i].start_us, sched.tasks[i].end_us);
   }
+}
+
+FusedKernelResult SimulateLayer0Fused(const RoutePlan& plan, int rank,
+                                      const OpCostModel& costs,
+                                      const FusedKernelConfig& config) {
+  FusedKernelWorkspace ws;
+  FusedKernelResult result;
+  SimulateLayer0FusedInto(plan, rank, costs, config, ws, &result);
   return result;
 }
 
-FusedKernelResult SimulateLayer1Fused(const RoutePlan& plan, int rank,
-                                      const OpCostModel& costs,
-                                      const FusedKernelConfig& config) {
+void SimulateLayer1FusedInto(const RoutePlan& plan, int rank,
+                             const OpCostModel& costs,
+                             const FusedKernelConfig& config,
+                             FusedKernelWorkspace& ws,
+                             FusedKernelResult* result) {
   const Placement& placement = plan.placement();
   const RankPlan& rank_plan = plan.ForRank(rank);
   const int64_t n_embed = placement.model().embedding;
@@ -226,8 +268,9 @@ FusedKernelResult SimulateLayer1Fused(const RoutePlan& plan, int rank,
   COMET_CHECK_GE(config.comm_blocks, 0);
   COMET_CHECK_LT(config.comm_blocks, config.total_blocks);
 
-  const Layer1Schedule schedule = BuildLayer1Schedule(
-      rank_plan, n_embed, config.tile_m, config.tile_n, config.reschedule);
+  BuildLayer1ScheduleInto(rank_plan, n_embed, config.tile_m, config.tile_n,
+                          config.reschedule, &ws.layer1);
+  const Layer1Schedule& schedule = ws.layer1;
 
   // Communication volume: remote partial rows return to their home group
   // (scattered all-to-all writes, split by fabric tier) plus the TP
@@ -259,57 +302,59 @@ FusedKernelResult SimulateLayer1Fused(const RoutePlan& plan, int rank,
                                   placement.RankOf(group, tp - 1));
   const double total_comm = ep_bytes_total + rs_bytes_total;
 
-  FusedKernelResult result;
-  result.comm_bytes = total_comm;
+  ResetResult(result);
+  result->comm_bytes = total_comm;
 
   const double tile_us =
       costs.gemm().TileTimeUs(k_depth, config.tile_m, config.tile_n);
   const int64_t panels = schedule.num_col_panels;
 
   if (config.vertical_fusion) {
-    std::vector<SlotTask> tasks;
-    tasks.reserve(schedule.tiles.size());
+    ws.tasks.clear();
     const double per_tile_comm =
         schedule.tiles.empty()
             ? 0.0
             : total_comm / static_cast<double>(schedule.tiles.size()) /
                   link.per_block_bandwidth_scattered_bytes_per_us;
     for (size_t i = 0; i < schedule.tiles.size(); ++i) {
-      tasks.push_back(SlotTask{
+      ws.tasks.push_back(SlotTask{
           0.0, tile_us * (1.0 + config.vertical_fusion_penalty) + per_tile_comm});
     }
-    const SlotSchedule sched = ScheduleInOrder(tasks, config.total_blocks);
-    result.compute_makespan_us = sched.makespan_us;
-    result.comm_makespan_us = sched.makespan_us;
-    result.duration_us = sched.makespan_us;
-    result.stall_us = sched.stall_us;
-    for (size_t i = 0; i < tasks.size(); ++i) {
-      result.timeline.Add("l1-tile", OpCategory::kLayer1Comp, 0,
-                          sched.tasks[i].start_us, sched.tasks[i].end_us);
+    ScheduleInOrderInto(ws.tasks, config.total_blocks, 0.0, ws.slot_heap,
+                        &ws.slot_schedule);
+    const SlotSchedule& sched = ws.slot_schedule;
+    result->compute_makespan_us = sched.makespan_us;
+    result->comm_makespan_us = sched.makespan_us;
+    result->duration_us = sched.makespan_us;
+    result->stall_us = sched.stall_us;
+    for (size_t i = 0; i < ws.tasks.size(); ++i) {
+      result->timeline.Add("l1-tile", OpCategory::kLayer1Comp, 0,
+                           sched.tasks[i].start_us, sched.tasks[i].end_us);
     }
-    return result;
+    return;
   }
 
   COMET_CHECK(total_comm == 0.0 || config.comm_blocks > 0)
       << "layer1 traffic but no communication blocks";
 
   // Compute: all tiles ready at 0; order decides when panels complete.
-  std::vector<SlotTask> tasks(schedule.tiles.size(), SlotTask{0.0, tile_us});
+  ws.tasks.assign(schedule.tiles.size(), SlotTask{0.0, tile_us});
   const int np = config.total_blocks - config.comm_blocks;
-  const SlotSchedule sched = ScheduleInOrder(tasks, np);
-  result.compute_makespan_us = sched.makespan_us;
-  result.stall_us = sched.stall_us;
-  for (size_t i = 0; i < tasks.size(); ++i) {
-    result.timeline.Add("l1-tile", OpCategory::kLayer1Comp, 0,
-                        sched.tasks[i].start_us, sched.tasks[i].end_us);
+  ScheduleInOrderInto(ws.tasks, np, 0.0, ws.slot_heap, &ws.slot_schedule);
+  const SlotSchedule& sched = ws.slot_schedule;
+  result->compute_makespan_us = sched.makespan_us;
+  result->stall_us = sched.stall_us;
+  for (size_t i = 0; i < ws.tasks.size(); ++i) {
+    result->timeline.Add("l1-tile", OpCategory::kLayer1Comp, 0,
+                         sched.tasks[i].start_us, sched.tasks[i].end_us);
   }
 
   // Panel completion times gate the reduce + write/send of those columns.
-  std::vector<double> panel_done(static_cast<size_t>(panels), 0.0);
+  ws.panel_done.assign(static_cast<size_t>(panels), 0.0);
   for (size_t i = 0; i < schedule.tiles.size(); ++i) {
     const int64_t p = schedule.tiles[i].col_begin / config.tile_n;
-    panel_done[static_cast<size_t>(p)] =
-        std::max(panel_done[static_cast<size_t>(p)], sched.tasks[i].end_us);
+    ws.panel_done[static_cast<size_t>(p)] =
+        std::max(ws.panel_done[static_cast<size_t>(p)], sched.tasks[i].end_us);
   }
 
   double comm_end = 0.0;
@@ -334,25 +379,32 @@ FusedKernelResult SimulateLayer1Fused(const RoutePlan& plan, int rank,
     latency_split.inter =
         ep_split.inter + (tp_group_spans_nodes ? rs_bytes_total : 0.0);
     BandwidthQueue channel(bw, TierLatencyUs(latency_split, cluster));
-    std::vector<TransferJob> jobs;
-    jobs.reserve(static_cast<size_t>(panels));
+    ws.jobs.clear();
     for (int64_t p = 0; p < panels; ++p) {
       const int64_t col_begin = p * config.tile_n;
       const int64_t col_end = std::min(col_begin + config.tile_n, n_embed);
       const double frac = static_cast<double>(col_end - col_begin) /
                           static_cast<double>(n_embed);
-      jobs.push_back(TransferJob{panel_done[static_cast<size_t>(p)],
-                                 total_comm * frac});
+      ws.jobs.push_back(TransferJob{ws.panel_done[static_cast<size_t>(p)],
+                                    total_comm * frac});
     }
-    const auto sends = channel.Schedule(jobs);
-    for (const auto& s : sends) {
+    channel.ScheduleInto(ws.jobs, 0.0, &ws.transfers);
+    for (const auto& s : ws.transfers) {
       comm_end = std::max(comm_end, s.end_us);
-      result.timeline.Add("l1-send", OpCategory::kLayer1Comm, 1, s.start_us,
-                          s.end_us);
+      result->timeline.Add("l1-send", OpCategory::kLayer1Comm, 1, s.start_us,
+                           s.end_us);
     }
   }
-  result.comm_makespan_us = comm_end;
-  result.duration_us = std::max(result.compute_makespan_us, comm_end);
+  result->comm_makespan_us = comm_end;
+  result->duration_us = std::max(result->compute_makespan_us, comm_end);
+}
+
+FusedKernelResult SimulateLayer1Fused(const RoutePlan& plan, int rank,
+                                      const OpCostModel& costs,
+                                      const FusedKernelConfig& config) {
+  FusedKernelWorkspace ws;
+  FusedKernelResult result;
+  SimulateLayer1FusedInto(plan, rank, costs, config, ws, &result);
   return result;
 }
 

@@ -19,6 +19,8 @@
 #include "core/reschedule.h"
 #include "exec/op_costs.h"
 #include "moe/route_plan.h"
+#include "sim/bandwidth_queue.h"
+#include "sim/slot_pool.h"
 #include "sim/timeline.h"
 
 namespace comet {
@@ -45,6 +47,30 @@ struct FusedKernelResult {
   Timeline timeline;
 };
 
+// Reusable workspace for the Simulate*FusedInto variants below. Owned per
+// rank by the executor; every buffer grows to its high-water mark during
+// warm-up and is then reused allocation-free. Row chunks (the token-delivery
+// unit: tiles of one expert sharing a row range) are addressed by the flat
+// id `chunk_base[expert_local] + row_begin / tile_m` instead of a map.
+struct FusedKernelWorkspace {
+  ScheduleScratch schedule_scratch;
+  Layer0Schedule layer0;
+  Layer1Schedule layer1;
+  std::vector<int64_t> chunk_base;    // per local expert: first flat chunk id
+  std::vector<char> chunk_seen;       // first-use dedup flag per chunk
+  std::vector<double> chunk_intra;    // remote bytes per chunk, intra-node
+  std::vector<double> chunk_inter;    // remote bytes per chunk, inter-node
+  std::vector<double> chunk_arrival;  // delivery time per chunk (0 = local)
+  std::vector<int64_t> chunk_order;   // chunk ids in tile first-use order
+  std::vector<SlotTask> tasks;
+  std::vector<TransferJob> jobs;
+  std::vector<int64_t> job_chunks;    // chunk id of each transfer job
+  std::vector<TransferResult> transfers;
+  std::vector<double> slot_heap;
+  std::vector<double> panel_done;
+  SlotSchedule slot_schedule;
+};
+
 // Simulates the layer0 fused kernel (dispatch + GroupGEMM) on `rank`.
 FusedKernelResult SimulateLayer0Fused(const RoutePlan& plan, int rank,
                                       const OpCostModel& costs,
@@ -55,5 +81,19 @@ FusedKernelResult SimulateLayer0Fused(const RoutePlan& plan, int rank,
 FusedKernelResult SimulateLayer1Fused(const RoutePlan& plan, int rank,
                                       const OpCostModel& costs,
                                       const FusedKernelConfig& config);
+
+// Allocation-free rebuild variants: identical numbers and timeline to the
+// functions above, built into `result` (timeline cleared and refilled; all
+// labels fit SSO) using `ws` for every intermediate.
+void SimulateLayer0FusedInto(const RoutePlan& plan, int rank,
+                             const OpCostModel& costs,
+                             const FusedKernelConfig& config,
+                             FusedKernelWorkspace& ws,
+                             FusedKernelResult* result);
+void SimulateLayer1FusedInto(const RoutePlan& plan, int rank,
+                             const OpCostModel& costs,
+                             const FusedKernelConfig& config,
+                             FusedKernelWorkspace& ws,
+                             FusedKernelResult* result);
 
 }  // namespace comet

@@ -22,41 +22,58 @@ int RowArrivalClass(int source_group, int ep_group, int ep) {
   return (source_group - ep_group + ep) % ep;
 }
 
-Layer0Schedule BuildLayer0Schedule(const RankPlan& plan, int ep_group, int ep,
-                                   int64_t out_cols, int64_t tile_m,
-                                   int64_t tile_n, bool reschedule) {
+void BuildLayer0ScheduleInto(const RankPlan& plan, int ep_group, int ep,
+                             int64_t out_cols, int64_t tile_m, int64_t tile_n,
+                             bool reschedule, ScheduleScratch& scratch,
+                             Layer0Schedule* out) {
   COMET_CHECK_GT(tile_m, 0);
   COMET_CHECK_GT(tile_n, 0);
   COMET_CHECK_GT(out_cols, 0);
 
-  Layer0Schedule schedule;
-  schedule.tile_m = tile_m;
-  schedule.tile_n = tile_n;
-  schedule.row_order.resize(plan.experts.size());
+  out->tile_m = tile_m;
+  out->tile_n = tile_n;
+  // The local expert count is fixed for a given placement, so this resize
+  // neither destroys inner vectors nor allocates once warmed.
+  out->row_order.resize(plan.experts.size());
+  out->tiles.clear();
 
   const int64_t col_tiles = CeilDiv(out_cols, tile_n);
 
   for (size_t le = 0; le < plan.experts.size(); ++le) {
     const auto& rows = plan.experts[le].rows;
-    auto& order = schedule.row_order[le];
+    auto& order = out->row_order[le];
     order.resize(rows.size());
-    std::iota(order.begin(), order.end(), 0);
     if (reschedule) {
-      // Locals first, then peers in ring-arrival order; stable keeps token
-      // order within a class.
-      std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-        return RowArrivalClass(rows[static_cast<size_t>(a)].source_group,
-                               ep_group, ep) <
-               RowArrivalClass(rows[static_cast<size_t>(b)].source_group,
-                               ep_group, ep);
-      });
+      // Stable counting sort by arrival class: locals first, then peers in
+      // ring-arrival order, original token order kept within a class. The
+      // placement loop walks rows in index order, so ties resolve exactly
+      // like std::stable_sort over an iota permutation.
+      scratch.class_count.assign(static_cast<size_t>(ep), 0);
+      for (const auto& row : rows) {
+        ++scratch.class_count[static_cast<size_t>(
+            RowArrivalClass(row.source_group, ep_group, ep))];
+      }
+      scratch.class_offset.assign(static_cast<size_t>(ep), 0);
+      for (int c = 1; c < ep; ++c) {
+        scratch.class_offset[static_cast<size_t>(c)] =
+            scratch.class_offset[static_cast<size_t>(c - 1)] +
+            scratch.class_count[static_cast<size_t>(c - 1)];
+      }
+      for (size_t i = 0; i < rows.size(); ++i) {
+        const int cls = RowArrivalClass(rows[i].source_group, ep_group, ep);
+        order[static_cast<size_t>(
+            scratch.class_offset[static_cast<size_t>(cls)]++)] =
+            static_cast<int64_t>(i);
+      }
+    } else {
+      std::iota(order.begin(), order.end(), 0);
     }
   }
 
   // Enumerate tiles over the permuted rows.
   for (size_t le = 0; le < plan.experts.size(); ++le) {
     const auto& rows = plan.experts[le].rows;
-    const auto& order = schedule.row_order[le];
+    const auto& order = out->row_order[le];
     const int64_t m = static_cast<int64_t>(rows.size());
     for (int64_t r = 0; r < m; r += tile_m) {
       const int64_t r_end = std::min(r + tile_m, m);
@@ -70,7 +87,7 @@ Layer0Schedule BuildLayer0Schedule(const RankPlan& plan, int ep_group, int ep,
                 ep_group, ep));
       }
       for (int64_t c = 0; c < col_tiles; ++c) {
-        schedule.tiles.push_back(
+        out->tiles.push_back(
             TileRef{static_cast<int64_t>(le), r, r_end, c * tile_n,
                     std::min((c + 1) * tile_n, out_cols), arrival});
       }
@@ -78,35 +95,59 @@ Layer0Schedule BuildLayer0Schedule(const RankPlan& plan, int ep_group, int ep,
   }
 
   if (reschedule) {
-    // Readiness-ordered issue: tiles whose data arrives earlier run first.
-    std::stable_sort(schedule.tiles.begin(), schedule.tiles.end(),
-                     [](const TileRef& a, const TileRef& b) {
-                       return a.arrival_class < b.arrival_class;
-                     });
+    // Readiness-ordered issue via a stable counting sort on arrival_class
+    // (same permutation as a stable comparison sort).
+    scratch.class_count.assign(static_cast<size_t>(ep), 0);
+    for (const auto& tile : out->tiles) {
+      ++scratch.class_count[static_cast<size_t>(tile.arrival_class)];
+    }
+    scratch.class_offset.assign(static_cast<size_t>(ep), 0);
+    for (int c = 1; c < ep; ++c) {
+      scratch.class_offset[static_cast<size_t>(c)] =
+          scratch.class_offset[static_cast<size_t>(c - 1)] +
+          scratch.class_count[static_cast<size_t>(c - 1)];
+    }
+    scratch.tiles_tmp.resize(out->tiles.size());
+    for (const auto& tile : out->tiles) {
+      scratch.tiles_tmp[static_cast<size_t>(
+          scratch.class_offset[static_cast<size_t>(tile.arrival_class)]++)] =
+          tile;
+    }
+    // Swap keeps both buffers' capacities warm for the next rebuild.
+    out->tiles.swap(scratch.tiles_tmp);
   }
+}
+
+Layer0Schedule BuildLayer0Schedule(const RankPlan& plan, int ep_group, int ep,
+                                   int64_t out_cols, int64_t tile_m,
+                                   int64_t tile_n, bool reschedule) {
+  Layer0Schedule schedule;
+  ScheduleScratch scratch;
+  BuildLayer0ScheduleInto(plan, ep_group, ep, out_cols, tile_m, tile_n,
+                          reschedule, scratch, &schedule);
   return schedule;
 }
 
-Layer1Schedule BuildLayer1Schedule(const RankPlan& plan, int64_t out_cols,
-                                   int64_t tile_m, int64_t tile_n,
-                                   bool reschedule) {
+void BuildLayer1ScheduleInto(const RankPlan& plan, int64_t out_cols,
+                             int64_t tile_m, int64_t tile_n, bool reschedule,
+                             Layer1Schedule* out) {
   COMET_CHECK_GT(tile_m, 0);
   COMET_CHECK_GT(tile_n, 0);
   COMET_CHECK_GT(out_cols, 0);
 
-  Layer1Schedule schedule;
-  schedule.tile_m = tile_m;
-  schedule.tile_n = tile_n;
-  schedule.num_col_panels = CeilDiv(out_cols, tile_n);
+  out->tile_m = tile_m;
+  out->tile_n = tile_n;
+  out->num_col_panels = CeilDiv(out_cols, tile_n);
+  out->tiles.clear();
 
   if (reschedule) {
     // Column-panel-major across all experts (Figure 6).
-    for (int64_t c = 0; c < schedule.num_col_panels; ++c) {
+    for (int64_t c = 0; c < out->num_col_panels; ++c) {
       for (size_t le = 0; le < plan.experts.size(); ++le) {
         const int64_t m =
             static_cast<int64_t>(plan.experts[le].rows.size());
         for (int64_t r = 0; r < m; r += tile_m) {
-          schedule.tiles.push_back(TileRef{
+          out->tiles.push_back(TileRef{
               static_cast<int64_t>(le), r, std::min(r + tile_m, m),
               c * tile_n, std::min((c + 1) * tile_n, out_cols), 0});
         }
@@ -117,14 +158,22 @@ Layer1Schedule BuildLayer1Schedule(const RankPlan& plan, int64_t out_cols,
     for (size_t le = 0; le < plan.experts.size(); ++le) {
       const int64_t m = static_cast<int64_t>(plan.experts[le].rows.size());
       for (int64_t r = 0; r < m; r += tile_m) {
-        for (int64_t c = 0; c < schedule.num_col_panels; ++c) {
-          schedule.tiles.push_back(TileRef{
+        for (int64_t c = 0; c < out->num_col_panels; ++c) {
+          out->tiles.push_back(TileRef{
               static_cast<int64_t>(le), r, std::min(r + tile_m, m),
               c * tile_n, std::min((c + 1) * tile_n, out_cols), 0});
         }
       }
     }
   }
+}
+
+Layer1Schedule BuildLayer1Schedule(const RankPlan& plan, int64_t out_cols,
+                                   int64_t tile_m, int64_t tile_n,
+                                   bool reschedule) {
+  Layer1Schedule schedule;
+  BuildLayer1ScheduleInto(plan, out_cols, tile_m, tile_n, reschedule,
+                          &schedule);
   return schedule;
 }
 

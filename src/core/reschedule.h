@@ -55,6 +55,15 @@ struct Layer1Schedule {
 // order in which the communication blocks drain remote data.
 int RowArrivalClass(int source_group, int ep_group, int ep);
 
+// Reusable scratch for the allocation-free schedule builders below. Owned
+// per rank by the executor workspace; capacities grow to the run's
+// high-water mark and are then reused.
+struct ScheduleScratch {
+  std::vector<int64_t> class_count;   // [ep] counting-sort histogram
+  std::vector<int64_t> class_offset;  // [ep] counting-sort placement cursor
+  std::vector<TileRef> tiles_tmp;     // stable tile reorder scratch
+};
+
 // Builds the layer0 schedule for a rank of `ep_group`. `out_cols` is the
 // GEMM output width (K / TP). With `reschedule` off, rows stay canonical and
 // tiles run expert-major / row-major (the order an unmodified GroupGEMM
@@ -69,5 +78,18 @@ Layer0Schedule BuildLayer0Schedule(const RankPlan& plan, int ep_group, int ep,
 Layer1Schedule BuildLayer1Schedule(const RankPlan& plan, int64_t out_cols,
                                    int64_t tile_m, int64_t tile_n,
                                    bool reschedule);
+
+// Allocation-free rebuild variants: identical output to the builders above,
+// but reusing `out`'s and `scratch`'s storage (steady-state free once the
+// capacities reach the run's high-water mark). The stable row/tile sorts are
+// counting sorts over the ep arrival classes -- stable by construction, so
+// the permutations match std::stable_sort exactly.
+void BuildLayer0ScheduleInto(const RankPlan& plan, int ep_group, int ep,
+                             int64_t out_cols, int64_t tile_m, int64_t tile_n,
+                             bool reschedule, ScheduleScratch& scratch,
+                             Layer0Schedule* out);
+void BuildLayer1ScheduleInto(const RankPlan& plan, int64_t out_cols,
+                             int64_t tile_m, int64_t tile_n, bool reschedule,
+                             Layer1Schedule* out);
 
 }  // namespace comet

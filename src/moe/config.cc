@@ -48,6 +48,13 @@ Placement::Placement(const ModelConfig& model, const ParallelConfig& parallel,
       << "M must divide evenly over EP groups";
 }
 
+void Placement::ResetTotalTokens(int64_t total_tokens) {
+  COMET_CHECK_GT(total_tokens, 0);
+  COMET_CHECK_EQ(total_tokens % parallel_.ep, 0)
+      << "M must divide evenly over EP groups";
+  total_tokens_ = total_tokens;
+}
+
 int64_t Placement::tokens_per_group() const {
   return total_tokens_ / parallel_.ep;
 }

@@ -51,8 +51,17 @@ struct ParallelConfig {
 // Placement of experts and tokens over the parallel world.
 class Placement {
  public:
+  // Empty placement (total_tokens == 0); a workspace default until a real
+  // placement is copy-assigned in. Every accessor that divides by shape
+  // fields requires a validated placement built by the checked constructor.
+  Placement() = default;
   Placement(const ModelConfig& model, const ParallelConfig& parallel,
             int64_t total_tokens);
+
+  // Re-points an existing placement at a new iteration's token count without
+  // reconstructing it (model/parallel checks already hold; the token-count
+  // checks from the constructor are re-applied). Allocation-free.
+  void ResetTotalTokens(int64_t total_tokens);
 
   const ModelConfig& model() const { return model_; }
   const ParallelConfig& parallel() const { return parallel_; }
@@ -87,7 +96,7 @@ class Placement {
  private:
   ModelConfig model_;
   ParallelConfig parallel_;
-  int64_t total_tokens_;
+  int64_t total_tokens_ = 0;
 };
 
 }  // namespace comet

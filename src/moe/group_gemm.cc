@@ -376,6 +376,15 @@ std::vector<GemmTileCoord> EnumerateTiles(const GroupGemmProblem& problem,
   return tiles;
 }
 
+void WarmGemmScratch(int64_t max_k) {
+  COMET_CHECK_GE(max_k, 0);
+  std::vector<float>& panel = PanelScratch();
+  const size_t need = static_cast<size_t>(max_k * kNR);
+  if (panel.capacity() < need) {
+    panel.reserve(need);
+  }
+}
+
 void RunTile(const GroupGemmProblem& problem, const GemmTileCoord& tile) {
   COMET_CHECK_GE(tile.group, 0);
   COMET_CHECK_LT(static_cast<size_t>(tile.group), problem.a.size());

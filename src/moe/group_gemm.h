@@ -76,6 +76,12 @@ std::vector<GemmTileCoord> EnumerateTiles(const GroupGemmProblem& problem,
 // Executes one tile of the grouped problem.
 void RunTile(const GroupGemmProblem& problem, const GemmTileCoord& tile);
 
+// Pre-sizes the CALLING thread's packed-B panel scratch for reduction depths
+// up to `max_k`. The scratch is thread-local; the serving plane runs this on
+// every pool worker and rank thread during warm-up so steady-state tile
+// kernels never allocate.
+void WarmGemmScratch(int64_t max_k);
+
 // Executes all tiles in the given order; with the canonical order this is
 // the reference grouped GEMM.
 void RunGroupGemm(const GroupGemmProblem& problem,

@@ -22,8 +22,28 @@ int64_t RankPlan::ExpertRowOffset(int64_t local) const {
   return offset;
 }
 
-RoutePlan::RoutePlan(const Placement& placement, const RoutingTable& routing)
-    : placement_(placement), routing_(routing) {
+RoutePlan::RoutePlan(const Placement& placement, const RoutingTable& routing) {
+  Rebuild(placement, routing);
+}
+
+void RoutePlan::Reserve(const Placement& placement,
+                        int64_t max_rows_per_expert) {
+  COMET_CHECK_GE(max_rows_per_expert, 0);
+  routing_.tokens.reserve(static_cast<size_t>(placement.total_tokens()));
+  const int ep = placement.parallel().ep;
+  per_group_.resize(static_cast<size_t>(ep));
+  for (RankPlan& plan : per_group_) {
+    plan.experts.resize(static_cast<size_t>(placement.ExpertsPerGroup()));
+    for (ExpertSlice& slice : plan.experts) {
+      slice.rows.reserve(static_cast<size_t>(max_rows_per_expert));
+    }
+  }
+}
+
+void RoutePlan::Rebuild(const Placement& placement,
+                        const RoutingTable& routing) {
+  placement_ = placement;
+  routing_ = routing;
   COMET_CHECK_EQ(routing_.size(), placement_.total_tokens());
   routing_.Validate(placement_.model().num_experts, placement_.model().topk);
 
@@ -34,8 +54,10 @@ RoutePlan::RoutePlan(const Placement& placement, const RoutingTable& routing)
     plan.ep_group = g;
     plan.experts.resize(static_cast<size_t>(placement_.ExpertsPerGroup()));
     for (int64_t local = 0; local < placement_.ExpertsPerGroup(); ++local) {
-      plan.experts[static_cast<size_t>(local)].expert =
+      ExpertSlice& slice = plan.experts[static_cast<size_t>(local)];
+      slice.expert =
           static_cast<int64_t>(g) * placement_.ExpertsPerGroup() + local;
+      slice.rows.clear();
     }
   }
 

@@ -61,7 +61,21 @@ struct GemmProblemSize {
 
 class RoutePlan {
  public:
+  // Empty plan; call Rebuild before use. Exists so a serving loop can hold
+  // the plan as a persistent workspace member.
+  RoutePlan() = default;
   RoutePlan(const Placement& placement, const RoutingTable& routing);
+
+  // Pre-sizes internal capacity for `placement`'s EP shape with up to
+  // `max_rows_per_expert` (token, expert) pairs per expert, so later
+  // Rebuild calls within those bounds allocate nothing.
+  void Reserve(const Placement& placement, int64_t max_rows_per_expert);
+
+  // Rebuilds the plan in place for a new routing (and possibly a new token
+  // count), retaining all per-expert row capacity. Allocation-free once
+  // capacities are warm (Reserve, or a previous Rebuild of equal size) and
+  // every route fits TokenRoute's inline storage.
+  void Rebuild(const Placement& placement, const RoutingTable& routing);
 
   const Placement& placement() const { return placement_; }
   const RoutingTable& routing() const { return routing_; }

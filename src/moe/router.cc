@@ -110,14 +110,25 @@ GateNetwork::GateNetwork(Tensor gate_weight)
 int64_t GateNetwork::num_experts() const { return gate_weight_.cols(); }
 
 RoutingTable GateNetwork::Route(const Tensor& tokens, int64_t topk) const {
+  RoutingTable table;
+  GateScratch scratch;
+  RouteInto(tokens, topk, scratch, &table);
+  return table;
+}
+
+void GateNetwork::RouteInto(const Tensor& tokens, int64_t topk,
+                            GateScratch& scratch, RoutingTable* table) const {
+  COMET_CHECK(table != nullptr);
   COMET_CHECK_EQ(tokens.cols(), gate_weight_.rows());
   const int64_t e_total = num_experts();
   COMET_CHECK_GT(topk, 0);
   COMET_CHECK_LE(topk, e_total);
 
-  RoutingTable table;
-  table.tokens.resize(static_cast<size_t>(tokens.rows()));
-  std::vector<float> logits(static_cast<size_t>(e_total));
+  table->tokens.resize(static_cast<size_t>(tokens.rows()));
+  std::vector<float>& logits = scratch.logits;
+  std::vector<float>& probs = scratch.probs;
+  logits.resize(static_cast<size_t>(e_total));
+  probs.resize(static_cast<size_t>(e_total));
   for (int64_t m = 0; m < tokens.rows(); ++m) {
     const auto x = tokens.row(m);
     for (int64_t e = 0; e < e_total; ++e) {
@@ -130,7 +141,6 @@ RoutingTable GateNetwork::Route(const Tensor& tokens, int64_t topk) const {
     }
     // Softmax (max-subtracted) over all experts.
     const float max_logit = *std::max_element(logits.begin(), logits.end());
-    std::vector<float> probs(logits.size());
     float z = 0.0f;
     for (size_t e = 0; e < logits.size(); ++e) {
       probs[e] = std::exp(logits[e] - max_logit);
@@ -139,27 +149,40 @@ RoutingTable GateNetwork::Route(const Tensor& tokens, int64_t topk) const {
     for (auto& p : probs) {
       p /= z;
     }
-    // Top-k by probability (stable for ties by expert index).
-    std::vector<int64_t> order(static_cast<size_t>(e_total));
-    for (int64_t e = 0; e < e_total; ++e) {
-      order[static_cast<size_t>(e)] = e;
-    }
-    std::stable_sort(order.begin(), order.end(), [&](int64_t a, int64_t b) {
-      return probs[static_cast<size_t>(a)] > probs[static_cast<size_t>(b)];
-    });
-    TokenRoute route;
+    // Top-k by probability via iterative argmax, ties to the smaller expert
+    // index. Identical selection (order included) to a stable descending
+    // sort's k-prefix, without the sort's temporary buffer.
+    TokenRoute& route = table->tokens[static_cast<size_t>(m)];
+    route.experts.clear();
+    route.weights.clear();
     float selected_sum = 0.0f;
     for (int64_t k = 0; k < topk; ++k) {
-      route.experts.push_back(order[static_cast<size_t>(k)]);
-      route.weights.push_back(probs[static_cast<size_t>(order[static_cast<size_t>(k)])]);
-      selected_sum += route.weights.back();
+      int64_t best = -1;
+      float best_p = 0.0f;
+      for (int64_t e = 0; e < e_total; ++e) {
+        bool taken = false;
+        for (int64_t prev : route.experts) {
+          if (prev == e) {
+            taken = true;
+            break;
+          }
+        }
+        if (taken) {
+          continue;
+        }
+        if (best < 0 || probs[static_cast<size_t>(e)] > best_p) {
+          best = e;
+          best_p = probs[static_cast<size_t>(e)];
+        }
+      }
+      route.experts.push_back(best);
+      route.weights.push_back(best_p);
+      selected_sum += best_p;
     }
     for (auto& w : route.weights) {
       w /= selected_sum;
     }
-    table.tokens[static_cast<size_t>(m)] = std::move(route);
   }
-  return table;
 }
 
 ExpertChoiceGate::ExpertChoiceGate(Tensor gate_weight)

@@ -15,6 +15,7 @@
 
 #include "moe/config.h"
 #include "tensor/tensor.h"
+#include "util/inline_vec.h"
 #include "util/rng.h"
 
 namespace comet {
@@ -22,9 +23,13 @@ namespace comet {
 // One token's routing decision: up to `topk` distinct experts with combine
 // weights summing to 1. Fewer than topk entries (possibly zero) occur when
 // capacity-limited routing dropped pairs or under expert-choice routing.
+//
+// Inline storage (util::InlineVec) keeps the common topk <= 8 case off the
+// heap entirely: copying a RoutingTable or resizing its token vector then
+// performs zero allocations, which the serving steady state depends on.
 struct TokenRoute {
-  std::vector<int64_t> experts;
-  std::vector<float> weights;
+  util::InlineVec<int64_t, 8> experts;
+  util::InlineVec<float, 8> weights;
 };
 
 // Routing for all M tokens (global token id -> decision).
@@ -65,6 +70,14 @@ struct DropStats {
 DropStats ApplyCapacityFactor(RoutingTable& routing, int64_t num_experts,
                               double capacity_factor);
 
+// Reusable scratch for GateNetwork::RouteInto: two E-sized float buffers
+// whose capacity survives across calls. Default-constructed is fine; the
+// first call sizes it (warm-up), later calls with the same gate reuse it.
+struct GateScratch {
+  std::vector<float> logits;
+  std::vector<float> probs;
+};
+
 // Softmax top-k gate with weight matrix `gate_weight` of shape (N, E).
 class GateNetwork {
  public:
@@ -73,6 +86,13 @@ class GateNetwork {
   // Routes each row of `tokens` (shape (m, N)). Offsets do not matter: the
   // result is positional (row i -> tokens[i]).
   RoutingTable Route(const Tensor& tokens, int64_t topk) const;
+
+  // In-place variant: writes into `table` reusing whatever capacity it (and
+  // `scratch`) already hold. Bit-identical to Route; performs zero heap
+  // allocations once table/scratch capacities are warm and topk fits a
+  // TokenRoute's inline storage.
+  void RouteInto(const Tensor& tokens, int64_t topk, GateScratch& scratch,
+                 RoutingTable* table) const;
 
   int64_t num_experts() const;
 

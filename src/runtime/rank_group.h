@@ -36,7 +36,15 @@
 // ScopedThreadLimit and fans its tile/row loops out through ParallelFor.
 #pragma once
 
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
 #include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/function_ref.h"
 
 namespace comet {
 
@@ -77,6 +85,70 @@ class RankGroup {
   int num_ranks_;
   RankGroupOptions options_;
   bool concurrent_;
+};
+
+// PersistentRankGroup: RankGroup semantics on parked, reusable rank threads.
+//
+// A serving loop launches the same R-rank pipeline thousands of times;
+// spawning and joining R-1 std::threads per iteration is both slow and an
+// allocation source. This variant keeps one dedicated thread per rank parked
+// on a generation counter: Run publishes the stage callbacks, bumps the
+// generation, and rank 0 executes on the caller while ranks 1..R-1 wake,
+// run, and park again. Rank r always runs on thread r, so thread-local
+// scratch (GEMM panels, wire buffers) warmed once per thread stays warm for
+// that rank -- the property the zero-allocation serving tier depends on.
+//
+// Semantics match RankGroup::Run exactly: serial phased execution when the
+// effective thread budget is 1, per-rank first-exception capture with the
+// lowest rank's exception rethrown, optional produce/consume phase barrier,
+// and re-installation of the caller's ScopedThreadLimit on every rank
+// thread. Steady-state Run calls are allocation-free on every thread
+// (FunctionRef stages, fixed error slots, condition-variable parking).
+// Not thread-safe: one Run at a time.
+class PersistentRankGroup {
+ public:
+  PersistentRankGroup() = default;
+  ~PersistentRankGroup();
+  PersistentRankGroup(const PersistentRankGroup&) = delete;
+  PersistentRankGroup& operator=(const PersistentRankGroup&) = delete;
+
+  // (Re)shapes the group: starts or stops dedicated threads as needed.
+  // Allocates only when the shape or concurrency actually changes (warm-up).
+  // The concurrency policy resolves against the thread limit active NOW,
+  // exactly like the RankGroup constructor.
+  void Configure(int num_ranks, RankGroupOptions options);
+
+  int num_ranks() const { return num_ranks_; }
+  bool concurrent() const { return concurrent_; }
+
+  // Executes produce(r) then consume(r) for every rank (consume may be a
+  // null FunctionRef). See RankGroup::Run for the full contract.
+  void Run(FunctionRef<void(int)> produce, FunctionRef<void(int)> consume);
+  void Run(FunctionRef<void(int)> work) { Run(work, FunctionRef<void(int)>()); }
+
+ private:
+  void RankBody(int r, FunctionRef<void(int)> produce,
+                FunctionRef<void(int)> consume, int limit);
+  void WorkerLoop(int r);
+  void Shutdown();
+
+  int num_ranks_ = 0;
+  RankGroupOptions options_;
+  bool concurrent_ = false;
+
+  std::mutex mutex_;
+  std::condition_variable start_cv_;
+  std::condition_variable done_cv_;
+  std::condition_variable barrier_cv_;
+  uint64_t generation_ = 0;
+  int done_ = 0;
+  int arrived_ = 0;
+  bool shutdown_ = false;
+  int run_limit_ = 0;
+  FunctionRef<void(int)> produce_;
+  FunctionRef<void(int)> consume_;
+  std::vector<std::exception_ptr> errors_;
+  std::vector<std::thread> threads_;  // ranks 1 .. R-1
 };
 
 }  // namespace comet

@@ -17,6 +17,19 @@ const char* AdmissionPolicyName(AdmissionPolicy policy) {
 AdmissionQueue::AdmissionQueue(int64_t capacity, AdmissionPolicy policy)
     : capacity_(capacity), policy_(policy) {
   COMET_CHECK_GT(capacity_, 0);
+  ring_.resize(static_cast<size_t>(capacity_));
+}
+
+void AdmissionQueue::PushBack(const RequestSpec& spec) {
+  At(size_) = spec;
+  ++size_;
+}
+
+RequestSpec AdmissionQueue::PopFront() {
+  RequestSpec spec = At(0);
+  head_ = (head_ + 1) % capacity_;
+  --size_;
+  return spec;
 }
 
 AdmissionQueue::Admit AdmissionQueue::TryPush(const RequestSpec& spec) {
@@ -27,15 +40,14 @@ AdmissionQueue::Admit AdmissionQueue::TryPush(const RequestSpec& spec) {
       ++total_shed_;
       return result;
     }
-    if (static_cast<int64_t>(items_.size()) < capacity_) {
-      items_.push_back(spec);
+    if (size_ < capacity_) {
+      PushBack(spec);
       queued_tokens_ += spec.TotalTokens();
       ++total_admitted_;
       result.admitted = true;
     } else if (policy_ == AdmissionPolicy::kShedOldest) {
-      result.evicted = items_.front();
-      items_.pop_front();
-      items_.push_back(spec);
+      result.evicted = PopFront();
+      PushBack(spec);
       queued_tokens_ += spec.TotalTokens() - result.evicted->TotalTokens();
       ++total_admitted_;
       ++total_shed_;
@@ -52,33 +64,35 @@ AdmissionQueue::Admit AdmissionQueue::TryPush(const RequestSpec& spec) {
 
 std::optional<RequestSpec> AdmissionQueue::TryPop() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (items_.empty()) {
+  if (size_ == 0) {
     return std::nullopt;
   }
-  RequestSpec spec = items_.front();
-  items_.pop_front();
+  RequestSpec spec = PopFront();
   queued_tokens_ -= spec.TotalTokens();
   return spec;
 }
 
 std::optional<RequestSpec> AdmissionQueue::Pop() {
   std::unique_lock<std::mutex> lock(mu_);
-  ready_.wait(lock, [&] { return !items_.empty() || closed_; });
-  if (items_.empty()) {
+  ready_.wait(lock, [&] { return size_ > 0 || closed_; });
+  if (size_ == 0) {
     return std::nullopt;
   }
-  RequestSpec spec = items_.front();
-  items_.pop_front();
+  RequestSpec spec = PopFront();
   queued_tokens_ -= spec.TotalTokens();
   return spec;
 }
 
 std::optional<RequestSpec> AdmissionQueue::Remove(int64_t id) {
   std::lock_guard<std::mutex> lock(mu_);
-  for (auto it = items_.begin(); it != items_.end(); ++it) {
-    if (it->id == id) {
-      RequestSpec spec = *it;
-      items_.erase(it);
+  for (int64_t pos = 0; pos < size_; ++pos) {
+    if (At(pos).id == id) {
+      RequestSpec spec = At(pos);
+      // Close the gap in place, preserving FIFO order of the rest.
+      for (int64_t p = pos; p + 1 < size_; ++p) {
+        At(p) = At(p + 1);
+      }
+      --size_;
       queued_tokens_ -= spec.TotalTokens();
       return spec;
     }
@@ -96,7 +110,7 @@ void AdmissionQueue::Close() {
 
 int64_t AdmissionQueue::size() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return static_cast<int64_t>(items_.size());
+  return size_;
 }
 
 int64_t AdmissionQueue::queued_tokens() const {

@@ -16,13 +16,17 @@
 // consumer threads (mutex + condvar; serve_test hammers it cross-thread
 // under TSan). The simulated-clock serving loop drives it single-threaded
 // -- determinism there comes from the loop, not from the queue.
+//
+// Storage is a fixed ring sized at construction (the bound exists anyway --
+// that is the whole point of admission control), so steady-state push/pop
+// perform zero heap allocations.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "serve/request.h"
 
@@ -81,12 +85,24 @@ class AdmissionQueue {
   int64_t total_shed() const;
 
  private:
+  // Ring accessors; callers hold mu_.
+  RequestSpec& At(int64_t pos) {
+    return ring_[static_cast<size_t>((head_ + pos) % capacity_)];
+  }
+  void PushBack(const RequestSpec& spec);
+  RequestSpec PopFront();
+
   const int64_t capacity_;
   const AdmissionPolicy policy_;
 
   mutable std::mutex mu_;
   std::condition_variable ready_;
-  std::deque<RequestSpec> items_;
+  // Fixed-capacity ring (RequestSpec is POD): the queue is allocated once at
+  // construction and steady-state push/pop touch no heap, which keeps the
+  // serving loop's admission path inside the zero-allocation envelope.
+  std::vector<RequestSpec> ring_;
+  int64_t head_ = 0;  // index of the oldest element
+  int64_t size_ = 0;
   bool closed_ = false;
   int64_t queued_tokens_ = 0;
   int64_t total_admitted_ = 0;

@@ -12,6 +12,12 @@ ContinuousBatcher::ContinuousBatcher(BatcherOptions options)
   COMET_CHECK_GE(options_.max_active, 0);
 }
 
+void ContinuousBatcher::Reserve(int64_t expected_requests) {
+  COMET_CHECK_GE(expected_requests, 0);
+  slots_.reserve(static_cast<size_t>(expected_requests));
+  live_.reserve(static_cast<size_t>(expected_requests));
+}
+
 bool ContinuousBatcher::CanAdmit() const {
   return options_.max_active == 0 || live_count() < options_.max_active;
 }
@@ -28,6 +34,13 @@ int64_t ContinuousBatcher::Admit(const RequestSpec& spec) {
 
 BatchPlan ContinuousBatcher::Pack() {
   BatchPlan plan;
+  PackInto(&plan);
+  return plan;
+}
+
+void ContinuousBatcher::PackInto(BatchPlan* out) {
+  BatchPlan& plan = *out;
+  plan.entries.clear();
   plan.iteration = iteration_++;
   int64_t budget = options_.token_budget;
 
@@ -73,10 +86,16 @@ BatchPlan ContinuousBatcher::Pack() {
     });
     budget -= chunk;
   }
-  return plan;
 }
 
 std::vector<int64_t> ContinuousBatcher::Complete(const BatchPlan& plan) {
+  std::vector<int64_t> finished;
+  CompleteInto(plan, &finished);
+  return finished;
+}
+
+void ContinuousBatcher::CompleteInto(const BatchPlan& plan,
+                                     std::vector<int64_t>* out) {
   for (const BatchEntry& e : plan.entries) {
     COMET_CHECK_GE(e.slot, 0);
     COMET_CHECK_LT(e.slot, static_cast<int64_t>(slots_.size()));
@@ -92,7 +111,8 @@ std::vector<int64_t> ContinuousBatcher::Complete(const BatchPlan& plan) {
       COMET_CHECK_LE(s.prefill_done, s.spec.prompt_tokens);
     }
   }
-  std::vector<int64_t> finished;
+  std::vector<int64_t>& finished = *out;
+  finished.clear();
   for (const BatchEntry& e : plan.entries) {
     Slot& s = slots_[static_cast<size_t>(e.slot)];
     if (!s.finished && SlotFinished(s)) {
@@ -106,7 +126,6 @@ std::vector<int64_t> ContinuousBatcher::Complete(const BatchPlan& plan) {
       return slots_[static_cast<size_t>(slot)].finished;
     });
   }
-  return finished;
 }
 
 void ContinuousBatcher::Cancel(int64_t slot) {

@@ -70,6 +70,11 @@ class ContinuousBatcher {
 
   const BatcherOptions& options() const { return options_; }
 
+  // Pre-sizes the slot table (and the live list) for up to
+  // `expected_requests` admissions, so Admit within that bound never
+  // reallocates. Slot numbering is untouched -- this is pure capacity.
+  void Reserve(int64_t expected_requests);
+
   // True when another request may be admitted under max_active.
   bool CanAdmit() const;
   // Admits a request; returns its slot. Slots are assigned in admission
@@ -79,11 +84,17 @@ class ContinuousBatcher {
   // Packs the next iteration over the live requests. Empty plan when no
   // request has work left (all finished, or none admitted).
   BatchPlan Pack();
+  // In-place Pack: clears and refills `plan->entries` (capacity retained),
+  // so a plan reused across iterations allocates only until its entry
+  // capacity reaches the high-water mark (<= token_budget entries).
+  void PackInto(BatchPlan* plan);
 
   // Records that `plan` (the most recent Pack result) was executed:
   // advances per-request progress. Returns the slots that FINISHED with
   // this iteration, in slot order.
   std::vector<int64_t> Complete(const BatchPlan& plan);
+  // In-place Complete: clears and refills `*finished` (capacity retained).
+  void CompleteInto(const BatchPlan& plan, std::vector<int64_t>* finished);
 
   // Withdraws a live (not finished) request: it stops being packed and no
   // longer counts against max_active. Hedged-dispatch loser cancellation;

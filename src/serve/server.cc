@@ -6,6 +6,7 @@
 #include "comm/symmetric_heap.h"
 #include "moe/expert_weights.h"
 #include "moe/workload.h"
+#include "util/arena.h"
 #include "util/check.h"
 
 namespace comet {
@@ -40,6 +41,14 @@ CometOptions MakeExecutorOptions(const ServeOptions& options) {
   return comet;
 }
 
+// Largest per-iteration global token matrix: token_budget rounded up to a
+// multiple of EP (the padding the batch builder adds). Every iteration
+// workspace is reserved at this bound.
+int64_t MaxPaddedTokens(const ServeOptions& options) {
+  const int64_t ep = options.parallel.ep;
+  return (options.token_budget + ep - 1) / ep * ep;
+}
+
 // Stream tag separating a request's decode perturbation draws from its
 // prompt-content draws (which use the seed directly).
 constexpr uint64_t kDecodeStream = 0xdec0de5eed0c0deULL;
@@ -48,6 +57,9 @@ constexpr uint64_t kCorruptStream = 0xbadb17f11b5eed5ULL;
 
 }  // namespace
 
+// Pooled: a released LiveRequest keeps the capacity of its prompt tensor,
+// decode row and ITL sample vector, so re-admission through the pool stops
+// allocating once those capacities reach the workload's high-water mark.
 struct MoeServer::LiveRequest {
   RequestSpec spec;
   Tensor prompt;                    // (prompt_tokens, N) at the serve dtype
@@ -61,19 +73,119 @@ struct MoeServer::LiveRequest {
   int64_t executed_tokens = 0;
   std::vector<double> itl_samples;
   uint64_t digest = Fnv1aInit();
+
+  // Re-initializes a pooled object for a fresh admission. The prompt fill
+  // consumes the content rng exactly like Tensor::Randn, so a pooled and a
+  // freshly-constructed request hold bit-identical prompts.
+  void Reset(const RequestSpec& s, int64_t n_embed, DType dtype) {
+    spec = s;
+    Rng content_rng(s.seed);
+    prompt.ResetFormat2D(s.prompt_tokens, n_embed, dtype);
+    prompt.FillRandn(content_rng, 1.0f);
+    // Emptiness of decode_input is the "prefill not finished" marker; clear()
+    // keeps the capacity.
+    decode_input.clear();
+    decode_rng = Rng(s.seed ^ kDecodeStream);
+    first_scheduled_us = -1.0;
+    first_token_us = -1.0;
+    last_token_us = -1.0;
+    executed_tokens = 0;
+    itl_samples.clear();
+    digest = Fnv1aInit();
+  }
 };
 
 // All per-run state, recreated by BeginRun so a MoeServer (and each cluster
-// replica) is reusable across independent serving runs.
+// replica) is reusable across independent serving runs. The constructor is
+// the warm-up phase of the zero-allocation contract: every iteration-path
+// container is reserved here at its run-level bound (token_budget,
+// max_active, queue_capacity, the caller's expected-request hints), so the
+// steady-state StepIteration only reuses capacity.
 struct MoeServer::RunState {
-  explicit RunState(const ServeOptions& options)
+  RunState(const ServeOptions& options,
+           std::shared_ptr<const ExpertWeights> weights,
+           std::shared_ptr<const ShardedExpertWeights> sharded,
+           const RunBounds& bounds)
       : queue(options.queue_capacity, options.queue_policy),
         batcher(BatcherOptions{.token_budget = options.token_budget,
-                               .max_active = options.max_active}) {}
+                               .max_active = options.max_active}) {
+    const int64_t ep = options.parallel.ep;
+    const int64_t n_embed = options.model.embedding;
+    const int64_t padded_max = MaxPaddedTokens(options);
+    const int64_t per_group_max = padded_max / ep;
+    // Live requests are bounded by max_active; an unbounded batcher
+    // (max_active == 0) falls back to the caller's hint or the queue bound.
+    const int64_t live_bound =
+        options.max_active > 0
+            ? options.max_active
+            : std::max(bounds.expected_requests, options.queue_capacity);
+    pool.Reserve(static_cast<size_t>(live_bound));
+    // Warm every pooled LiveRequest at the per-request bounds, so admission
+    // never grows a pooled object's internal buffers mid-run.
+    {
+      std::vector<LiveRequest*> all;
+      all.reserve(static_cast<size_t>(live_bound));
+      for (int64_t i = 0; i < live_bound; ++i) {
+        all.push_back(pool.Acquire());
+      }
+      for (LiveRequest* lr : all) {
+        lr->prompt.Reserve(bounds.max_prompt_tokens * n_embed);
+        lr->decode_input.reserve(static_cast<size_t>(n_embed));
+        lr->itl_samples.reserve(static_cast<size_t>(bounds.max_decode_tokens));
+        pool.Release(lr);
+      }
+    }
+    batcher.Reserve(std::max(bounds.expected_requests, live_bound));
+    by_slot.reserve(
+        static_cast<size_t>(std::max(bounds.expected_requests, live_bound)));
+
+    // Iteration workspaces: every entry carries >= 1 token, so a plan never
+    // exceeds token_budget entries.
+    plan.entries.reserve(static_cast<size_t>(options.token_budget));
+    live.reserve(static_cast<size_t>(options.token_budget));
+    rows.reserve(static_cast<size_t>(options.token_budget));
+    finished.reserve(static_cast<size_t>(live_bound));
+    global.Reserve(padded_max * n_embed);
+
+    workload.placement = Placement(options.model, options.parallel, padded_max);
+    // A single expert can receive at most one (token, expert) pair per token
+    // (experts within a route are distinct).
+    workload.plan.Reserve(workload.placement, padded_max);
+    workload.routing.tokens.reserve(static_cast<size_t>(padded_max));
+    workload.inputs.resize(static_cast<size_t>(ep));
+    for (Tensor& t : workload.inputs) {
+      t.Reserve(per_group_max * n_embed);
+    }
+    workload.weights = std::move(weights);
+    workload.sharded_weights = std::move(sharded);
+    workload.activation = ActivationKind::kGelu;
+    gate_scratch.logits.reserve(
+        static_cast<size_t>(options.model.num_experts));
+    gate_scratch.probs.reserve(static_cast<size_t>(options.model.num_experts));
+
+    completed.reserve(static_cast<size_t>(bounds.expected_requests));
+    queue_waits.reserve(static_cast<size_t>(bounds.expected_requests));
+    ttfts.reserve(static_cast<size_t>(bounds.expected_requests));
+    e2es.reserve(static_cast<size_t>(bounds.expected_requests));
+    itl_counts.reserve(static_cast<size_t>(bounds.expected_requests));
+    itls.reserve(static_cast<size_t>(bounds.expected_tokens));
+  }
 
   AdmissionQueue queue;
   ContinuousBatcher batcher;
-  std::vector<std::unique_ptr<LiveRequest>> by_slot;
+  // Slot -> live request (pool-owned; nullptr once retired/cancelled).
+  util::FixedPool<LiveRequest> pool;
+  std::vector<LiveRequest*> by_slot;
+
+  // Persistent iteration workspaces (capacity reused every StepIteration).
+  BatchPlan plan;
+  std::vector<LiveRequest*> live;  // plan.entries[e] -> its live request
+  std::vector<int64_t> rows;       // plan.entries[e] -> global row offset
+  std::vector<int64_t> finished;
+  Tensor global;  // gathered (padded, N) token matrix
+  GateScratch gate_scratch;
+  MoeWorkload workload;
+  LayerExecution ex;
 
   std::vector<RequestRecord> completed;  // retirement order
   std::vector<double> queue_waits, ttfts, itls, e2es;
@@ -109,17 +221,19 @@ MoeServer::MoeServer(ServeOptions options, ClusterSpec cluster)
   COMET_CHECK_GT(options_.signal_wait_timeout_ms, 0)
       << "a non-positive wedge fail-fast bound cannot detect a dead producer";
   // Trips the model/parallel divisibility checks now, not at the first
-  // batch (one EP group's worth of tokens is always a legal placement).
-  Placement probe(options_.model, options_.parallel,
-                  options_.parallel.ep);
-  (void)probe;
+  // batch, and preallocates the executor's serving workspaces (heap
+  // buffers, rank threads, per-rank schedule/simulation scratch) at the
+  // largest batch this server can pack.
+  const Placement max_placement(options_.model, options_.parallel,
+                                MaxPaddedTokens(options_));
+  executor_.PrepareServing(max_placement, cluster_);
 }
 
 MoeServer::~MoeServer() = default;
 
-MoeWorkload MoeServer::BuildBatchWorkload(
-    const BatchPlan& plan, const std::vector<LiveRequest*>& live,
-    std::vector<int64_t>* rows, int64_t* padding) const {
+void MoeServer::BuildBatchWorkloadInto(const BatchPlan& plan,
+                                       const std::vector<LiveRequest*>& live,
+                                       RunState& run, int64_t* padding) const {
   const ModelConfig& model = options_.model;
   const int64_t n_embed = model.embedding;
   const int ep = options_.parallel.ep;
@@ -128,16 +242,17 @@ MoeWorkload MoeServer::BuildBatchWorkload(
   const int64_t padded = (total + ep - 1) / ep * ep;
   *padding = padded - total;
 
-  // Gather every entry's rows into one global token matrix; EP padding rows
-  // stay zero (representable at every dtype, routed by the gate like any
-  // other token -- real serving pads exactly like this).
-  Tensor global(Shape{padded, n_embed}, options_.dtype);
-  rows->clear();
-  rows->reserve(plan.entries.size());
+  // Gather every entry's rows into the persistent global token matrix; EP
+  // padding rows are zeroed (representable at every dtype, routed by the
+  // gate like any other token -- real serving pads exactly like this).
+  Tensor& global = run.global;
+  global.ResetFormat2D(padded, n_embed, options_.dtype);
+  global.FillZeroRows(total, padded);
+  run.rows.clear();
   int64_t offset = 0;
   for (size_t e = 0; e < plan.entries.size(); ++e) {
     const BatchEntry& entry = plan.entries[e];
-    rows->push_back(offset);
+    run.rows.push_back(offset);
     if (entry.decode) {
       COMET_CHECK_EQ(entry.num_tokens, 1);
       COMET_CHECK_EQ(static_cast<int64_t>(live[e]->decode_input.size()),
@@ -152,28 +267,28 @@ MoeWorkload MoeServer::BuildBatchWorkload(
     offset += entry.num_tokens;
   }
 
-  Placement placement(model, options_.parallel, padded);
-  RoutingTable routing = gate_.Route(global, model.topk);
-  RoutePlan route_plan(placement, routing);
+  // Re-point the persistent workload at this iteration's shape. Each of
+  // these is the in-place, bit-identical twin of the construct-from-scratch
+  // path (Placement ctor / GateNetwork::Route / RoutePlan ctor).
+  MoeWorkload& w = run.workload;
+  w.placement.ResetTotalTokens(padded);
+  gate_.RouteInto(global, model.topk, run.gate_scratch, &w.routing);
+  w.plan.Rebuild(w.placement, w.routing);
 
-  std::vector<Tensor> inputs;
-  inputs.reserve(static_cast<size_t>(ep));
-  const int64_t per_group = placement.tokens_per_group();
+  const int64_t per_group = w.placement.tokens_per_group();
   for (int g = 0; g < ep; ++g) {
-    Tensor t(Shape{per_group, n_embed}, options_.dtype);
+    Tensor& t = w.inputs[static_cast<size_t>(g)];
+    t.ResetFormat2D(per_group, n_embed, options_.dtype);
     for (int64_t r = 0; r < per_group; ++r) {
       t.SetRow(r, global.row(static_cast<int64_t>(g) * per_group + r));
     }
-    inputs.push_back(std::move(t));
   }
-
-  return MoeWorkload{std::move(placement), std::move(routing),
-                     std::move(route_plan), std::move(inputs),
-                     weights_,              sharded_weights_,
-                     ActivationKind::kGelu};
 }
 
-void MoeServer::BeginRun() { run_ = std::make_unique<RunState>(options_); }
+void MoeServer::BeginRun(RunBounds bounds) {
+  run_ = std::make_unique<RunState>(options_, weights_, sharded_weights_,
+                                    bounds);
+}
 
 AdmissionQueue::Admit MoeServer::Offer(const RequestSpec& spec) {
   COMET_CHECK(run_ != nullptr) << "Offer before BeginRun";
@@ -213,7 +328,7 @@ MoeServer::CancelResult MoeServer::CancelRequest(int64_t id) {
   CancelResult result;
   // Live in the batcher (possibly mid-execution)?
   for (size_t slot = 0; slot < run.by_slot.size(); ++slot) {
-    LiveRequest* lr = run.by_slot[slot].get();
+    LiveRequest* lr = run.by_slot[slot];
     if (lr == nullptr || lr->spec.id != id) {
       continue;
     }
@@ -221,7 +336,8 @@ MoeServer::CancelResult MoeServer::CancelRequest(int64_t id) {
     result.executed_tokens = lr->executed_tokens;
     run.batcher_tokens -= lr->spec.TotalTokens() - lr->executed_tokens;
     run.batcher.Cancel(static_cast<int64_t>(slot));
-    run.by_slot[slot].reset();
+    run.pool.Release(lr);
+    run.by_slot[slot] = nullptr;
     return result;
   }
   // Still queued?
@@ -264,7 +380,7 @@ MoeServer::CancelResult MoeServer::CancelRequest(int64_t id) {
 bool MoeServer::RequestStarted(int64_t id) const {
   COMET_CHECK(run_ != nullptr) << "RequestStarted before BeginRun";
   const RunState& run = *run_;
-  for (const auto& lr : run.by_slot) {
+  for (const LiveRequest* lr : run.by_slot) {
     if (lr != nullptr && lr->spec.id == id) {
       return lr->first_scheduled_us >= 0.0;
     }
@@ -281,10 +397,11 @@ std::vector<RequestSpec> MoeServer::DrainInFlight() {
   COMET_CHECK(run_ != nullptr) << "DrainInFlight before BeginRun";
   std::vector<RequestSpec> in_flight;
   // Batcher live requests first (they were admitted earlier), slot order.
-  for (auto& live : run_->by_slot) {
-    if (live != nullptr) {
-      in_flight.push_back(live->spec);
-      live.reset();
+  for (LiveRequest*& lr : run_->by_slot) {
+    if (lr != nullptr) {
+      in_flight.push_back(lr->spec);
+      run_->pool.Release(lr);
+      lr = nullptr;
     }
   }
   // Then the queue, FIFO.
@@ -327,7 +444,9 @@ bool MoeServer::StepIteration(double now, double* end_us) {
   }
 
   // The batcher drains the queue while it has room (max_active is the
-  // backpressure bound that lets the queue fill under overload).
+  // backpressure bound that lets the queue fill under overload). Admission
+  // pulls a pooled LiveRequest -- no heap traffic once the pool's internal
+  // capacities are warm.
   const int64_t n_embed = options_.model.embedding;
   while (run.batcher.CanAdmit()) {
     const std::optional<RequestSpec> spec = run.queue.TryPop();
@@ -335,36 +454,33 @@ bool MoeServer::StepIteration(double now, double* end_us) {
       break;
     }
     const int64_t slot = run.batcher.Admit(*spec);
-    auto live = std::make_unique<LiveRequest>();
-    live->spec = *spec;
-    Rng content_rng(spec->seed);
-    live->prompt = Tensor::Randn(Shape{spec->prompt_tokens, n_embed},
-                                 content_rng, 1.0f, options_.dtype);
-    live->decode_rng = Rng(spec->seed ^ kDecodeStream);
+    LiveRequest* live = run.pool.Acquire();
+    live->Reset(*spec, n_embed, options_.dtype);
     if (static_cast<size_t>(slot) >= run.by_slot.size()) {
       run.by_slot.resize(static_cast<size_t>(slot) + 1);
     }
-    run.by_slot[static_cast<size_t>(slot)] = std::move(live);
+    run.by_slot[static_cast<size_t>(slot)] = live;
     run.batcher_tokens += spec->TotalTokens();
   }
 
-  // Pack one iteration.
-  const BatchPlan plan = run.batcher.Pack();
+  // Pack one iteration into the persistent plan.
+  run.batcher.PackInto(&run.plan);
+  const BatchPlan& plan = run.plan;
   if (plan.empty()) {
     return false;
   }
 
-  std::vector<LiveRequest*> live(plan.entries.size());
+  run.live.resize(plan.entries.size());
   for (size_t e = 0; e < plan.entries.size(); ++e) {
-    live[e] = run.by_slot[static_cast<size_t>(plan.entries[e].slot)].get();
-    if (live[e]->first_scheduled_us < 0.0) {
-      live[e]->first_scheduled_us = now;
+    run.live[e] = run.by_slot[static_cast<size_t>(plan.entries[e].slot)];
+    if (run.live[e]->first_scheduled_us < 0.0) {
+      run.live[e]->first_scheduled_us = now;
     }
   }
 
   // One-shot corruption fault: arm the executor's link-corruption injector
   // for this iteration only, with checksums forced on so the flip is
-  // DETECTED (CheckError out of RunBatch below) rather than served. The
+  // DETECTED (CheckError out of RunBatchInto below) rather than served. The
   // injector seed is fixed per server, so the corrupted (buffer, rank, row)
   // is reproducible at any thread count. Consumed only when an iteration
   // actually executes -- an idle corrupt-armed replica stays armed.
@@ -374,12 +490,13 @@ bool MoeServer::StepIteration(double now, double* end_us) {
                                   corrupt ? 1.0 : 0.0,
                                   options_.seed ^ kCorruptStream);
 
-  // One executor iteration: real numerics + simulated duration.
-  std::vector<int64_t> rows;
+  // One executor iteration: real numerics + simulated duration, through the
+  // persistent workload/execution workspaces.
   int64_t padding = 0;
-  const MoeWorkload workload = BuildBatchWorkload(plan, live, &rows, &padding);
-  const LayerExecution ex =
-      executor_.RunBatch(workload, cluster_, ExecMode::kFunctional);
+  BuildBatchWorkloadInto(plan, run.live, run, &padding);
+  executor_.RunBatchInto(run.workload, cluster_, ExecMode::kFunctional,
+                         &run.ex);
+  const LayerExecution& ex = run.ex;
   const double end = now + options_.host_overhead_us + ex.duration_us;
   ++run.iterations;
   run.batched_tokens += plan.TotalTokens();
@@ -387,19 +504,19 @@ bool MoeServer::StepIteration(double now, double* end_us) {
   run.batcher_tokens -= plan.TotalTokens();
 
   // Harvest: digest outputs, emit token events, build next decode rows.
-  const int64_t per_group = workload.placement.tokens_per_group();
+  const int64_t per_group = run.workload.placement.tokens_per_group();
   const auto output_row = [&](int64_t global_row) {
     return ex.outputs[static_cast<size_t>(global_row / per_group)].row(
         global_row % per_group);
   };
   for (size_t e = 0; e < plan.entries.size(); ++e) {
     const BatchEntry& entry = plan.entries[e];
-    LiveRequest& lr = *live[e];
+    LiveRequest& lr = *run.live[e];
     lr.executed_tokens += entry.num_tokens;
     for (int64_t i = 0; i < entry.num_tokens; ++i) {
-      lr.digest = Fnv1aAddFloats(lr.digest, output_row(rows[e] + i));
+      lr.digest = Fnv1aAddFloats(lr.digest, output_row(run.rows[e] + i));
     }
-    const auto last_row = output_row(rows[e] + entry.num_tokens - 1);
+    const auto last_row = output_row(run.rows[e] + entry.num_tokens - 1);
     const bool completes_prefill =
         !entry.decode &&
         entry.start_pos + entry.num_tokens == lr.spec.prompt_tokens;
@@ -429,8 +546,9 @@ bool MoeServer::StepIteration(double now, double* end_us) {
     }
   }
 
-  // Retire finished requests.
-  for (const int64_t slot : run.batcher.Complete(plan)) {
+  // Retire finished requests back to the pool.
+  run.batcher.CompleteInto(plan, &run.finished);
+  for (const int64_t slot : run.finished) {
     LiveRequest& lr = *run.by_slot[static_cast<size_t>(slot)];
     RequestRecord rec;
     rec.id = lr.spec.id;
@@ -456,7 +574,8 @@ bool MoeServer::StepIteration(double now, double* end_us) {
                     lr.itl_samples.end());
     run.itl_counts.push_back(static_cast<int64_t>(lr.itl_samples.size()));
     run.completed.push_back(rec);
-    run.by_slot[static_cast<size_t>(slot)].reset();
+    run.pool.Release(&lr);
+    run.by_slot[static_cast<size_t>(slot)] = nullptr;
   }
 
   *end_us = end;
@@ -517,12 +636,21 @@ ServeReport MoeServer::BuildReport(double sim_duration_us) const {
 }
 
 ServeReport MoeServer::Serve(const std::vector<RequestSpec>& arrivals) {
-  for (size_t i = 1; i < arrivals.size(); ++i) {
-    COMET_CHECK_GE(arrivals[i].arrival_us, arrivals[i - 1].arrival_us)
-        << "arrivals must be sorted by arrival_us";
+  RunBounds bounds;
+  bounds.expected_requests = static_cast<int64_t>(arrivals.size());
+  for (size_t i = 0; i < arrivals.size(); ++i) {
+    if (i > 0) {
+      COMET_CHECK_GE(arrivals[i].arrival_us, arrivals[i - 1].arrival_us)
+          << "arrivals must be sorted by arrival_us";
+    }
+    bounds.expected_tokens += arrivals[i].TotalTokens();
+    bounds.max_prompt_tokens =
+        std::max(bounds.max_prompt_tokens, arrivals[i].prompt_tokens);
+    bounds.max_decode_tokens =
+        std::max(bounds.max_decode_tokens, arrivals[i].decode_tokens);
   }
 
-  BeginRun();
+  BeginRun(bounds);
   double now = 0.0;
   size_t next_arrival = 0;
   while (true) {

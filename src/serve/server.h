@@ -26,6 +26,13 @@
 // bit-identical per-request output digests AND identical latency
 // percentiles whether the host runs 1 thread or 8 (serve_test pins this
 // across EP {1,4} x dtype {f32,bf16}).
+//
+// Allocation: the executor's PrepareServing workspaces plus run-level
+// reservations (a FixedPool of LiveRequests, a persistent MoeWorkload and
+// LayerExecution, ring-buffered admission, in-place Pack/Complete) make the
+// steady-state StepIteration perform zero heap allocations once warm --
+// alloc_test pins this with an interposed operator-new counter (see
+// docs/ARCHITECTURE.md, "The allocation plane").
 #pragma once
 
 #include <cstdint>
@@ -153,8 +160,26 @@ class MoeServer {
   // clock; the single-server Serve loop drives exactly the same hooks, so
   // a 1-replica cluster is the single-server plane, bit for bit.
 
-  // Resets all per-run state (queue, batcher, live requests, accounting).
-  void BeginRun();
+  // Optional run-level bounds for BeginRun. Every field is a reservation
+  // hint: zero means "unknown" (the run still works, the corresponding
+  // containers just grow amortized instead of never reallocating). With all
+  // bounds covering the offered load, the steady-state StepIteration --
+  // admission, packing, execution, harvesting AND retirement -- performs
+  // zero heap allocations once warm.
+  struct RunBounds {
+    int64_t expected_requests = 0;  // >= requests offered this run
+    int64_t expected_tokens = 0;    // >= sum of their TotalTokens()
+    int64_t max_prompt_tokens = 0;  // >= longest prompt offered
+    int64_t max_decode_tokens = 0;  // >= longest decode offered
+  };
+
+  // Resets all per-run state (queue, batcher, live requests, accounting),
+  // reserving per-run containers at `bounds` (the iteration workspaces are
+  // bounded by token_budget/max_active and reserved regardless). The
+  // single-server Serve derives exact bounds from its arrival vector; the
+  // cluster plane calls this with defaults.
+  void BeginRun(RunBounds bounds);
+  void BeginRun() { BeginRun(RunBounds()); }
   // Offers one request to the bounded admission queue. Counts offered and
   // (per the queue's shed policy) shed. Requires BeginRun.
   AdmissionQueue::Admit Offer(const RequestSpec& spec);
@@ -222,13 +247,15 @@ class MoeServer {
   struct LiveRequest;
   struct RunState;
 
-  // Builds the MoeWorkload for one packed iteration. `rows` receives the
-  // per-entry global row offsets (entry e's tokens are rows
-  // [rows[e], rows[e] + entries[e].num_tokens)).
-  MoeWorkload BuildBatchWorkload(const BatchPlan& plan,
-                                 const std::vector<LiveRequest*>& live,
-                                 std::vector<int64_t>* rows,
-                                 int64_t* padding) const;
+  // Rebuilds `run`'s persistent MoeWorkload in place for one packed
+  // iteration (gather -> gate -> route plan -> per-group inputs), filling
+  // `run.rows` with the per-entry global row offsets (entry e's tokens are
+  // rows [rows[e], rows[e] + entries[e].num_tokens)). Allocation-free once
+  // the run's workspaces are warm: every buffer is reserved at the
+  // token_budget bound by RunState's constructor.
+  void BuildBatchWorkloadInto(const BatchPlan& plan,
+                              const std::vector<LiveRequest*>& live,
+                              RunState& run, int64_t* padding) const;
 
   ServeOptions options_;
   ClusterSpec cluster_;

@@ -14,7 +14,15 @@ BandwidthQueue::BandwidthQueue(double bandwidth_bytes_per_us, double latency_us)
 
 std::vector<TransferResult> BandwidthQueue::Schedule(
     const std::vector<TransferJob>& jobs, double start_time_us) const {
-  std::vector<TransferResult> out(jobs.size());
+  std::vector<TransferResult> out;
+  ScheduleInto(jobs, start_time_us, &out);
+  return out;
+}
+
+void BandwidthQueue::ScheduleInto(const std::vector<TransferJob>& jobs,
+                                  double start_time_us,
+                                  std::vector<TransferResult>* out) const {
+  out->resize(jobs.size());
   double channel_free = start_time_us;
   for (size_t i = 0; i < jobs.size(); ++i) {
     COMET_CHECK_GE(jobs[i].bytes, 0.0);
@@ -24,10 +32,9 @@ std::vector<TransferResult> BandwidthQueue::Schedule(
     // injection (GPU-initiated puts are fire-and-forget, so back-to-back
     // messages do not serialize their flight times).
     const double drained = start + jobs[i].bytes / bandwidth_bytes_per_us_;
-    out[i] = TransferResult{start, drained + latency_us_};
+    (*out)[i] = TransferResult{start, drained + latency_us_};
     channel_free = drained;
   }
-  return out;
 }
 
 double BandwidthQueue::Makespan(const std::vector<TransferJob>& jobs,

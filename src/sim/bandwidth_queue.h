@@ -33,6 +33,11 @@ class BandwidthQueue {
   std::vector<TransferResult> Schedule(const std::vector<TransferJob>& jobs,
                                        double start_time_us = 0.0) const;
 
+  // Allocation-free variant: rebuilds `out` in place (steady-state free once
+  // its capacity covers the largest job count).
+  void ScheduleInto(const std::vector<TransferJob>& jobs, double start_time_us,
+                    std::vector<TransferResult>* out) const;
+
   // Completion time of the last job (start_time_us when no jobs).
   double Makespan(const std::vector<TransferJob>& jobs,
                   double start_time_us = 0.0) const;

@@ -45,6 +45,14 @@ struct SlotSchedule {
 SlotSchedule ScheduleInOrder(const std::vector<SlotTask>& tasks, int num_slots,
                              double start_time_us = 0.0);
 
+// Allocation-free variant: `slot_heap` is caller-owned scratch holding the
+// slot free-time min-heap, `out` is rebuilt in place. Bit-identical to
+// ScheduleInOrder -- the heap only ever yields the minimum free time, and
+// slots with equal free times are interchangeable.
+void ScheduleInOrderInto(const std::vector<SlotTask>& tasks, int num_slots,
+                         double start_time_us, std::vector<double>& slot_heap,
+                         SlotSchedule* out);
+
 // Dispatches the ready task with smallest (ready, index) whenever a slot
 // frees up.
 SlotSchedule ScheduleEarliestReady(const std::vector<SlotTask>& tasks,

@@ -48,6 +48,11 @@ class Timeline {
   // Appends all intervals of `other`, shifted by `offset_us`.
   void Merge(const Timeline& other, double offset_us = 0.0);
 
+  // Forgets every interval but keeps capacity: the executors rebuild their
+  // timeline into the same storage every iteration (all interval labels fit
+  // SSO, so refilling within capacity is allocation-free).
+  void Clear() { intervals_.clear(); }
+
   const std::vector<TimeInterval>& intervals() const { return intervals_; }
   bool empty() const { return intervals_.empty(); }
 

@@ -18,6 +18,14 @@ Shape::Shape(std::vector<int64_t> dims) : dims_(std::move(dims)) {
   }
 }
 
+void Shape::SetDims2(int64_t rows, int64_t cols) {
+  COMET_CHECK_GE(rows, 0) << "negative dimension in shape";
+  COMET_CHECK_GE(cols, 0) << "negative dimension in shape";
+  dims_.resize(2);
+  dims_[0] = rows;
+  dims_[1] = cols;
+}
+
 int64_t Shape::dim(size_t i) const {
   COMET_CHECK_LT(i, dims_.size());
   return dims_[i];

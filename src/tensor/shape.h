@@ -37,6 +37,12 @@ class Shape {
   bool operator==(const Shape& other) const { return dims_ == other.dims_; }
   bool operator!=(const Shape& other) const { return !(*this == other); }
 
+  // In-place mutation to a rank-2 shape. Reuses dims_ capacity: on an
+  // already-rank>=2 shape this never allocates, which is what lets the
+  // serving plane's workspace tensors change row count every iteration
+  // without touching the heap.
+  void SetDims2(int64_t rows, int64_t cols);
+
   // "[128, 4096]"
   std::string ToString() const;
 

@@ -111,6 +111,39 @@ std::span<const float> Tensor::row(int64_t r) const {
                                                static_cast<size_t>(cols()));
 }
 
+void Tensor::Reserve(int64_t num_elements) {
+  COMET_CHECK_GE(num_elements, 0);
+  data_.reserve(static_cast<size_t>(num_elements));
+}
+
+void Tensor::ResetFormat2D(int64_t rows, int64_t cols, DType dtype) {
+  shape_.SetDims2(rows, cols);
+  dtype_ = dtype;
+  // resize within reserved capacity never reallocates; contents of reused
+  // elements are intentionally left as-is (see header).
+  data_.resize(static_cast<size_t>(rows * cols));
+}
+
+void Tensor::FillZero() {
+  std::fill(data_.begin(), data_.end(), 0.0f);
+}
+
+void Tensor::FillZeroRows(int64_t row_begin, int64_t row_end) {
+  COMET_CHECK_GE(row_begin, 0);
+  COMET_CHECK_LE(row_begin, row_end);
+  COMET_CHECK_LE(row_end, rows());
+  std::fill(data_.begin() + row_begin * cols(),
+            data_.begin() + row_end * cols(), 0.0f);
+}
+
+void Tensor::FillRandn(Rng& rng, float stddev) {
+  // Exactly Randn's fill: same draw order, same rounding point.
+  for (auto& x : data_) {
+    x = static_cast<float>(rng.Normal(0.0, stddev));
+  }
+  Quantize();
+}
+
 Tensor Tensor::GatherRows(const Tensor& src, const std::vector<int64_t>& indices) {
   COMET_CHECK_EQ(src.shape().rank(), 2u);
   Tensor out(Shape{static_cast<int64_t>(indices.size()), src.cols()},

@@ -72,6 +72,30 @@ class Tensor {
   std::span<float> row(int64_t r);
   std::span<const float> row(int64_t r) const;
 
+  // ---- in-place workspace API ----------------------------------------------
+  // The serving plane's zero-allocation contract: a workspace tensor is
+  // Reserve()d once at its run-level bound, then ResetFormat2D() retargets
+  // it every iteration within that capacity -- no allocation, no implicit
+  // zeroing. Contents after ResetFormat2D are UNSPECIFIED (whatever the
+  // previous iteration left); callers either overwrite every row or
+  // FillZero the slice they need. Fill{Zero,Randn} are the in-place
+  // counterparts of Zeros/Randn and produce bit-identical values.
+
+  // Grows storage capacity to `num_elements` floats (allocates; warm-up
+  // only). Never shrinks, never changes shape or contents.
+  void Reserve(int64_t num_elements);
+  // Reshapes to (rows, cols) at `dtype` in place. Allocation-free whenever
+  // rows * cols fits the reserved capacity and the tensor was already
+  // rank-2 (or had rank >= 2 dims capacity).
+  void ResetFormat2D(int64_t rows, int64_t cols, DType dtype);
+  // Zeroes all elements / rows [row_begin, row_end) (rank-2).
+  void FillZero();
+  void FillZeroRows(int64_t row_begin, int64_t row_end);
+  // Refills with iid N(0, stddev^2), then rounds to dtype -- consumes the
+  // rng exactly like Randn, so pooled and freshly-constructed request
+  // tensors hold bit-identical values for the same rng state.
+  void FillRandn(Rng& rng, float stddev = 1.0f);
+
   // Gathers rows of `src` at `indices` into a new tensor (rank-2).
   static Tensor GatherRows(const Tensor& src, const std::vector<int64_t>& indices);
 

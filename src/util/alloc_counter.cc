@@ -1,0 +1,212 @@
+// Counting operator new/delete interposer. See alloc_counter.h for the
+// contract. This translation unit is only linked into binaries that
+// reference AllocCounter (the archive member is pulled by symbol
+// resolution), so ordinary binaries keep the default allocator.
+#include "util/alloc_counter.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <unistd.h>
+
+#if defined(__GLIBC__)
+#include <execinfo.h>
+#endif
+
+namespace comet::util {
+namespace {
+
+// All state is constant-initialized: the interposed operators can run
+// before main (static constructors of other TUs) and on any thread.
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_trap_checked{false};
+std::atomic<bool> g_trap{false};
+std::atomic<uint64_t> g_allocs{0};
+std::atomic<uint64_t> g_frees{0};
+std::atomic<uint64_t> g_bytes{0};
+
+thread_local uint64_t t_allocs = 0;
+thread_local uint64_t t_frees = 0;
+thread_local uint64_t t_bytes = 0;
+
+bool TrapRequested() {
+  // getenv on first use only; the result is latched. std::getenv does not
+  // allocate.
+  if (!g_trap_checked.load(std::memory_order_acquire)) {
+    const char* env = std::getenv("COMET_ALLOC_TRAP");
+    g_trap.store(env != nullptr && env[0] == '1', std::memory_order_relaxed);
+    g_trap_checked.store(true, std::memory_order_release);
+  }
+  return g_trap.load(std::memory_order_relaxed);
+}
+
+void MaybeTrap() {
+#if defined(__GLIBC__)
+  if (!TrapRequested()) {
+    return;
+  }
+  // First counted allocation only: name the call site. backtrace_symbols_fd
+  // writes straight to the fd without allocating.
+  static std::atomic<bool> fired{false};
+  bool expected = false;
+  if (fired.compare_exchange_strong(expected, true)) {
+    const char msg[] = "[alloc_counter] allocation inside counted window:\n";
+    (void)!write(STDERR_FILENO, msg, sizeof(msg) - 1);
+    void* frames[32];
+    const int n = backtrace(frames, 32);
+    backtrace_symbols_fd(frames, n, STDERR_FILENO);
+  }
+#endif
+}
+
+void CountAlloc(size_t size) {
+  if (!g_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  g_bytes.fetch_add(size, std::memory_order_relaxed);
+  ++t_allocs;
+  t_bytes += size;
+  MaybeTrap();
+}
+
+void CountFree() {
+  if (!g_enabled.load(std::memory_order_relaxed)) {
+    return;
+  }
+  g_frees.fetch_add(1, std::memory_order_relaxed);
+  ++t_frees;
+}
+
+void* AllocOrThrow(size_t size) {
+  CountAlloc(size);
+  if (size == 0) {
+    size = 1;
+  }
+  void* p = std::malloc(size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* AllocAligned(size_t size, size_t align) {
+  CountAlloc(size);
+  void* p = std::aligned_alloc(align, (size + align - 1) / align * align);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void AllocCounter::Enable() {
+  g_allocs.store(0, std::memory_order_relaxed);
+  g_frees.store(0, std::memory_order_relaxed);
+  g_bytes.store(0, std::memory_order_relaxed);
+  t_allocs = t_frees = t_bytes = 0;
+  g_enabled.store(true, std::memory_order_release);
+}
+
+void AllocCounter::Disable() {
+  g_enabled.store(false, std::memory_order_release);
+}
+
+bool AllocCounter::enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+AllocStats AllocCounter::Global() {
+  return AllocStats{g_allocs.load(std::memory_order_relaxed),
+                    g_frees.load(std::memory_order_relaxed),
+                    g_bytes.load(std::memory_order_relaxed)};
+}
+
+AllocStats AllocCounter::Thread() {
+  return AllocStats{t_allocs, t_frees, t_bytes};
+}
+
+bool AllocCounter::Interposed() {
+  // Self-test: a real allocation while counting must move the counter.
+  // Saves and restores the window so callers can probe at any time.
+  const bool was_enabled = enabled();
+  const AllocStats saved = Global();
+  const uint64_t saved_t_allocs = t_allocs;
+  const uint64_t saved_t_frees = t_frees;
+  const uint64_t saved_t_bytes = t_bytes;
+  g_enabled.store(true, std::memory_order_release);
+  const uint64_t before = g_allocs.load(std::memory_order_relaxed);
+  volatile char* probe = new char[8];
+  const uint64_t after = g_allocs.load(std::memory_order_relaxed);
+  delete[] probe;
+  g_allocs.store(saved.allocs, std::memory_order_relaxed);
+  g_frees.store(saved.frees, std::memory_order_relaxed);
+  g_bytes.store(saved.bytes, std::memory_order_relaxed);
+  t_allocs = saved_t_allocs;
+  t_frees = saved_t_frees;
+  t_bytes = saved_t_bytes;
+  g_enabled.store(was_enabled, std::memory_order_release);
+  return after == before + 1;
+}
+
+}  // namespace comet::util
+
+// ---- global operator new/delete replacements -------------------------------
+// Every variant the C++ runtime can emit, forwarded through one counting
+// funnel. Sized deletes forward to the unsized ones.
+
+void* operator new(size_t size) { return comet::util::AllocOrThrow(size); }
+void* operator new[](size_t size) { return comet::util::AllocOrThrow(size); }
+
+void* operator new(size_t size, const std::nothrow_t&) noexcept {
+  comet::util::CountAlloc(size);
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](size_t size, const std::nothrow_t&) noexcept {
+  comet::util::CountAlloc(size);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* operator new(size_t size, std::align_val_t align) {
+  return comet::util::AllocAligned(size, static_cast<size_t>(align));
+}
+void* operator new[](size_t size, std::align_val_t align) {
+  return comet::util::AllocAligned(size, static_cast<size_t>(align));
+}
+
+void operator delete(void* p) noexcept {
+  comet::util::CountFree();
+  std::free(p);
+}
+void operator delete[](void* p) noexcept {
+  comet::util::CountFree();
+  std::free(p);
+}
+void operator delete(void* p, size_t) noexcept { operator delete(p); }
+void operator delete[](void* p, size_t) noexcept { operator delete[](p); }
+void operator delete(void* p, std::align_val_t) noexcept {
+  comet::util::CountFree();
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  comet::util::CountFree();
+  std::free(p);
+}
+void operator delete(void* p, size_t, std::align_val_t) noexcept {
+  comet::util::CountFree();
+  std::free(p);
+}
+void operator delete[](void* p, size_t, std::align_val_t) noexcept {
+  comet::util::CountFree();
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  comet::util::CountFree();
+  std::free(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  comet::util::CountFree();
+  std::free(p);
+}

@@ -1,0 +1,70 @@
+// Heap-allocation counting for the zero-allocation regression tier.
+//
+// The serving plane's contract is that a steady-state StepIteration
+// performs ZERO heap allocations (docs/ARCHITECTURE.md, "The allocation
+// plane"). Contracts that are not enforced rot, so this header gives tests
+// and benches a malloc-counting interposer: linking alloc_counter.cc into a
+// binary replaces the global operator new/delete with counting versions
+// (every new/new[]/aligned/nothrow variant forwards to malloc; deletes to
+// free). Binaries that do not reference AllocCounter never pull the object
+// out of the static archive and keep the default allocator -- the counter
+// costs nothing where it is not wanted.
+//
+// Counting is split two ways:
+//  * a process-wide atomic total (relaxed increments), which is what the
+//    assertions use -- allocations on pool workers and rank threads count;
+//  * a per-thread count for attribution when a regression appears.
+//
+// Counting only happens between Enable() and Disable() so that test set-up
+// (gtest bookkeeping, scenario construction, warm-up) is never charged to
+// the window under measurement. For hunting a stray allocation, setting
+// COMET_ALLOC_TRAP=1 in the environment makes the first counted allocation
+// print a backtrace to stderr (backtrace_symbols_fd: async-signal-safe, no
+// allocation) so the offending call site names itself.
+#pragma once
+
+#include <cstdint>
+
+namespace comet::util {
+
+struct AllocStats {
+  uint64_t allocs = 0;  // operator new calls (all variants)
+  uint64_t frees = 0;   // operator delete calls (all variants)
+  uint64_t bytes = 0;   // sum of requested allocation sizes
+};
+
+class AllocCounter {
+ public:
+  // Starts counting (process-wide) and zeroes the global window.
+  static void Enable();
+  // Stops counting. Counts accumulated so far stay readable.
+  static void Disable();
+  static bool enabled();
+
+  // Totals since the last Enable(), across every thread.
+  static AllocStats Global();
+  // Counts attributed to the calling thread since the last Enable().
+  static AllocStats Thread();
+
+  // True when this binary links the counting operator new/delete. Tests
+  // assert on it so a build-system change that drops the interposer fails
+  // loudly instead of making every zero-allocation check vacuous.
+  static bool Interposed();
+};
+
+// RAII measurement window:
+//   AllocWindow w;                     // Enable + zero
+//   ... code under test ...
+//   const AllocStats s = w.Snapshot();  // read without stopping
+// Disable() runs at scope exit.
+class AllocWindow {
+ public:
+  AllocWindow() { AllocCounter::Enable(); }
+  ~AllocWindow() { AllocCounter::Disable(); }
+  AllocWindow(const AllocWindow&) = delete;
+  AllocWindow& operator=(const AllocWindow&) = delete;
+
+  AllocStats Snapshot() const { return AllocCounter::Global(); }
+};
+
+}  // namespace comet::util

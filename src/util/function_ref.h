@@ -1,0 +1,58 @@
+// Non-owning callable reference, the allocation-free cousin of
+// std::function.
+//
+// The thread pool and rank group run caller-provided callables whose
+// lifetime always spans the parallel region (the caller blocks until every
+// chunk retires). std::function is the wrong vehicle for that: any capture
+// list larger than two pointers spills to the heap, which puts an
+// allocation on the hottest path in the repo -- once per parallel region,
+// thousands of times per serving iteration. FunctionRef stores exactly
+// {object pointer, trampoline pointer}; construction from a lambda is free
+// and can never allocate.
+//
+// The price is the usual one: a FunctionRef must not outlive the callable
+// it refers to. Every use in this codebase is a downward call (the region
+// completes before the callable's scope ends), which is the only pattern
+// this type is meant for.
+#pragma once
+
+#include <type_traits>
+#include <utility>
+
+namespace comet {
+
+template <typename Signature>
+class FunctionRef;
+
+template <typename R, typename... Args>
+class FunctionRef<R(Args...)> {
+ public:
+  FunctionRef() = default;
+
+  // Implicit by design (mirrors std::function at call sites): any callable
+  // invocable with (Args...) -> R binds directly.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::remove_cvref_t<F>, FunctionRef> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  FunctionRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : obj_(const_cast<void*>(static_cast<const void*>(&f))),
+        call_(&Trampoline<std::remove_reference_t<F>>) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  template <typename F>
+  static R Trampoline(void* obj, Args... args) {
+    return (*static_cast<F*>(obj))(std::forward<Args>(args)...);
+  }
+
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
+
+}  // namespace comet

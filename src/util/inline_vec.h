@@ -1,0 +1,115 @@
+// Small vector with inline storage for the routing hot path.
+//
+// A TokenRoute holds topk expert ids and weights; topk is 2-8 in every
+// configuration the paper evaluates. With std::vector members, every copy
+// of a RoutingTable (the route plan keeps one) and every resize of the
+// token table costs two heap allocations per token -- the single largest
+// allocation source in a serving iteration. InlineVec stores up to N
+// elements in the object itself, so those copies and resizes touch no
+// heap at all; sizes beyond N (exotic topk) spill to a heap block and stay
+// correct, they just lose the zero-allocation property.
+//
+// Restricted to trivially-copyable T: elements move by memcpy and need no
+// destructor calls, which keeps vector<InlineVec> resizes allocation-free
+// within capacity.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <initializer_list>
+#include <type_traits>
+
+namespace comet::util {
+
+template <typename T, size_t N>
+class InlineVec {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "InlineVec is for POD element types");
+
+ public:
+  InlineVec() = default;
+  InlineVec(std::initializer_list<T> init) {
+    reserve(init.size());
+    for (const T& v : init) {
+      data_[size_++] = v;
+    }
+  }
+  InlineVec(const InlineVec& other) { *this = other; }
+  InlineVec(InlineVec&& other) noexcept { *this = other; }  // copy: cheap
+  ~InlineVec() {
+    if (data_ != inline_) {
+      delete[] data_;
+    }
+  }
+
+  InlineVec& operator=(const InlineVec& other) {
+    if (this == &other) {
+      return *this;
+    }
+    reserve(other.size_);
+    std::memcpy(data_, other.data_, other.size_ * sizeof(T));
+    size_ = other.size_;
+    return *this;
+  }
+  InlineVec& operator=(InlineVec&& other) noexcept { return *this = other; }
+
+  void push_back(const T& v) {
+    reserve(size_ + 1);
+    data_[size_++] = v;
+  }
+  void pop_back() { --size_; }
+  void clear() { size_ = 0; }
+  // vector semantics: new elements are value-initialized.
+  void resize(size_t n) {
+    reserve(n);
+    for (size_t i = size_; i < n; ++i) {
+      data_[i] = T{};
+    }
+    size_ = n;
+  }
+  void reserve(size_t n) {
+    if (n <= capacity_) {
+      return;
+    }
+    const size_t grown = std::max(n, capacity_ * 2);
+    T* heap = new T[grown];
+    std::memcpy(heap, data_, size_ * sizeof(T));
+    if (data_ != inline_) {
+      delete[] data_;
+    }
+    data_ = heap;
+    capacity_ = grown;
+  }
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  size_t capacity() const { return capacity_; }
+  // True while the elements live inside the object (the zero-allocation
+  // regime); false after a spill to the heap.
+  bool is_inline() const { return data_ == inline_; }
+
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+  T& back() { return data_[size_ - 1]; }
+  const T& back() const { return data_[size_ - 1]; }
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  T* begin() { return data_; }
+  T* end() { return data_ + size_; }
+  const T* begin() const { return data_; }
+  const T* end() const { return data_ + size_; }
+
+  friend bool operator==(const InlineVec& a, const InlineVec& b) {
+    return a.size_ == b.size_ &&
+           std::equal(a.begin(), a.end(), b.begin());
+  }
+
+ private:
+  T inline_[N];
+  T* data_ = inline_;
+  size_t size_ = 0;
+  size_t capacity_ = N;
+};
+
+}  // namespace comet::util

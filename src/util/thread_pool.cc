@@ -2,7 +2,6 @@
 
 #include <condition_variable>
 #include <cstdlib>
-#include <deque>
 #include <exception>
 #include <mutex>
 #include <thread>
@@ -37,9 +36,29 @@ int DefaultThreadCount() {
 }  // namespace
 
 struct ThreadPool::Impl {
+  // POD task: trampoline + context + one integer argument. Tasks must not
+  // throw out of fn (the trampolines catch internally), and the ctx object
+  // must outlive the task -- both guaranteed because every submitter blocks
+  // until its whole region retired.
+  struct Task {
+    void (*fn)(void*, int64_t) = nullptr;
+    void* ctx = nullptr;
+    int64_t arg = 0;
+  };
+
+  // Fixed ring: Submit blocks when full instead of growing. Safe from
+  // deadlock because tasks never submit tasks (nested regions run inline),
+  // so the workers always drain. 1024 slots is far above the largest chunk
+  // fan-out (chunks <= num_threads <= kMaxThreads is capped per region to
+  // the worker count anyway).
+  static constexpr size_t kRingCapacity = 1024;
+
   std::mutex mutex;
-  std::condition_variable cv;
-  std::deque<std::function<void()>> queue;
+  std::condition_variable task_cv;   // workers: ring non-empty or stopping
+  std::condition_variable space_cv;  // submitters: ring has room
+  Task ring[kRingCapacity];
+  size_t head = 0;
+  size_t count = 0;
   std::vector<std::thread> workers;
   bool stopping = false;
 
@@ -55,7 +74,7 @@ struct ThreadPool::Impl {
       std::lock_guard<std::mutex> lock(mutex);
       stopping = true;
     }
-    cv.notify_all();
+    task_cv.notify_all();
     for (std::thread& t : workers) {
       t.join();
     }
@@ -64,26 +83,32 @@ struct ThreadPool::Impl {
   void WorkerLoop() {
     t_inside_parallel_region = true;  // workers always run task code
     for (;;) {
-      std::function<void()> task;
+      Task task;
       {
         std::unique_lock<std::mutex> lock(mutex);
-        cv.wait(lock, [this] { return stopping || !queue.empty(); });
-        if (queue.empty()) {
+        task_cv.wait(lock, [this] { return stopping || count > 0; });
+        if (count == 0) {
           return;  // stopping and drained
         }
-        task = std::move(queue.front());
-        queue.pop_front();
+        task = ring[head];
+        head = (head + 1) % kRingCapacity;
+        --count;
+        if (count == kRingCapacity - 1) {
+          space_cv.notify_all();  // a submitter may be blocked on full
+        }
       }
-      task();
+      task.fn(task.ctx, task.arg);
     }
   }
 
-  void Submit(std::function<void()> task) {
+  void Submit(void (*fn)(void*, int64_t), void* ctx, int64_t arg) {
     {
-      std::lock_guard<std::mutex> lock(mutex);
-      queue.push_back(std::move(task));
+      std::unique_lock<std::mutex> lock(mutex);
+      space_cv.wait(lock, [this] { return count < kRingCapacity; });
+      ring[(head + count) % kRingCapacity] = Task{fn, ctx, arg};
+      ++count;
     }
-    cv.notify_one();
+    task_cv.notify_one();
   }
 };
 
@@ -96,9 +121,52 @@ ThreadPool::ThreadPool(int num_threads)
 
 ThreadPool::~ThreadPool() = default;
 
-void ThreadPool::ParallelForChunks(
-    int64_t begin, int64_t end, int64_t grain,
-    const std::function<void(int64_t, int64_t)>& fn, int max_chunks) {
+namespace {
+
+// Shared state of one ParallelForChunks region; lives on the caller's
+// stack. Holds the SINGLE winning error: the one from the lowest-numbered
+// failing chunk (the order a serial run would have surfaced it).
+struct ChunkRegion {
+  FunctionRef<void(int64_t, int64_t)> fn;
+  int64_t begin = 0;
+  int64_t base = 0;
+  int64_t rem = 0;
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  int64_t remaining = 0;
+  std::exception_ptr error;
+  int64_t error_chunk = INT64_MAX;
+
+  void RunChunk(int64_t c) {
+    const int64_t chunk_begin = begin + c * base + (c < rem ? c : rem);
+    const int64_t chunk_end = chunk_begin + base + (c < rem ? 1 : 0);
+    try {
+      fn(chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (c < error_chunk) {
+        error_chunk = c;
+        error = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (--remaining == 0) {
+        done_cv.notify_all();
+      }
+    }
+  }
+
+  static void Trampoline(void* ctx, int64_t c) {
+    static_cast<ChunkRegion*>(ctx)->RunChunk(c);
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
+                                   FunctionRef<void(int64_t, int64_t)> fn,
+                                   int max_chunks) {
   if (begin >= end) {
     return;
   }
@@ -133,70 +201,116 @@ void ThreadPool::ParallelForChunks(
 
   // Static partition: chunk c covers base indices; the first `rem` chunks
   // take one extra. Depends only on (range, chunks) -- deterministic.
-  const int64_t base = range / chunks;
-  const int64_t rem = range % chunks;
-
-  struct Shared {
-    std::mutex mutex;
-    std::condition_variable done_cv;
-    int64_t remaining = 0;
-    std::vector<std::exception_ptr> errors;
-  } shared;
-  shared.remaining = chunks;
-  shared.errors.assign(static_cast<size_t>(chunks), nullptr);
-
-  auto run_chunk = [&](int64_t c) {
-    int64_t chunk_begin = begin + c * base + (c < rem ? c : rem);
-    int64_t chunk_end = chunk_begin + base + (c < rem ? 1 : 0);
-    try {
-      fn(chunk_begin, chunk_end);
-    } catch (...) {
-      std::lock_guard<std::mutex> lock(shared.mutex);
-      shared.errors[static_cast<size_t>(c)] = std::current_exception();
-    }
-    {
-      std::lock_guard<std::mutex> lock(shared.mutex);
-      if (--shared.remaining == 0) {
-        shared.done_cv.notify_all();
-      }
-    }
-  };
+  ChunkRegion region;
+  region.fn = fn;
+  region.begin = begin;
+  region.base = range / chunks;
+  region.rem = range % chunks;
+  region.remaining = chunks;
 
   for (int64_t c = 1; c < chunks; ++c) {
-    impl_->Submit([&run_chunk, c] {
-      run_chunk(c);
-    });
+    impl_->Submit(&ChunkRegion::Trampoline, &region, c);
   }
   // The calling thread takes chunk 0 (and is inside a parallel region while
   // doing so, so nested ParallelFor calls inline).
   {
     const bool was_inside = t_inside_parallel_region;
     t_inside_parallel_region = true;
-    run_chunk(0);
+    region.RunChunk(0);
     t_inside_parallel_region = was_inside;
   }
   {
-    std::unique_lock<std::mutex> lock(shared.mutex);
-    shared.done_cv.wait(lock, [&shared] { return shared.remaining == 0; });
+    std::unique_lock<std::mutex> lock(region.mutex);
+    region.done_cv.wait(lock, [&region] { return region.remaining == 0; });
   }
-  for (const std::exception_ptr& err : shared.errors) {
-    if (err) {
-      std::rethrow_exception(err);
+  if (region.error) {
+    std::rethrow_exception(region.error);
+  }
+}
+
+namespace {
+
+// Per-index adapter: lives on the caller's stack for the duration of the
+// region, so the inner FunctionRef stays valid.
+struct IndexBody {
+  FunctionRef<void(int64_t)> fn;
+  void operator()(int64_t chunk_begin, int64_t chunk_end) const {
+    for (int64_t i = chunk_begin; i < chunk_end; ++i) {
+      fn(i);
     }
+  }
+};
+
+// One ForEachWorker sweep: `total` tasks, each claimed by a distinct worker
+// (the latch at claim time prevents any worker from taking two).
+struct WorkerSweep {
+  FunctionRef<void(int)> hook;
+  int total = 0;
+  std::mutex mutex;
+  std::condition_variable cv;
+  int claimed = 0;
+  int done = 0;
+  std::exception_ptr error;
+
+  static void Trampoline(void* ctx, int64_t) {
+    static_cast<WorkerSweep*>(ctx)->Run();
+  }
+
+  void Run() {
+    int index;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      index = claimed++;
+      if (claimed == total) {
+        cv.notify_all();
+      } else {
+        // Hold this worker until every task is claimed: that is what pins
+        // one task to one worker.
+        cv.wait(lock, [this] { return claimed == total; });
+      }
+    }
+    try {
+      hook(index);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (!error) {
+        error = std::current_exception();
+      }
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (++done == total) {
+        cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::ForEachWorker(FunctionRef<void(int)> hook) {
+  if (impl_ == nullptr) {
+    return;
+  }
+  WorkerSweep sweep;
+  sweep.hook = hook;
+  sweep.total = static_cast<int>(impl_->workers.size());
+  for (int i = 0; i < sweep.total; ++i) {
+    impl_->Submit(&WorkerSweep::Trampoline, &sweep, i);
+  }
+  {
+    std::unique_lock<std::mutex> lock(sweep.mutex);
+    sweep.cv.wait(lock, [&sweep] { return sweep.done == sweep.total; });
+  }
+  if (sweep.error) {
+    std::rethrow_exception(sweep.error);
   }
 }
 
 void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                             const std::function<void(int64_t)>& fn,
-                             int max_chunks) {
-  ParallelForChunks(
-      begin, end, grain,
-      [&fn](int64_t chunk_begin, int64_t chunk_end) {
-        for (int64_t i = chunk_begin; i < chunk_end; ++i) {
-          fn(i);
-        }
-      },
-      max_chunks);
+                             FunctionRef<void(int64_t)> fn, int max_chunks) {
+  const IndexBody body{fn};
+  ParallelForChunks(begin, end, grain, body, max_chunks);
 }
 
 namespace {
@@ -258,13 +372,13 @@ ScopedThreadLimit::ScopedThreadLimit(int max_threads)
 ScopedThreadLimit::~ScopedThreadLimit() { t_thread_limit = previous_; }
 
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t)>& fn, int max_threads) {
+                 FunctionRef<void(int64_t)> fn, int max_threads) {
   GlobalThreadPool().ParallelFor(begin, end, grain, fn,
                                  CombineLimits(t_thread_limit, max_threads));
 }
 
 void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
-                       const std::function<void(int64_t, int64_t)>& fn,
+                       FunctionRef<void(int64_t, int64_t)> fn,
                        int max_threads) {
   GlobalThreadPool().ParallelForChunks(
       begin, end, grain, fn, CombineLimits(t_thread_limit, max_threads));

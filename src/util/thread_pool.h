@@ -10,11 +10,20 @@
 //
 // Nested calls (a ParallelFor issued from inside a worker) run inline on the
 // calling worker; the pool never deadlocks on its own tasks.
+//
+// Zero-allocation contract: dispatching a parallel region performs no heap
+// allocation. Callables are passed by FunctionRef (non-owning, two
+// pointers; the caller blocks until the region retires, so the referent
+// always outlives the region), and tasks travel through a fixed POD ring
+// instead of a deque of std::function. The serving plane issues thousands
+// of regions per iteration; with std::function those were thousands of
+// silent mallocs.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
+
+#include "util/function_ref.h"
 
 namespace comet {
 
@@ -36,13 +45,23 @@ class ThreadPool {
   // finished. If any fn throws, the exception from the lowest-numbered
   // failing chunk is rethrown after all chunks complete.
   void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                   const std::function<void(int64_t)>& fn, int max_chunks = 0);
+                   FunctionRef<void(int64_t)> fn, int max_chunks = 0);
 
   // Chunk-granular variant: fn(chunk_begin, chunk_end) once per chunk.
   // Preferred for fine-grained bodies (amortizes the per-index indirection).
   void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
-                         const std::function<void(int64_t, int64_t)>& fn,
+                         FunctionRef<void(int64_t, int64_t)> fn,
                          int max_chunks = 0);
+
+  // Runs hook(i) exactly once on EACH worker thread (i = 0 .. workers - 1,
+  // in claim order), then returns. A latch inside the tasks guarantees no
+  // worker runs two of them. This exists to warm thread_local scratch
+  // buffers (GEMM panel scratch, heap wire buffers) on every worker before
+  // a zero-allocation measurement window opens -- pool workers are claimed
+  // dynamically, so without an explicit sweep a worker could touch its
+  // scratch for the first time mid-window. No-op for a serial pool. Must
+  // not be called concurrently with a running parallel region.
+  void ForEachWorker(FunctionRef<void(int)> hook);
 
  private:
   struct Impl;
@@ -67,9 +86,9 @@ void SetGlobalThreadCount(int n);
 // (the pre-parallel behavior). An enclosing ScopedThreadLimit also applies
 // (the smaller of the two wins).
 void ParallelFor(int64_t begin, int64_t end, int64_t grain,
-                 const std::function<void(int64_t)>& fn, int max_threads = 0);
+                 FunctionRef<void(int64_t)> fn, int max_threads = 0);
 void ParallelForChunks(int64_t begin, int64_t end, int64_t grain,
-                       const std::function<void(int64_t, int64_t)>& fn,
+                       FunctionRef<void(int64_t, int64_t)> fn,
                        int max_threads = 0);
 
 // Innermost ScopedThreadLimit cap active on the calling thread (0 = none).

@@ -153,5 +153,94 @@ TEST(Tensor, DebugStringTruncates) {
   EXPECT_NE(s.find("..."), std::string::npos);
 }
 
+// ---- in-place workspace API (the serving plane's zero-alloc contract) ------
+
+TEST(Shape, SetDims2RetargetsInPlace) {
+  Shape s{3, 4, 5};
+  s.SetDims2(6, 7);
+  EXPECT_EQ(s.rank(), 2u);
+  EXPECT_EQ(s[0], 6);
+  EXPECT_EQ(s[1], 7);
+  EXPECT_EQ(s.NumElements(), 42);
+  // Rank can grow back from a lower-rank state too.
+  Shape flat{10};
+  flat.SetDims2(2, 5);
+  EXPECT_EQ(flat.rank(), 2u);
+  EXPECT_EQ(flat.NumElements(), 10);
+}
+
+TEST(Tensor, ReserveThenResetFormat2DDoesNotAllocate) {
+  Tensor t;
+  t.Reserve(8 * 16);
+  t.ResetFormat2D(2, 4, DType::kF32);  // establish rank-2 dims capacity
+  const float* storage = t.data().data();
+  // Any 2-D shape within the reserved element count reuses the same block.
+  t.ResetFormat2D(8, 16, DType::kBF16);
+  EXPECT_EQ(t.rows(), 8);
+  EXPECT_EQ(t.cols(), 16);
+  EXPECT_EQ(t.dtype(), DType::kBF16);
+  EXPECT_EQ(t.data().data(), storage);
+  t.ResetFormat2D(3, 5, DType::kF32);
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.data().data(), storage);
+}
+
+TEST(Tensor, FillZeroAndFillZeroRows) {
+  Tensor t(Shape{4, 3});
+  for (int64_t r = 0; r < 4; ++r) {
+    for (int64_t c = 0; c < 3; ++c) {
+      t.at({r, c}) = 1.0f + static_cast<float>(r * 3 + c);
+    }
+  }
+  t.FillZeroRows(1, 3);
+  for (int64_t c = 0; c < 3; ++c) {
+    EXPECT_NE(t.at({0, c}), 0.0f);
+    EXPECT_EQ(t.at({1, c}), 0.0f);
+    EXPECT_EQ(t.at({2, c}), 0.0f);
+    EXPECT_NE(t.at({3, c}), 0.0f);
+  }
+  t.FillZero();
+  for (float v : t.data()) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
+// FillRandn into a reused workspace must consume the rng exactly like the
+// Randn constructor: the serving plane's pooled request tensors depend on a
+// pooled and a freshly-constructed prompt being bit-identical.
+TEST(Tensor, FillRandnMatchesRandnBitForBit) {
+  for (DType dtype : {DType::kF32, DType::kBF16, DType::kF16}) {
+    Rng fresh(42);
+    const Tensor constructed = Tensor::Randn(Shape{5, 7}, fresh, 0.5f, dtype);
+
+    Tensor pooled;
+    pooled.Reserve(9 * 11);  // stale, larger prior use
+    pooled.ResetFormat2D(9, 11, DType::kF32);
+    Rng reused(42);
+    pooled.ResetFormat2D(5, 7, dtype);
+    pooled.FillRandn(reused, 0.5f);
+
+    EXPECT_EQ(Tensor::MaxAbsDiff(constructed, pooled), 0.0f)
+        << DTypeName(dtype);
+    // And the rngs must be in the same state afterwards (same draw count).
+    EXPECT_EQ(fresh.NextU64(), reused.NextU64()) << DTypeName(dtype);
+  }
+}
+
+TEST(Tensor, ResetFormat2DContentsAreOverwrittenNotTrusted) {
+  // The contract: contents after ResetFormat2D are unspecified. Callers
+  // either overwrite or FillZero -- this pins the supported recipe.
+  Tensor t;
+  t.Reserve(6);
+  t.ResetFormat2D(2, 3, DType::kF32);
+  t.FillZero();
+  t.at({1, 2}) = 9.0f;
+  t.ResetFormat2D(3, 2, DType::kF32);
+  t.FillZeroRows(0, 3);
+  for (float v : t.data()) {
+    EXPECT_EQ(v, 0.0f);
+  }
+}
+
 }  // namespace
 }  // namespace comet
