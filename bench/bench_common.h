@@ -113,6 +113,15 @@ void SetBenchPlacements(std::vector<PlacementPolicy> placements);
 bool BenchFaults();
 void SetBenchFaults(bool on);
 
+// Adaptation-plane sweep of the serving bench (serve_loadgen): synthetic
+// skewed routing (load std in {0, 0.032, 0.1} -- 0.032 is the paper's
+// production trace, Figure 14), static and drifting hot spots, with
+// hot-expert replication off vs on, reporting p99 ITL/e2e, promotions, and
+// whether the served bits matched the unadapted run (they must: replication
+// is bit-transparent). Set by `comet_bench --skew`; default off.
+bool BenchSkew();
+void SetBenchSkew(bool on);
+
 // Runs exactly one bench by full name (used by the per-figure binaries).
 int RunSingleBench(const std::string& name);
 

@@ -132,6 +132,8 @@ void PrintUsage() {
       "                   list of rr|least-loaded|p2c|sticky (default all)\n"
       "  --faults         also run the fail-then-recover recovery sweep of\n"
       "                   the cluster serving bench (default off)\n"
+      "  --skew           also run the expert-skew adaptation sweep of the\n"
+      "                   serving bench (replication off vs on; default off)\n"
       "  --help           this message\n";
 }
 
@@ -145,6 +147,7 @@ std::vector<PlacementPolicy> g_bench_placements = {
     PlacementPolicy::kSticky,
 };
 bool g_bench_faults = false;
+bool g_bench_skew = false;
 
 }  // namespace
 
@@ -173,6 +176,10 @@ void SetBenchPlacements(std::vector<PlacementPolicy> placements) {
 bool BenchFaults() { return g_bench_faults; }
 
 void SetBenchFaults(bool on) { g_bench_faults = on; }
+
+bool BenchSkew() { return g_bench_skew; }
+
+void SetBenchSkew(bool on) { g_bench_skew = on; }
 
 std::vector<BenchInfo>& Registry() {
   static std::vector<BenchInfo>* registry = new std::vector<BenchInfo>();
@@ -326,6 +333,8 @@ int BenchMain(int argc, char** argv) {
       SetBenchPlacements(std::move(placements));
     } else if (arg == "--faults") {
       SetBenchFaults(true);
+    } else if (arg == "--skew") {
+      SetBenchSkew(true);
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 
 #include "comm/symmetric_heap.h"
 #include "core/fused_kernel.h"
@@ -55,7 +56,21 @@ struct CometExecutor::FunctionalScratch {
   int64_t heap_group_tokens = 0;
   int64_t heap_topk = 0;
   int64_t heap_n_embed = 0;
+  int64_t heap_hidden = 0;
   DType heap_dtype = DType::kF32;
+
+  // Hot-expert replica weight slabs: one (W0, W1) buffer pair per replica
+  // slot, allocated with the heap when max_replicated_experts > 0. Slab
+  // CONTENTS persist across iterations (no per-batch ResizeRows); a promote
+  // overwrites them, a retire merely marks the slot free. `slots` mirrors
+  // the tracker's view so the weight fetch can assert plan and slab agree.
+  struct ReplicaSlot {
+    int64_t expert = -1;
+    int ep_group = -1;
+  };
+  std::vector<SymmetricBufferId> w0_slab;
+  std::vector<SymmetricBufferId> w1_slab;
+  std::vector<ReplicaSlot> slots;
 
   struct RankScratch {
     ScheduleScratch sched;
@@ -83,6 +98,7 @@ CometExecutor::CometExecutor(CometOptions options)
   COMET_CHECK_GT(options_.tile_n, 0);
   COMET_CHECK_GE(options_.fixed_comm_blocks, 0);
   COMET_CHECK_GT(options_.signal_wait_timeout_ms, 0);
+  COMET_CHECK_GE(options_.max_replicated_experts, 0);
 }
 
 CometExecutor::~CometExecutor() = default;
@@ -175,7 +191,11 @@ void CometExecutor::PrepareServing(const Placement& max_placement,
   // same expert); chunk/tile counts follow from the tile geometry. These are
   // over-approximations -- capacity is cheap, a mid-window realloc is not.
   const int64_t max_rows = total_tokens;
-  const int64_t chunks_max = epg * CeilDiv(max_rows, options_.tile_m);
+  // Every rank's plan carries epg home slices plus (with replication on)
+  // max_replicated_experts replica slices -- always, active or not -- so all
+  // per-slice workspaces size at the combined bound.
+  const int64_t slices_max = epg + options_.max_replicated_experts;
+  const int64_t chunks_max = slices_max * CeilDiv(max_rows, options_.tile_m);
   const int64_t col_tiles0 = CeilDiv(hidden, options_.tile_n);
   const int64_t col_tiles1 = CeilDiv(n_embed, options_.tile_n);
   const int64_t tiles_max = chunks_max * std::max(col_tiles0, col_tiles1);
@@ -185,13 +205,13 @@ void CometExecutor::PrepareServing(const Placement& max_placement,
     ws.schedule_scratch.class_count.reserve(static_cast<size_t>(ep));
     ws.schedule_scratch.class_offset.reserve(static_cast<size_t>(ep));
     ws.schedule_scratch.tiles_tmp.reserve(static_cast<size_t>(tiles_max));
-    ws.layer0.row_order.resize(static_cast<size_t>(epg));
+    ws.layer0.row_order.resize(static_cast<size_t>(slices_max));
     for (auto& order : ws.layer0.row_order) {
       order.reserve(static_cast<size_t>(max_rows));
     }
     ws.layer0.tiles.reserve(static_cast<size_t>(tiles_max));
     ws.layer1.tiles.reserve(static_cast<size_t>(tiles_max));
-    ws.chunk_base.reserve(static_cast<size_t>(epg));
+    ws.chunk_base.reserve(static_cast<size_t>(slices_max));
     ws.chunk_seen.reserve(static_cast<size_t>(chunks_max));
     ws.chunk_intra.reserve(static_cast<size_t>(chunks_max));
     ws.chunk_inter.reserve(static_cast<size_t>(chunks_max));
@@ -214,26 +234,26 @@ void CometExecutor::PrepareServing(const Placement& max_placement,
     rs.sched.class_count.reserve(static_cast<size_t>(ep));
     rs.sched.class_offset.reserve(static_cast<size_t>(ep));
     rs.sched.tiles_tmp.reserve(static_cast<size_t>(tiles_max));
-    rs.schedule0.row_order.resize(static_cast<size_t>(epg));
+    rs.schedule0.row_order.resize(static_cast<size_t>(slices_max));
     for (auto& order : rs.schedule0.row_order) {
       order.reserve(static_cast<size_t>(max_rows));
     }
     rs.schedule0.tiles.reserve(static_cast<size_t>(tiles_max));
     rs.schedule1.tiles.reserve(static_cast<size_t>(tiles_max));
-    rs.a_in.resize(static_cast<size_t>(epg));
-    rs.h_mid.resize(static_cast<size_t>(epg));
-    rs.y_out.resize(static_cast<size_t>(epg));
-    for (int64_t le = 0; le < epg; ++le) {
+    rs.a_in.resize(static_cast<size_t>(slices_max));
+    rs.h_mid.resize(static_cast<size_t>(slices_max));
+    rs.y_out.resize(static_cast<size_t>(slices_max));
+    for (int64_t le = 0; le < slices_max; ++le) {
       rs.a_in[static_cast<size_t>(le)].Reserve(max_rows * n_embed);
       rs.h_mid[static_cast<size_t>(le)].Reserve(max_rows * hidden);
       rs.y_out[static_cast<size_t>(le)].Reserve(max_rows * n_embed);
     }
-    rs.problem0.a.reserve(static_cast<size_t>(epg));
-    rs.problem0.b.reserve(static_cast<size_t>(epg));
-    rs.problem0.c.reserve(static_cast<size_t>(epg));
-    rs.problem1.a.reserve(static_cast<size_t>(epg));
-    rs.problem1.b.reserve(static_cast<size_t>(epg));
-    rs.problem1.c.reserve(static_cast<size_t>(epg));
+    rs.problem0.a.reserve(static_cast<size_t>(slices_max));
+    rs.problem0.b.reserve(static_cast<size_t>(slices_max));
+    rs.problem0.c.reserve(static_cast<size_t>(slices_max));
+    rs.problem1.a.reserve(static_cast<size_t>(slices_max));
+    rs.problem1.b.reserve(static_cast<size_t>(slices_max));
+    rs.problem1.c.reserve(static_cast<size_t>(slices_max));
   }
 
   // ---- warm thread-local scratch on every thread that can touch it ----------
@@ -243,7 +263,9 @@ void CometExecutor::PrepareServing(const Placement& max_placement,
   const int64_t max_gemm_k = std::max(n_embed, hidden);
   const auto warm = [&](int) {
     WarmGemmScratch(max_gemm_k);
-    WarmHeapWireScratch(n_embed);
+    // Wire scratch covers undispatch rows (n_embed) and replica-slab weight
+    // rows (up to hidden), so warm at the wider bound.
+    WarmHeapWireScratch(max_gemm_k);
     CombineRowBuf().reserve(static_cast<size_t>(n_embed));
   };
   GlobalThreadPool().ForEachWorker(warm);
@@ -409,10 +431,12 @@ void CometExecutor::EnsureFunctionalCapacity(FunctionalScratch& scratch,
   const int64_t group_tokens = placement.tokens_per_group();
   const int64_t topk = placement.model().topk;
   const int64_t n_embed = placement.model().embedding;
+  const int64_t hidden = placement.HiddenPerTpRank();
   const DType dtype = options_.compute_dtype;
   if (!scratch.heap.has_value() || scratch.heap_world != world ||
       scratch.heap_group_tokens < group_tokens || scratch.heap_topk != topk ||
-      scratch.heap_n_embed != n_embed || scratch.heap_dtype != dtype) {
+      scratch.heap_n_embed != n_embed || scratch.heap_hidden != hidden ||
+      scratch.heap_dtype != dtype) {
     scratch.heap.emplace(world,
                          HeapIntegrityOptions{options_.verify_transport,
                                               options_.corrupt_rate,
@@ -428,10 +452,32 @@ void CometExecutor::EnsureFunctionalCapacity(FunctionalScratch& scratch,
     // smaller batch simply leaves the tail words untouched at zero.
     scratch.contrib_sig =
         scratch.heap->AllocateSignals("moe-contrib-ready", group_tokens * topk);
+    // Replica weight slabs, one (W0, W1) pair per slot. A heap rebuild
+    // wipes slab contents, so every slot resets to free -- the serving
+    // plane only rebuilds in PrepareServing, before any promotion.
+    scratch.w0_slab.clear();
+    scratch.w1_slab.clear();
+    scratch.slots.clear();
+    if (options_.max_replicated_experts > 0) {
+      const size_t n_slots =
+          static_cast<size_t>(options_.max_replicated_experts);
+      scratch.w0_slab.reserve(n_slots);
+      scratch.w1_slab.reserve(n_slots);
+      for (size_t s = 0; s < n_slots; ++s) {
+        scratch.w0_slab.push_back(
+            scratch.heap->Allocate("replica-w0-slot" + std::to_string(s),
+                                   Shape{n_embed, hidden}, dtype));
+        scratch.w1_slab.push_back(
+            scratch.heap->Allocate("replica-w1-slot" + std::to_string(s),
+                                   Shape{hidden, n_embed}, dtype));
+      }
+      scratch.slots.assign(n_slots, FunctionalScratch::ReplicaSlot{});
+    }
     scratch.heap_world = world;
     scratch.heap_group_tokens = group_tokens;
     scratch.heap_topk = topk;
     scratch.heap_n_embed = n_embed;
+    scratch.heap_hidden = hidden;
     scratch.heap_dtype = dtype;
   }
   scratch.ranks.resize(static_cast<size_t>(world));
@@ -500,6 +546,36 @@ void CometExecutor::RunFunctionalInto(const MoeWorkload& workload,
     FunctionalScratch::RankScratch& rs =
         scratch.ranks[static_cast<size_t>(r)];
 
+    // Weight operand for local slice `le`: home slices read the sharded
+    // store; replica slices (index >= epg) read this rank's slab copy,
+    // placed there by PromoteReplica. An inactive replica slice has zero
+    // rows -- its operand is never touched by any tile -- so any valid
+    // tensor stands in. The const Local read does not disturb transport
+    // checksums (only writers invalidate).
+    const int64_t epg = placement.ExpertsPerGroup();
+    const auto weight_for = [&](size_t le, bool layer0) -> const Tensor* {
+      const int64_t expert = rank_plan.experts[le].expert;
+      if (static_cast<int64_t>(le) < epg) {
+        return layer0 ? &workload.sharded_weights->W0Shard(expert, lane)
+                      : &workload.sharded_weights->W1Shard(expert, lane);
+      }
+      if (expert < 0) {
+        return layer0 ? &workload.sharded_weights->W0Shard(0, lane)
+                      : &workload.sharded_weights->W1Shard(0, lane);
+      }
+      const size_t slot = le - static_cast<size_t>(epg);
+      COMET_CHECK_LT(slot, scratch.slots.size())
+          << "plan has replica slices but the executor was not configured "
+             "with max_replicated_experts";
+      COMET_CHECK_EQ(scratch.slots[slot].expert, expert)
+          << "replica slot " << slot << " holds a different expert's weights";
+      COMET_CHECK_EQ(scratch.slots[slot].ep_group, group)
+          << "replica slot " << slot << " promoted onto a different group";
+      const SymmetricHeap& cheap = heap;
+      return layer0 ? &cheap.Local(scratch.w0_slab[slot], r)
+                    : &cheap.Local(scratch.w1_slab[slot], r);
+    };
+
     BuildLayer0ScheduleInto(rank_plan, group, ep, hidden, options_.tile_m,
                             options_.tile_n, options_.reschedule, rs.sched,
                             &rs.schedule0);
@@ -542,8 +618,7 @@ void CometExecutor::RunFunctionalInto(const MoeWorkload& workload,
     problem0.c.clear();
     for (size_t le = 0; le < n_experts; ++le) {
       problem0.a.push_back(&rs.a_in[le]);
-      problem0.b.push_back(
-          &workload.sharded_weights->W0Shard(rank_plan.experts[le].expert, lane));
+      problem0.b.push_back(weight_for(le, /*layer0=*/true));
       problem0.c.push_back(&rs.h_mid[le]);
     }
     // Tiles write disjoint output patches: dispatch them across the pool in
@@ -570,8 +645,7 @@ void CometExecutor::RunFunctionalInto(const MoeWorkload& workload,
     problem1.c.clear();
     for (size_t le = 0; le < n_experts; ++le) {
       problem1.a.push_back(&rs.h_mid[le]);
-      problem1.b.push_back(
-          &workload.sharded_weights->W1Shard(rank_plan.experts[le].expert, lane));
+      problem1.b.push_back(weight_for(le, /*layer0=*/false));
       problem1.c.push_back(&rs.y_out[le]);
     }
     ParallelFor(
@@ -677,6 +751,74 @@ void CometExecutor::RunFunctionalInto(const MoeWorkload& workload,
   scratch.group.Configure(
       world, RankGroupOptions{.num_threads = options_.num_threads});
   scratch.group.Run(produce, consume);
+}
+
+void CometExecutor::PromoteReplica(int slot, int64_t expert, int ep_group,
+                                   const Placement& placement,
+                                   const ShardedExpertWeights& weights) {
+  COMET_CHECK(serving_ != nullptr)
+      << "PromoteReplica requires PrepareServing first";
+  FunctionalScratch& fn = serving_->fn;
+  COMET_CHECK_GE(slot, 0);
+  COMET_CHECK_LT(slot, static_cast<int>(fn.slots.size()))
+      << "replica slot beyond max_replicated_experts";
+  FunctionalScratch::ReplicaSlot& state = fn.slots[static_cast<size_t>(slot)];
+  COMET_CHECK_LT(state.expert, 0) << "replica slot " << slot << " is busy";
+  COMET_CHECK_GE(expert, 0);
+  COMET_CHECK_LT(expert, placement.model().num_experts);
+  const int home = placement.EpGroupOfExpert(expert);
+  COMET_CHECK_GE(ep_group, 0);
+  COMET_CHECK_LT(ep_group, placement.parallel().ep);
+  COMET_CHECK_NE(ep_group, home)
+      << "replica of expert " << expert << " placed on its home group";
+  SymmetricHeap& heap = *fn.heap;
+  const SymmetricHeap& cheap = heap;  // const reads leave checksums intact
+  const SymmetricBufferId b0 = fn.w0_slab[static_cast<size_t>(slot)];
+  const SymmetricBufferId b1 = fn.w1_slab[static_cast<size_t>(slot)];
+  // Lane-matched weight transfer: each target-group lane receives the
+  // expert's shard for its lane from the matching home rank, row by row
+  // over the symmetric heap (counted as fabric traffic like any other put).
+  // PutRow rounds to the slab dtype -- the identity on already-quantized
+  // shards -- so replica math runs on bit-identical operands.
+  const int tp = placement.parallel().tp;
+  for (int lane = 0; lane < tp; ++lane) {
+    const int src = placement.RankOf(home, lane);
+    const int dst = placement.RankOf(ep_group, lane);
+    const Tensor& w0 = weights.W0Shard(expert, lane);
+    const Tensor& w1 = weights.W1Shard(expert, lane);
+    COMET_CHECK_EQ(w0.rows(), cheap.Local(b0, dst).rows());
+    COMET_CHECK_EQ(w0.cols(), cheap.Local(b0, dst).cols());
+    COMET_CHECK_EQ(w1.rows(), cheap.Local(b1, dst).rows());
+    COMET_CHECK_EQ(w1.cols(), cheap.Local(b1, dst).cols());
+    for (int64_t i = 0; i < w0.rows(); ++i) {
+      heap.PutRow(b0, src, dst, i, w0.row(i));
+    }
+    for (int64_t i = 0; i < w1.rows(); ++i) {
+      heap.PutRow(b1, src, dst, i, w1.row(i));
+    }
+  }
+  state.expert = expert;
+  state.ep_group = ep_group;
+}
+
+void CometExecutor::RetireReplica(int slot) {
+  COMET_CHECK(serving_ != nullptr)
+      << "RetireReplica requires PrepareServing first";
+  FunctionalScratch& fn = serving_->fn;
+  COMET_CHECK_GE(slot, 0);
+  COMET_CHECK_LT(slot, static_cast<int>(fn.slots.size()))
+      << "replica slot beyond max_replicated_experts";
+  FunctionalScratch::ReplicaSlot& state = fn.slots[static_cast<size_t>(slot)];
+  COMET_CHECK_GE(state.expert, 0)
+      << "replica slot " << slot << " is already free";
+  state = FunctionalScratch::ReplicaSlot{};
+}
+
+void CometExecutor::InvalidateBatchProfiles() {
+  batch_profile_cache_.Clear();
+  if (serving_ != nullptr) {
+    serving_->nc_memo.clear();
+  }
 }
 
 }  // namespace comet

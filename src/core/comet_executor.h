@@ -62,6 +62,13 @@ struct CometOptions {
   bool verify_transport = false;
   double corrupt_rate = 0.0;
   uint64_t corrupt_seed = 0;
+  // Hot-expert replica slots the serving fast path preallocates: weight
+  // slabs on the symmetric heap plus per-rank slice workspaces, sized at
+  // PrepareServing so PromoteReplica/RetireReplica never allocate. 0 (the
+  // default) compiles the replica path out of the data plane entirely --
+  // plans carry no replica slices and behavior is byte-identical to builds
+  // without it.
+  int max_replicated_experts = 0;
   // Optional cross-run profile cache (paper: metadata written at deployment
   // time). Borrowed pointer; may be null.
   MetadataStore* profile_cache = nullptr;
@@ -116,6 +123,36 @@ class CometExecutor : public MoeLayerExecutor {
   // kTimedOnly mode `out->outputs` is left untouched.
   void RunBatchInto(const MoeWorkload& workload, const ClusterSpec& cluster,
                     ExecMode mode, LayerExecution* out);
+
+  // ---- hot-expert replication (online adaptation mechanism) -----------------
+  //
+  // The serving plane's HotExpertTracker decides WHAT to replicate; these
+  // apply the decision. Replica weights live in per-slot symmetric-heap
+  // slabs ("replica-w0-slot{s}" / "replica-w1-slot{s}") preallocated by
+  // PrepareServing when options.max_replicated_experts > 0; a promote
+  // bit-copies the expert's lane shards from its home ranks into the target
+  // group's ranks through PutRow (quantization on the already-quantized
+  // weights is the identity, so replica math is bit-identical to home math).
+  // RunBatchInto then feeds replica plan slices (RoutePlan slice indices >=
+  // ExpertsPerGroup()) from the slabs. Promote/retire are change-iteration
+  // operations: allocation-free after PrepareServing, but call them outside
+  // any allocation-counting window anyway (the plan Rebuild that follows a
+  // layout change may touch cold capacity).
+
+  // Copies expert `expert`'s weights into replica slot `slot` on EP group
+  // `ep_group` (must not be the expert's home group; slot must be free).
+  void PromoteReplica(int slot, int64_t expert, int ep_group,
+                      const Placement& placement,
+                      const ShardedExpertWeights& weights);
+  // Frees replica slot `slot`. Slab bits stay (inactive slices have no rows,
+  // so they are never read) until the next promote overwrites them.
+  void RetireReplica(int slot);
+  // Drops every cached division-point profile (the per-M serving memo and
+  // the executor-owned RunBatch store). The adaptation loop calls this when
+  // the replica layout changes: ProfileKey does not encode replicas, so
+  // cached division points no longer describe the plan being priced. The
+  // next iteration per batch size re-profiles against the current layout.
+  void InvalidateBatchProfiles();
 
   // Re-arms the transport-integrity knobs between iterations (the serving
   // plane uses this to inject a one-iteration corruption fault without

@@ -18,12 +18,23 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "moe/config.h"
 #include "moe/router.h"
 
 namespace comet {
+
+// One active hot-expert replica: expert `expert`'s traffic is split between
+// its home EP group and replica slice `slot` of group `ep_group`. Produced
+// by the serving plane's HotExpertTracker; consumed by RoutePlan::Rebuild.
+// expert < 0 marks the slot inactive.
+struct ReplicaAssignment {
+  int64_t expert = -1;
+  int ep_group = -1;
+  int slot = -1;
+};
 
 // One row of a rank's layer0 shared tensor.
 struct ExpertRow {
@@ -42,9 +53,17 @@ struct ExpertSlice {
 // Per-rank view of the plan. All TP lanes of one EP group see identical row
 // layouts (full-N activations are replicated), so the plan is stored per EP
 // group and served per rank.
+//
+// Slice layout: the first ExpertsPerGroup() entries are the group's home
+// experts in expert order. When the plan was reserved with max_replicas R >
+// 0, EVERY group carries exactly R additional replica slices (indices
+// ExpertsPerGroup() + s for replica slot s); a slice whose slot is inactive
+// in this group has expert == -1 and no rows. The fixed slice count is what
+// makes promote/retire allocation-free: activating a replica only changes
+// field values, never container shapes.
 struct RankPlan {
   int ep_group = 0;
-  std::vector<ExpertSlice> experts;  // ExpertsPerGroup() entries in expert order
+  std::vector<ExpertSlice> experts;
 
   int64_t TotalRows() const;
   // Row offset of local expert `local` in the group's packed shared tensor.
@@ -68,14 +87,32 @@ class RoutePlan {
 
   // Pre-sizes internal capacity for `placement`'s EP shape with up to
   // `max_rows_per_expert` (token, expert) pairs per expert, so later
-  // Rebuild calls within those bounds allocate nothing.
-  void Reserve(const Placement& placement, int64_t max_rows_per_expert);
+  // Rebuild calls within those bounds allocate nothing. `max_replicas` > 0
+  // additionally gives every group `max_replicas` permanent replica slices
+  // (see RankPlan), each reserved at the same row bound, so replica-aware
+  // Rebuilds allocate nothing either.
+  void Reserve(const Placement& placement, int64_t max_rows_per_expert,
+               int max_replicas = 0);
 
   // Rebuilds the plan in place for a new routing (and possibly a new token
   // count), retaining all per-expert row capacity. Allocation-free once
   // capacities are warm (Reserve, or a previous Rebuild of equal size) and
   // every route fits TokenRoute's inline storage.
   void Rebuild(const Placement& placement, const RoutingTable& routing);
+
+  // Replica-aware Rebuild: `replicas` holds at most one ACTIVE assignment
+  // per replica slot (inactive entries have expert < 0). The (token, expert)
+  // pairs of a replicated expert are split between its home slice and its
+  // replica slice by parity of the pair's ordinal in global token order
+  // (even ordinals home, odd ordinals replica) -- a deterministic 50/50
+  // split that preserves canonical row order within each slice. Requires a
+  // prior Reserve with max_replicas >= every assignment's slot + 1.
+  void Rebuild(const Placement& placement, const RoutingTable& routing,
+               std::span<const ReplicaAssignment> replicas);
+
+  // Rows currently landing on replica slices (across all groups).
+  int64_t ReplicaRows() const;
+  int max_replicas() const { return max_replicas_; }
 
   const Placement& placement() const { return placement_; }
   const RoutingTable& routing() const { return routing_; }
@@ -108,6 +145,13 @@ class RoutePlan {
   Placement placement_;
   RoutingTable routing_;
   std::vector<RankPlan> per_group_;
+  int max_replicas_ = 0;
+  // Per-expert scratch for the replica split (sized num_experts; reused
+  // across Rebuilds): pair ordinal counter, and the replica (group, slice)
+  // of each replicated expert (-1 when not replicated).
+  std::vector<int64_t> split_counter_;
+  std::vector<int32_t> replica_group_of_expert_;
+  std::vector<int32_t> replica_slice_of_expert_;
 };
 
 }  // namespace comet

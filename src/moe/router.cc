@@ -11,19 +11,25 @@
 namespace comet {
 
 std::vector<int64_t> RoutingTable::ExpertLoads(int64_t num_experts) const {
-  std::vector<int64_t> loads(static_cast<size_t>(num_experts), 0);
+  std::vector<int64_t> loads;
+  ExpertLoadsInto(num_experts, &loads);
+  return loads;
+}
+
+void RoutingTable::ExpertLoadsInto(int64_t num_experts,
+                                   std::vector<int64_t>* loads) const {
+  COMET_CHECK(loads != nullptr);
+  loads->assign(static_cast<size_t>(num_experts), 0);
   for (const auto& t : tokens) {
     for (int64_t e : t.experts) {
       COMET_CHECK_GE(e, 0);
       COMET_CHECK_LT(e, num_experts);
-      ++loads[static_cast<size_t>(e)];
+      ++(*loads)[static_cast<size_t>(e)];
     }
   }
-  return loads;
 }
 
-double RoutingTable::LoadStd(int64_t num_experts) const {
-  const auto loads = ExpertLoads(num_experts);
+double LoadStdFromCounts(std::span<const int64_t> loads) {
   int64_t total = 0;
   for (int64_t l : loads) {
     total += l;
@@ -31,14 +37,35 @@ double RoutingTable::LoadStd(int64_t num_experts) const {
   if (total == 0) {
     return 0.0;
   }
-  std::vector<double> fractions(loads.size());
-  for (size_t i = 0; i < loads.size(); ++i) {
-    fractions[i] = static_cast<double>(loads[i]) / static_cast<double>(total);
+  // The two passes below recompute each fraction on the fly in the exact
+  // accumulation order PopulationStddev uses over a materialized fractions
+  // vector, so the result is bit-identical to the allocating formulation.
+  double mean = 0.0;
+  for (int64_t l : loads) {
+    mean += static_cast<double>(l) / static_cast<double>(total);
   }
-  return PopulationStddev(fractions);
+  mean /= static_cast<double>(loads.size());
+  double var = 0.0;
+  for (int64_t l : loads) {
+    const double f = static_cast<double>(l) / static_cast<double>(total);
+    var += (f - mean) * (f - mean);
+  }
+  return std::sqrt(var / static_cast<double>(loads.size()));
 }
 
-void RoutingTable::Validate(int64_t num_experts, int64_t topk) const {
+double RoutingTable::LoadStd(int64_t num_experts) const {
+  const auto loads = ExpertLoads(num_experts);
+  return LoadStdFromCounts(loads);
+}
+
+void RoutingTable::Validate(int64_t num_experts, int64_t topk,
+                            DType dtype) const {
+  // Each combine weight is a correctly-rounded value at `dtype`, so the
+  // worst-case drift of a topk-term sum from exact 1 scales with topk ulps
+  // at that dtype. f32 keeps the historical 1e-4 bound (generous for f32,
+  // and every pre-existing caller's behavior is unchanged).
+  const float tol = std::max(
+      1e-4f, static_cast<float>(topk) * DTypeEpsilon(dtype));
   for (const auto& t : tokens) {
     COMET_CHECK_LE(static_cast<int64_t>(t.experts.size()), topk);
     COMET_CHECK_EQ(t.experts.size(), t.weights.size());
@@ -53,8 +80,9 @@ void RoutingTable::Validate(int64_t num_experts, int64_t topk) const {
       COMET_CHECK_GE(t.weights[i], 0.0f);
       sum += t.weights[i];
     }
-    COMET_CHECK(t.experts.empty() || std::abs(sum - 1.0f) < 1e-4f)
-        << "combine weights sum to " << sum;
+    COMET_CHECK(t.experts.empty() || std::abs(sum - 1.0f) < tol)
+        << "combine weights sum to " << sum << " (tolerance " << tol
+        << " at " << DTypeName(dtype) << ")";
   }
 }
 
@@ -272,22 +300,36 @@ SyntheticRouter::SyntheticRouter(std::vector<double> load, uint64_t seed)
   for (auto& p : load_) {
     p /= sum;
   }
+  weights_scratch_.reserve(load_.size());
 }
 
 RoutingTable SyntheticRouter::Route(int64_t num_tokens, int64_t topk) {
+  RoutingTable table;
+  RouteInto(num_tokens, topk, /*shift=*/0, &table);
+  return table;
+}
+
+void SyntheticRouter::RouteInto(int64_t num_tokens, int64_t topk,
+                                int64_t shift, RoutingTable* table) {
+  COMET_CHECK(table != nullptr);
   const int64_t e_total = static_cast<int64_t>(load_.size());
   COMET_CHECK_GT(topk, 0);
   COMET_CHECK_LE(topk, e_total);
-  RoutingTable table;
-  table.tokens.resize(static_cast<size_t>(num_tokens));
+  COMET_CHECK_GE(shift, 0);
+  table->tokens.resize(static_cast<size_t>(num_tokens));
   for (int64_t m = 0; m < num_tokens; ++m) {
-    // Sample topk distinct experts without replacement.
-    std::vector<double> weights = load_;
-    TokenRoute route;
+    // Sample topk distinct experts without replacement. The shift rotates
+    // the STORED ids only, after sampling, so the rng consumption (and
+    // hence every later draw) is independent of the drift phase.
+    weights_scratch_.assign(load_.begin(), load_.end());
+    TokenRoute& route = table->tokens[static_cast<size_t>(m)];
+    route.experts.clear();
+    route.weights.clear();
     for (int64_t k = 0; k < topk; ++k) {
-      const size_t e = rng_.Categorical(weights);
-      route.experts.push_back(static_cast<int64_t>(e));
-      weights[e] = 0.0;
+      const size_t e = rng_.Categorical(weights_scratch_);
+      route.experts.push_back(
+          (static_cast<int64_t>(e) + shift) % e_total);
+      weights_scratch_[e] = 0.0;
     }
     // Random combine weights, renormalized.
     float sum = 0.0f;
@@ -299,9 +341,7 @@ RoutingTable SyntheticRouter::Route(int64_t num_tokens, int64_t topk) {
     for (auto& w : route.weights) {
       w /= sum;
     }
-    table.tokens[static_cast<size_t>(m)] = std::move(route);
   }
-  return table;
 }
 
 }  // namespace comet

@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "moe/config.h"
@@ -40,13 +41,29 @@ struct RoutingTable {
 
   // Tokens assigned to each expert (counting (token, expert) pairs).
   std::vector<int64_t> ExpertLoads(int64_t num_experts) const;
+  // In-place ExpertLoads: writes the counts into `*loads`, reusing its
+  // capacity. Allocation-free once `loads` has held `num_experts` entries --
+  // the serving loop's per-iteration EWMA update runs inside the
+  // zero-allocation steady-state envelope.
+  void ExpertLoadsInto(int64_t num_experts, std::vector<int64_t>* loads) const;
   // Population std of the per-expert token *fraction* (Figure 14's x-axis).
   double LoadStd(int64_t num_experts) const;
 
   // Validates structural invariants: at most `topk` distinct experts per
-  // token, weights ~ sum to 1 for non-empty routes.
-  void Validate(int64_t num_experts, int64_t topk) const;
+  // token, weights ~ sum to 1 for non-empty routes. The weight-sum tolerance
+  // is dtype-aware: combine weights that were quantized to `dtype` (or
+  // renormalized after capacity drops at that dtype) are correctly-rounded
+  // values whose sum can sit up to ~topk ulps from 1 -- a fixed f32
+  // tolerance would reject them falsely. Genuinely broken weights (sums far
+  // from 1) still throw CheckError at every dtype.
+  void Validate(int64_t num_experts, int64_t topk,
+                DType dtype = DType::kF32) const;
 };
+
+// Population std of the per-expert token fraction, computed from a counts
+// vector (as produced by ExpertLoadsInto). Bit-identical to
+// RoutingTable::LoadStd over the same counts; performs no allocation.
+double LoadStdFromCounts(std::span<const int64_t> loads);
 
 // Result of capacity enforcement (GShard-style token dropping).
 struct DropStats {
@@ -128,8 +145,21 @@ class SyntheticRouter {
   // are random and renormalized.
   RoutingTable Route(int64_t num_tokens, int64_t topk);
 
+  // In-place Route with a deterministic expert-id rotation: every sampled
+  // expert e is stored as (e + shift) mod E. The serving plane uses the
+  // shift to model drifting (diurnal) load: the same seeded draw sequence,
+  // with the hot spot walking across experts as simulated time advances.
+  // shift == 0 consumes the rng exactly like Route (bit-identical tables).
+  // Allocation-free once `table` and the internal scratch are warm and topk
+  // fits TokenRoute's inline storage.
+  void RouteInto(int64_t num_tokens, int64_t topk, int64_t shift,
+                 RoutingTable* table);
+
+  int64_t num_experts() const { return static_cast<int64_t>(load_.size()); }
+
  private:
   std::vector<double> load_;
+  std::vector<double> weights_scratch_;  // per-token sampling weights
   Rng rng_;
 };
 

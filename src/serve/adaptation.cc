@@ -1,0 +1,175 @@
+#include "serve/adaptation.h"
+
+#include "util/check.h"
+
+namespace comet {
+
+void AdaptationOptions::Validate() const {
+  COMET_CHECK_GT(ewma_decay, 0.0) << "ewma_decay must be in (0, 1]";
+  COMET_CHECK_LE(ewma_decay, 1.0) << "ewma_decay must be in (0, 1]";
+  COMET_CHECK_GT(cool_factor, 0.0) << "cool_factor must be positive";
+  COMET_CHECK_GT(hot_factor, cool_factor)
+      << "hysteresis requires cool_factor < hot_factor (got cool="
+      << cool_factor << ", hot=" << hot_factor << ")";
+  COMET_CHECK_GE(max_replicated_experts, 0);
+  COMET_CHECK_GE(cooldown_iterations, 0);
+}
+
+HotExpertTracker::HotExpertTracker(const AdaptationOptions& options,
+                                   int64_t num_experts, int ep)
+    : options_(options), num_experts_(num_experts), ep_(ep) {
+  options_.Validate();
+  COMET_CHECK_GT(num_experts_, 0);
+  COMET_CHECK_GT(ep_, 0);
+  COMET_CHECK_EQ(num_experts_ % ep_, 0)
+      << "block expert placement requires ep | num_experts";
+  experts_per_group_ = num_experts_ / ep_;
+  ewma_.assign(static_cast<size_t>(num_experts_),
+               1.0 / static_cast<double>(num_experts_));
+  replicas_.assign(static_cast<size_t>(options_.max_replicated_experts),
+                   ReplicaAssignment{});
+  cooldown_.assign(static_cast<size_t>(options_.max_replicated_experts), 0);
+  slot_of_expert_.assign(static_cast<size_t>(num_experts_), -1);
+  group_load_.assign(static_cast<size_t>(ep_), 0.0);
+  events_.reserve(2);
+}
+
+double HotExpertTracker::ewma(int64_t expert) const {
+  COMET_CHECK_GE(expert, 0);
+  COMET_CHECK_LT(expert, num_experts_);
+  return ewma_[static_cast<size_t>(expert)];
+}
+
+int HotExpertTracker::active_replicas() const {
+  int active = 0;
+  for (const ReplicaAssignment& a : replicas_) {
+    if (a.expert >= 0) {
+      ++active;
+    }
+  }
+  return active;
+}
+
+int HotExpertTracker::Observe(std::span<const int64_t> loads) {
+  COMET_CHECK_EQ(static_cast<int64_t>(loads.size()), num_experts_);
+  events_.clear();
+
+  // EWMA over load FRACTIONS (empty iterations leave the estimate alone:
+  // no tokens carry no information about skew).
+  int64_t total = 0;
+  for (int64_t l : loads) {
+    total += l;
+  }
+  if (total > 0) {
+    const double d = options_.ewma_decay;
+    for (int64_t e = 0; e < num_experts_; ++e) {
+      const double f = static_cast<double>(loads[static_cast<size_t>(e)]) /
+                       static_cast<double>(total);
+      ewma_[static_cast<size_t>(e)] =
+          (1.0 - d) * ewma_[static_cast<size_t>(e)] + d * f;
+    }
+  }
+  for (int64_t& c : cooldown_) {
+    if (c > 0) {
+      --c;
+    }
+  }
+  if (!options_.enabled || options_.max_replicated_experts == 0 || ep_ < 2) {
+    return 0;
+  }
+  const double uniform = 1.0 / static_cast<double>(num_experts_);
+  const int num_slots = options_.max_replicated_experts;
+
+  // Retire (at most one per Observe): lowest-index active quiescent slot
+  // whose expert has cooled below cool_factor/E.
+  for (int s = 0; s < num_slots; ++s) {
+    ReplicaAssignment& a = replicas_[static_cast<size_t>(s)];
+    if (a.expert < 0 || cooldown_[static_cast<size_t>(s)] > 0) {
+      continue;
+    }
+    if (ewma_[static_cast<size_t>(a.expert)] <=
+        options_.cool_factor * uniform) {
+      events_.push_back(Event{s, a.expert, a.ep_group, /*promote=*/false});
+      slot_of_expert_[static_cast<size_t>(a.expert)] = -1;
+      a = ReplicaAssignment{};
+      cooldown_[static_cast<size_t>(s)] = options_.cooldown_iterations;
+      ++retirements_;
+      break;
+    }
+  }
+
+  // Promote (at most one per Observe): hottest unreplicated expert at or
+  // above hot_factor/E (ties to the lowest expert index), into the
+  // lowest-index free quiescent slot. A slot just retired above is still in
+  // cooldown, so one Observe never recycles a slot -- the anti-flap rule.
+  int free_slot = -1;
+  for (int s = 0; s < num_slots; ++s) {
+    if (replicas_[static_cast<size_t>(s)].expert < 0 &&
+        cooldown_[static_cast<size_t>(s)] == 0) {
+      free_slot = s;
+      break;
+    }
+  }
+  if (free_slot < 0) {
+    return static_cast<int>(events_.size());
+  }
+  int64_t hottest = -1;
+  double hottest_ewma = 0.0;
+  for (int64_t e = 0; e < num_experts_; ++e) {
+    if (slot_of_expert_[static_cast<size_t>(e)] >= 0) {
+      continue;
+    }
+    const double v = ewma_[static_cast<size_t>(e)];
+    if (v >= options_.hot_factor * uniform &&
+        (hottest < 0 || v > hottest_ewma)) {
+      hottest = e;
+      hottest_ewma = v;
+    }
+  }
+  if (hottest < 0) {
+    return static_cast<int>(events_.size());
+  }
+  // Target: least effective EWMA load among groups other than the home
+  // group. A replicated expert contributes half its EWMA to each side of
+  // its split; everything else loads its home group fully. Ties go to the
+  // lowest group index (strict < keeps the earliest minimum).
+  for (double& g : group_load_) {
+    g = 0.0;
+  }
+  for (int64_t e = 0; e < num_experts_; ++e) {
+    const int home = static_cast<int>(e / experts_per_group_);
+    const int32_t slot = slot_of_expert_[static_cast<size_t>(e)];
+    if (slot >= 0) {
+      const int rg = replicas_[static_cast<size_t>(slot)].ep_group;
+      group_load_[static_cast<size_t>(home)] +=
+          0.5 * ewma_[static_cast<size_t>(e)];
+      group_load_[static_cast<size_t>(rg)] +=
+          0.5 * ewma_[static_cast<size_t>(e)];
+    } else {
+      group_load_[static_cast<size_t>(home)] += ewma_[static_cast<size_t>(e)];
+    }
+  }
+  const int home = static_cast<int>(hottest / experts_per_group_);
+  int target = -1;
+  for (int g = 0; g < ep_; ++g) {
+    if (g == home) {
+      continue;
+    }
+    if (target < 0 ||
+        group_load_[static_cast<size_t>(g)] <
+            group_load_[static_cast<size_t>(target)]) {
+      target = g;
+    }
+  }
+  COMET_CHECK_GE(target, 0);
+  events_.push_back(Event{free_slot, hottest, target, /*promote=*/true});
+  replicas_[static_cast<size_t>(free_slot)] =
+      ReplicaAssignment{hottest, target, free_slot};
+  slot_of_expert_[static_cast<size_t>(hottest)] =
+      static_cast<int32_t>(free_slot);
+  cooldown_[static_cast<size_t>(free_slot)] = options_.cooldown_iterations;
+  ++promotions_;
+  return static_cast<int>(events_.size());
+}
+
+}  // namespace comet

@@ -1,0 +1,113 @@
+// Online adaptation under routing skew: the hot-expert replication policy.
+//
+// Routing skew is the known MoE serving killer (paper Figure 14: production
+// per-expert load std ~ 0.032 with far higher tail spikes); FasterMoE's
+// shadow-expert result shows replicating the hot expert onto an underloaded
+// rank recovers most of the imbalance loss. This header holds the POLICY
+// half of that loop for the serving plane:
+//
+//   observe -> EWMA -> promote -> split -> retire
+//
+// MoeServer feeds every iteration's per-expert pair counts into a
+// HotExpertTracker. The tracker keeps a per-expert EWMA of the load
+// FRACTION; when an expert's EWMA crosses hot_factor/E it is promoted into
+// a free replica slot on the least-loaded OTHER EP group, and RoutePlan
+// splits its traffic 50/50 between home and replica slices. When the EWMA
+// falls back under cool_factor/E the replica is retired. cool_factor <
+// hot_factor plus a per-slot cooldown is the hysteresis that prevents
+// flapping.
+//
+// Determinism: the tracker is a pure function of its config and the
+// observed load sequence -- no RNG, no wall-clock. Since serving loads
+// derive entirely from seeded streams, every promote/retire decision (and
+// hence the whole adapted run) is bit-reproducible at any thread count.
+// The mechanism half (replica weight slabs on the symmetric heap, replica
+// dispatch) lives in CometExecutor; the split itself in RoutePlan.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "moe/route_plan.h"
+
+namespace comet {
+
+struct AdaptationOptions {
+  // Master switch. Off => the serving plane is byte-identical to a build
+  // without the adaptation plane (no tracker observations, no replica
+  // slices, no profile invalidations).
+  bool enabled = false;
+  // EWMA weight of the newest observation, in (0, 1]. 1 = no smoothing.
+  double ewma_decay = 0.25;
+  // Promote expert e when ewma[e] >= hot_factor / E. Must be > cool_factor.
+  double hot_factor = 1.75;
+  // Retire a replica when its expert's ewma <= cool_factor / E.
+  double cool_factor = 1.25;
+  // Replica slots preallocated by the executor (weight slabs, plan slices).
+  // >= 0; 0 with enabled == true observes loads but never replicates.
+  int max_replicated_experts = 1;
+  // Iterations a slot stays quiescent after any promote/retire through it
+  // (the anti-flap half of the hysteresis). >= 0.
+  int64_t cooldown_iterations = 8;
+
+  // Loud validation at server construction (PR 7 convention: every
+  // robustness knob validates up front, not at first use).
+  void Validate() const;
+};
+
+// Deterministic hot-expert replication policy. Not thread-safe; one serving
+// loop per tracker.
+class HotExpertTracker {
+ public:
+  struct Event {
+    int slot = -1;
+    int64_t expert = -1;
+    int ep_group = -1;  // replica group (promote) / former group (retire)
+    bool promote = false;
+  };
+
+  // `ep` must divide `num_experts` (block expert placement).
+  HotExpertTracker(const AdaptationOptions& options, int64_t num_experts,
+                   int ep);
+
+  // Feeds one iteration's per-expert (token, expert) pair counts (as
+  // produced by RoutingTable::ExpertLoadsInto). Updates the EWMA, then
+  // applies at most ONE retirement and ONE promotion:
+  //  * retire: the lowest-index active slot whose expert's EWMA fell to
+  //    cool_factor/E and whose cooldown elapsed;
+  //  * promote: the hottest unreplicated expert with EWMA >= hot_factor/E
+  //    (ties to the lowest expert index), into the lowest-index free
+  //    quiescent slot, placed on the EP group with the least effective
+  //    EWMA load among groups other than the expert's home (a replicated
+  //    expert counts half on each side; ties to the lowest group index).
+  // EP == 1 never promotes (there is no other group). Returns the number of
+  // events emitted (0..2), readable via events() until the next Observe.
+  // Allocation-free after construction.
+  int Observe(std::span<const int64_t> loads);
+
+  // Current slot assignments (size max_replicated_experts; inactive slots
+  // have expert < 0). Stable storage -- feed directly to RoutePlan::Rebuild.
+  std::span<const ReplicaAssignment> replicas() const { return replicas_; }
+  std::span<const Event> events() const { return events_; }
+  double ewma(int64_t expert) const;
+  int active_replicas() const;
+  int64_t promotions() const { return promotions_; }
+  int64_t retirements() const { return retirements_; }
+
+ private:
+  AdaptationOptions options_;
+  int64_t num_experts_;
+  int ep_;
+  int64_t experts_per_group_;
+  std::vector<double> ewma_;
+  std::vector<ReplicaAssignment> replicas_;
+  std::vector<int64_t> cooldown_;
+  std::vector<int32_t> slot_of_expert_;  // -1 when not replicated
+  std::vector<double> group_load_;       // placement argmin scratch
+  std::vector<Event> events_;
+  int64_t promotions_ = 0;
+  int64_t retirements_ = 0;
+};
+
+}  // namespace comet

@@ -79,6 +79,9 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
     int64_t iterations = 0;
     int64_t batched_tokens = 0;
     int64_t padding_tokens = 0;
+    int64_t promotions = 0;
+    int64_t retirements = 0;
+    int64_t replicated_rows = 0;
   };
   std::vector<Archive> archives(static_cast<size_t>(R));
   const auto archive_replica = [&](int r) {
@@ -94,6 +97,9 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
     a.iterations += view.iterations;
     a.batched_tokens += view.batched_tokens;
     a.padding_tokens += view.padding_tokens;
+    a.promotions += view.promotions;
+    a.retirements += view.retirements;
+    a.replicated_rows += view.replicated_rows;
   };
 
   // Every arrival gets exactly one Track; at loop exit each is terminal --
@@ -602,6 +608,9 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
     report.iterations += a.iterations + view.iterations;
     report.batched_tokens += a.batched_tokens + view.batched_tokens;
     report.padding_tokens += a.padding_tokens + view.padding_tokens;
+    report.promotions += a.promotions + view.promotions;
+    report.retirements += a.retirements + view.retirements;
+    report.replicated_rows += a.replicated_rows + view.replicated_rows;
     report.per_replica_completed.push_back(
         static_cast<int64_t>(a.completed.size() + view.completed.size()));
     report.per_replica_iterations.push_back(a.iterations + view.iterations);

@@ -131,6 +131,11 @@ struct ClusterReport {
   int64_t iterations = 0;
   int64_t batched_tokens = 0;
   int64_t padding_tokens = 0;
+  // Adaptation plane, summed over replicas (see ServeReport): hot-expert
+  // replicas promoted/retired, and rows served from replica slices.
+  int64_t promotions = 0;
+  int64_t retirements = 0;
+  int64_t replicated_rows = 0;
   int64_t replica_failures = 0;
   int64_t replicas_drained = 0;
   int64_t replicas_recovered = 0;

@@ -65,6 +65,22 @@ int64_t LengthDist::Max() const {
   return 0;
 }
 
+void LengthDist::Validate() const {
+  switch (kind) {
+    case Kind::kFixed:
+      break;
+    case Kind::kUniform:
+      COMET_CHECK_LE(lo, hi) << "uniform length range is empty";
+      break;
+    case Kind::kBimodal:
+      COMET_CHECK_GE(long_fraction, 0.0)
+          << "bimodal long_fraction must be a probability";
+      COMET_CHECK_LE(long_fraction, 1.0)
+          << "bimodal long_fraction must be a probability";
+      break;
+  }
+}
+
 int64_t LengthDist::Sample(Rng& rng) const {
   switch (kind) {
     case Kind::kFixed:
@@ -96,6 +112,8 @@ LoadGenerator::LoadGenerator(LoadGenOptions options)
   COMET_CHECK_GE(options_.num_requests, 0);
   COMET_CHECK_GE(options_.mean_burst, 1.0);
   COMET_CHECK_GE(options_.num_sessions, 0);
+  options_.prompt.Validate();
+  options_.decode.Validate();
   COMET_CHECK_GT(options_.prompt.Min(), 0);
   COMET_CHECK_GE(options_.decode.Min(), 0);
 }

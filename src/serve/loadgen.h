@@ -57,6 +57,14 @@ struct LengthDist {
   int64_t Min() const;
   int64_t Max() const;
   int64_t Sample(Rng& rng) const;
+
+  // Loud up-front validation (CheckError): kUniform requires lo <= hi,
+  // kBimodal requires long_fraction in [0, 1]. LoadGenerator calls this at
+  // construction, so a malformed distribution fails when it is configured
+  // -- not at whichever Sample first hits the broken branch (a kBimodal
+  // stream with long_fraction 1e9 otherwise emits plausible requests until
+  // the first draw lands in the nonsense region).
+  void Validate() const;
 };
 
 struct LoadGenOptions {

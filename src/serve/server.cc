@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "comm/symmetric_heap.h"
 #include "moe/expert_weights.h"
@@ -37,8 +38,21 @@ CometOptions MakeExecutorOptions(const ServeOptions& options) {
   comet.num_threads = options.num_threads;
   comet.signal_wait_timeout_ms = options.signal_wait_timeout_ms;
   comet.verify_transport = options.verify_transport;
+  // Replica slots only exist when adaptation can use them: disabled
+  // adaptation compiles the replica path out of the executor's plans and
+  // workspaces, keeping the served bits byte-identical to a server without
+  // the adaptation plane.
+  comet.max_replicated_experts =
+      options.adaptation.enabled ? options.adaptation.max_replicated_experts
+                                 : 0;
+  comet.tile_m = options.granularity;
   comet.name_override = "Comet-serve";
   return comet;
+}
+
+int ServeMaxReplicas(const ServeOptions& options) {
+  return options.adaptation.enabled ? options.adaptation.max_replicated_experts
+                                    : 0;
 }
 
 // Largest per-iteration global token matrix: token_budget rounded up to a
@@ -54,6 +68,9 @@ int64_t MaxPaddedTokens(const ServeOptions& options) {
 constexpr uint64_t kDecodeStream = 0xdec0de5eed0c0deULL;
 // Stream tag for the one-shot corruption injector's heap seed.
 constexpr uint64_t kCorruptStream = 0xbadb17f11b5eed5ULL;
+// Stream tag for the synthetic router's load-vector and sampling draws,
+// keeping them independent of the weight/gate/decode streams.
+constexpr uint64_t kSyntheticStream = 0x5c13f1c5eedf00dULL;
 
 }  // namespace
 
@@ -108,7 +125,9 @@ struct MoeServer::RunState {
            const RunBounds& bounds)
       : queue(options.queue_capacity, options.queue_policy),
         batcher(BatcherOptions{.token_budget = options.token_budget,
-                               .max_active = options.max_active}) {
+                               .max_active = options.max_active}),
+        tracker(options.adaptation, options.model.num_experts,
+                options.parallel.ep) {
     const int64_t ep = options.parallel.ep;
     const int64_t n_embed = options.model.embedding;
     const int64_t padded_max = MaxPaddedTokens(options);
@@ -149,8 +168,10 @@ struct MoeServer::RunState {
 
     workload.placement = Placement(options.model, options.parallel, padded_max);
     // A single expert can receive at most one (token, expert) pair per token
-    // (experts within a route are distinct).
-    workload.plan.Reserve(workload.placement, padded_max);
+    // (experts within a route are distinct). With adaptation on, every group
+    // additionally carries max_replicated_experts permanent replica slices.
+    workload.plan.Reserve(workload.placement, padded_max,
+                          ServeMaxReplicas(options));
     workload.routing.tokens.reserve(static_cast<size_t>(padded_max));
     workload.inputs.resize(static_cast<size_t>(ep));
     for (Tensor& t : workload.inputs) {
@@ -162,6 +183,17 @@ struct MoeServer::RunState {
     gate_scratch.logits.reserve(
         static_cast<size_t>(options.model.num_experts));
     gate_scratch.probs.reserve(static_cast<size_t>(options.model.num_experts));
+    expert_loads.reserve(static_cast<size_t>(options.model.num_experts));
+    if (options.routing == ServeRoutingMode::kSynthetic) {
+      // The load vector and the router's sampling stream both derive from
+      // the synthetic tag; distinct sub-seeds keep them independent.
+      Rng load_rng((options.seed ^ kSyntheticStream) + 1);
+      synth.emplace(
+          load_rng.LoadVectorWithStd(
+              static_cast<size_t>(options.model.num_experts),
+              options.synthetic_load_std),
+          options.seed ^ kSyntheticStream);
+    }
 
     completed.reserve(static_cast<size_t>(bounds.expected_requests));
     queue_waits.reserve(static_cast<size_t>(bounds.expected_requests));
@@ -186,6 +218,16 @@ struct MoeServer::RunState {
   GateScratch gate_scratch;
   MoeWorkload workload;
   LayerExecution ex;
+
+  // Adaptation plane. The tracker is constructed even when adaptation is
+  // disabled (cheap; Observe is then never called). `synth` exists only in
+  // kSynthetic routing mode.
+  HotExpertTracker tracker;
+  std::vector<int64_t> expert_loads;  // per-iteration EWMA input
+  std::optional<SyntheticRouter> synth;
+  int64_t promotions = 0;
+  int64_t retirements = 0;
+  int64_t replicated_rows = 0;
 
   std::vector<RequestRecord> completed;  // retirement order
   std::vector<double> queue_waits, ttfts, itls, e2es;
@@ -220,6 +262,19 @@ MoeServer::MoeServer(ServeOptions options, ClusterSpec cluster)
   COMET_CHECK_GE(options_.host_overhead_us, 0.0);
   COMET_CHECK_GT(options_.signal_wait_timeout_ms, 0)
       << "a non-positive wedge fail-fast bound cannot detect a dead producer";
+  COMET_CHECK_GT(options_.granularity, 0)
+      << "granularity is the serving executor's rows-per-chunk tile_m";
+  options_.adaptation.Validate();
+  COMET_CHECK_GE(options_.synthetic_load_std, 0.0);
+  COMET_CHECK_GE(options_.drift_period_us, 0.0);
+  if (options_.routing == ServeRoutingMode::kGate) {
+    // Loud misconfiguration: synthetic knobs silently ignored would read as
+    // "skew has no effect".
+    COMET_CHECK_EQ(options_.synthetic_load_std, 0.0)
+        << "synthetic_load_std requires routing == ServeRoutingMode::kSynthetic";
+    COMET_CHECK_EQ(options_.drift_period_us, 0.0)
+        << "drift_period_us requires routing == ServeRoutingMode::kSynthetic";
+  }
   // Trips the model/parallel divisibility checks now, not at the first
   // batch, and preallocates the executor's serving workspaces (heap
   // buffers, rank threads, per-rank schedule/simulation scratch) at the
@@ -233,7 +288,8 @@ MoeServer::~MoeServer() = default;
 
 void MoeServer::BuildBatchWorkloadInto(const BatchPlan& plan,
                                        const std::vector<LiveRequest*>& live,
-                                       RunState& run, int64_t* padding) const {
+                                       double now, RunState& run,
+                                       int64_t* padding) {
   const ModelConfig& model = options_.model;
   const int64_t n_embed = model.embedding;
   const int ep = options_.parallel.ep;
@@ -272,8 +328,47 @@ void MoeServer::BuildBatchWorkloadInto(const BatchPlan& plan,
   // path (Placement ctor / GateNetwork::Route / RoutePlan ctor).
   MoeWorkload& w = run.workload;
   w.placement.ResetTotalTokens(padded);
-  gate_.RouteInto(global, model.topk, run.gate_scratch, &w.routing);
-  w.plan.Rebuild(w.placement, w.routing);
+  if (options_.routing == ServeRoutingMode::kSynthetic) {
+    // Drift shift is a pure function of simulated time; applied after
+    // sampling, so the rng stream is consumed identically at every phase.
+    int64_t shift = 0;
+    if (options_.drift_period_us > 0.0) {
+      shift = static_cast<int64_t>(now / options_.drift_period_us) %
+              options_.model.num_experts;
+    }
+    run.synth->RouteInto(padded, model.topk, shift, &w.routing);
+  } else {
+    gate_.RouteInto(global, model.topk, run.gate_scratch, &w.routing);
+  }
+
+  if (options_.adaptation.enabled) {
+    // Close the adaptation loop: this iteration's expert loads update the
+    // EWMA; promote/retire decisions apply to the executor (weight slab
+    // copies) before the plan is rebuilt against the current replica set.
+    // Every decision is a pure function of the seeded routing stream --
+    // never wall-clock -- so adapted runs stay bit-deterministic.
+    w.routing.ExpertLoadsInto(options_.model.num_experts, &run.expert_loads);
+    if (run.tracker.Observe(run.expert_loads) > 0) {
+      for (const HotExpertTracker::Event& ev : run.tracker.events()) {
+        if (ev.promote) {
+          executor_.PromoteReplica(ev.slot, ev.expert, ev.ep_group,
+                                   w.placement, *sharded_weights_);
+          ++run.promotions;
+        } else {
+          executor_.RetireReplica(ev.slot);
+          ++run.retirements;
+        }
+      }
+      // Live re-tune: cached division points were profiled against the old
+      // replica layout (ProfileKey does not encode replicas); flush them so
+      // each batch shape re-profiles against the plan it will execute.
+      executor_.InvalidateBatchProfiles();
+    }
+    w.plan.Rebuild(w.placement, w.routing, run.tracker.replicas());
+    run.replicated_rows += w.plan.ReplicaRows();
+  } else {
+    w.plan.Rebuild(w.placement, w.routing);
+  }
 
   const int64_t per_group = w.placement.tokens_per_group();
   for (int g = 0; g < ep; ++g) {
@@ -425,6 +520,9 @@ RunView MoeServer::View() const {
   view.iterations = run_->iterations;
   view.batched_tokens = run_->batched_tokens;
   view.padding_tokens = run_->padding_tokens;
+  view.promotions = run_->promotions;
+  view.retirements = run_->retirements;
+  view.replicated_rows = run_->replicated_rows;
   return view;
 }
 
@@ -493,7 +591,7 @@ bool MoeServer::StepIteration(double now, double* end_us) {
   // One executor iteration: real numerics + simulated duration, through the
   // persistent workload/execution workspaces.
   int64_t padding = 0;
-  BuildBatchWorkloadInto(plan, run.live, run, &padding);
+  BuildBatchWorkloadInto(plan, run.live, now, run, &padding);
   executor_.RunBatchInto(run.workload, cluster_, ExecMode::kFunctional,
                          &run.ex);
   const LayerExecution& ex = run.ex;
@@ -592,6 +690,9 @@ ServeReport MoeServer::BuildReport(double sim_duration_us) const {
   report.iterations = run.iterations;
   report.batched_tokens = run.batched_tokens;
   report.padding_tokens = run.padding_tokens;
+  report.promotions = run.promotions;
+  report.retirements = run.retirements;
+  report.replicated_rows = run.replicated_rows;
   report.sim_duration_us = sim_duration_us;
   if (sim_duration_us > 0.0) {
     report.throughput_tokens_per_s =

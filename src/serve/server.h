@@ -42,6 +42,7 @@
 
 #include "core/comet_executor.h"
 #include "moe/router.h"
+#include "serve/adaptation.h"
 #include "serve/admission_queue.h"
 #include "serve/batcher.h"
 #include "serve/loadgen.h"
@@ -49,6 +50,19 @@
 #include "util/stats.h"
 
 namespace comet {
+
+// Where per-iteration routing decisions come from.
+enum class ServeRoutingMode {
+  // Content-based softmax top-k gate over the real token rows (default).
+  kGate,
+  // Seeded load-controlled SyntheticRouter (Rng::LoadVectorWithStd at
+  // ServeOptions::synthetic_load_std): benches dial in the paper's Figure 14
+  // skew regimes -- and, with drift_period_us, a hot spot that walks across
+  // experts -- while the data plane still executes real numerics on the real
+  // batch rows. Deterministic: one seeded stream per run, with the drift
+  // shift applied AFTER sampling so rng consumption is phase-independent.
+  kSynthetic,
+};
 
 // Latency SLO targets, simulated us; 0 disables that clause. A completed
 // request meets the SLO iff ttft_us <= slo.ttft_us (when set) and its mean
@@ -94,7 +108,29 @@ struct ServeOptions {
   // launches amortized by COMET's fusion are priced inside the executor;
   // this is the serving loop's own scheduling overhead).
   double host_overhead_us = 20.0;
+  // Decomposition granularity of the serving executor (CometOptions::tile_m):
+  // rows per fused-pipeline chunk. Finer granularity makes per-rank time
+  // track per-rank ROWS (more chunks, more compute/comm overlap, more
+  // per-chunk overhead) -- the regime where load balancing moves the tail;
+  // the 128 default matches the executor and keeps historical runs
+  // bit-identical. Served bits never depend on this (tiles partition the
+  // output; every element is a full-k accumulation either way). Must be > 0.
+  int64_t granularity = 128;
   SloTargets slo;
+  // Routing source (see ServeRoutingMode). The synthetic knobs below are
+  // only meaningful -- and only accepted -- in kSynthetic mode.
+  ServeRoutingMode routing = ServeRoutingMode::kGate;
+  // Target per-expert load-fraction std of the synthetic router (Figure 14;
+  // 0 = uniform in expectation). Requires routing == kSynthetic.
+  double synthetic_load_std = 0.0;
+  // When > 0 (kSynthetic only), the synthetic hot spot rotates one expert
+  // every drift_period_us of simulated time -- the drifting-skew regime the
+  // adaptation loop must chase.
+  double drift_period_us = 0.0;
+  // Online adaptation: hot-expert replication and live re-tuning (see
+  // serve/adaptation.h). Disabled by default; disabled serves byte-identical
+  // bits to a server without the adaptation plane.
+  AdaptationOptions adaptation;
 };
 
 struct ServeReport {
@@ -125,6 +161,13 @@ struct ServeReport {
   // FNV-1a over per-request output digests in id order: one value that
   // changes if any request's output changed anywhere.
   uint64_t combined_digest = 0;
+
+  // Adaptation plane: replicas promoted/retired this run, and total
+  // (token, expert) rows served from replica slices. All zero when
+  // adaptation is disabled.
+  int64_t promotions = 0;
+  int64_t retirements = 0;
+  int64_t replicated_rows = 0;
 };
 
 // Read-only view of the accumulated state of the current run, for the
@@ -141,6 +184,9 @@ struct RunView {
   int64_t iterations = 0;
   int64_t batched_tokens = 0;
   int64_t padding_tokens = 0;
+  int64_t promotions = 0;
+  int64_t retirements = 0;
+  int64_t replicated_rows = 0;
 };
 
 class MoeServer {
@@ -248,14 +294,19 @@ class MoeServer {
   struct RunState;
 
   // Rebuilds `run`'s persistent MoeWorkload in place for one packed
-  // iteration (gather -> gate -> route plan -> per-group inputs), filling
-  // `run.rows` with the per-entry global row offsets (entry e's tokens are
-  // rows [rows[e], rows[e] + entries[e].num_tokens)). Allocation-free once
-  // the run's workspaces are warm: every buffer is reserved at the
-  // token_budget bound by RunState's constructor.
+  // iteration (gather -> route -> adaptation step -> route plan ->
+  // per-group inputs), filling `run.rows` with the per-entry global row
+  // offsets (entry e's tokens are rows [rows[e], rows[e] +
+  // entries[e].num_tokens)). `now` is the iteration's simulated start time
+  // (the synthetic router's drift phase). With adaptation on, this is where
+  // the loop closes: the routing's expert loads feed the HotExpertTracker
+  // and its promote/retire decisions are applied to the executor before the
+  // plan is rebuilt with the current replica set. Allocation-free once the
+  // run's workspaces are warm EXCEPT on change iterations (a promote/retire
+  // copies weights and flushes cached profiles).
   void BuildBatchWorkloadInto(const BatchPlan& plan,
                               const std::vector<LiveRequest*>& live,
-                              RunState& run, int64_t* padding) const;
+                              double now, RunState& run, int64_t* padding);
 
   ServeOptions options_;
   ClusterSpec cluster_;

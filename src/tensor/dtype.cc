@@ -31,6 +31,19 @@ std::string DTypeName(DType dtype) {
   return "";
 }
 
+float DTypeEpsilon(DType dtype) {
+  switch (dtype) {
+    case DType::kF32:
+      return 0x1.0p-23f;
+    case DType::kBF16:
+      return 0x1.0p-8f;
+    case DType::kF16:
+      return 0x1.0p-11f;
+  }
+  COMET_CHECK(false) << "unknown dtype";
+  return 0.0f;
+}
+
 // ---- BF16 -------------------------------------------------------------------
 //
 // BF16 is the top half of an f32: same exponent range, 7 mantissa bits.

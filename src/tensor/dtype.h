@@ -28,6 +28,12 @@ size_t DTypeSize(DType dtype);
 // "f32", "bf16", "f16".
 std::string DTypeName(DType dtype);
 
+// Machine epsilon of the dtype (the relative rounding step for values near
+// 1): 2^-23 for f32, 2^-8 for bf16 (8 mantissa bits incl. the hidden one),
+// 2^-11 for f16. Tolerance checks over quantized values scale with this --
+// a fixed f32 tolerance trips falsely on correctly-rounded bf16 data.
+float DTypeEpsilon(DType dtype);
+
 // ---- 16-bit codecs ----------------------------------------------------------
 //
 // Encode = round-to-nearest-even from f32, the rounding mode of tensor-core
