@@ -113,6 +113,18 @@ void SetBenchPlacements(std::vector<PlacementPolicy> placements);
 bool BenchFaults();
 void SetBenchFaults(bool on);
 
+// Telemetry emission from the cluster serving bench (serve_loadgen): when
+// either path is non-empty, the bench re-runs a fault+recovery cluster
+// scenario with the telemetry plane ON and writes a Chrome trace
+// (--trace-out), a Prometheus text snapshot (--metrics-out), and a JSONL
+// span log next to the trace -- after checking the telemetry-on digest
+// equals the telemetry-off run's. Set by `comet_bench --trace-out PATH` /
+// `--metrics-out PATH`; default empty (off).
+const std::string& BenchTraceOut();
+void SetBenchTraceOut(std::string path);
+const std::string& BenchMetricsOut();
+void SetBenchMetricsOut(std::string path);
+
 // Adaptation-plane sweep of the serving bench (serve_loadgen): synthetic
 // skewed routing (load std in {0, 0.032, 0.1} -- 0.032 is the paper's
 // production trace, Figure 14), static and drifting hot spots, with

@@ -134,6 +134,11 @@ void PrintUsage() {
       "                   the cluster serving bench (default off)\n"
       "  --skew           also run the expert-skew adaptation sweep of the\n"
       "                   serving bench (replication off vs on; default off)\n"
+      "  --trace-out P    serve_loadgen: run a telemetry-on fault+recovery\n"
+      "                   cluster scenario and write its Chrome trace (and a\n"
+      "                   JSONL span log at P.jsonl) to P\n"
+      "  --metrics-out P  serve_loadgen: write the same scenario's Prometheus\n"
+      "                   text-exposition snapshot to P\n"
       "  --help           this message\n";
 }
 
@@ -148,6 +153,8 @@ std::vector<PlacementPolicy> g_bench_placements = {
 };
 bool g_bench_faults = false;
 bool g_bench_skew = false;
+std::string g_bench_trace_out;
+std::string g_bench_metrics_out;
 
 }  // namespace
 
@@ -180,6 +187,18 @@ void SetBenchFaults(bool on) { g_bench_faults = on; }
 bool BenchSkew() { return g_bench_skew; }
 
 void SetBenchSkew(bool on) { g_bench_skew = on; }
+
+const std::string& BenchTraceOut() { return g_bench_trace_out; }
+
+void SetBenchTraceOut(std::string path) {
+  g_bench_trace_out = std::move(path);
+}
+
+const std::string& BenchMetricsOut() { return g_bench_metrics_out; }
+
+void SetBenchMetricsOut(std::string path) {
+  g_bench_metrics_out = std::move(path);
+}
 
 std::vector<BenchInfo>& Registry() {
   static std::vector<BenchInfo>* registry = new std::vector<BenchInfo>();
@@ -335,6 +354,18 @@ int BenchMain(int argc, char** argv) {
       SetBenchFaults(true);
     } else if (arg == "--skew") {
       SetBenchSkew(true);
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      SetBenchTraceOut(v);
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return 2;
+      SetBenchMetricsOut(v);
+    } else if (arg.rfind("--trace-out=", 0) == 0) {
+      SetBenchTraceOut(arg.substr(std::string("--trace-out=").size()));
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      SetBenchMetricsOut(arg.substr(std::string("--metrics-out=").size()));
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage();
       return 0;

@@ -19,6 +19,7 @@
 #include <map>
 #include <sstream>
 
+#include "obs/exporters.h"
 #include "serve/cluster.h"
 #include "serve/server.h"
 #include "util/stats.h"
@@ -510,6 +511,86 @@ REGISTER_BENCH(serve_loadgen,
         "ITL/e2e drop; drifting hot spots promote and retire as the spot "
         "walks; `bits ok` stays yes everywhere -- replication changes "
         "latency, never bits.");
+  }
+
+  // --- telemetry emission: trace + metrics snapshot of a recovery run -------
+  //
+  // Gated behind `--trace-out` / `--metrics-out`. A 2-replica least-loaded
+  // fleet under a saturating burst loses replica 0 mid-run and gets it back
+  // (retry-backoff + hedging active), run twice: telemetry OFF for the bit
+  // oracle, then ON to export. The Chrome trace (Perfetto-loadable), the
+  // Prometheus snapshot and a JSONL span log land on the given paths; the
+  // bench fails if enabling telemetry moved a single served bit.
+  if (!BenchTraceOut().empty() || !BenchMetricsOut().empty()) {
+    PrintHeader("Telemetry: exporting a fault+recovery cluster run",
+                "2 replicas, least-loaded, retry-backoff + hedging; "
+                "replica 0 fails at 35% of the clean makespan, recovers at "
+                "55%; telemetry off = bit oracle for the telemetry-on run");
+
+    ClusterOptions tbase;
+    tbase.server = BenchServeOptions();
+    tbase.replicas = 2;
+    tbase.placement = PlacementPolicy::kLeastLoaded;
+    tbase.placement_seed = 7;
+    tbase.in_flight = InFlightPolicy::kRetryBackoff;
+    tbase.retry_budget = 3;
+    tbase.server.queue_capacity = 120;
+
+    LoadGenOptions tload = BenchLoadOptions(96);
+    tload.arrival = ArrivalProcess::kBursty;
+    tload.mean_burst = 16.0;
+    tload.offered_rps = 1e6;
+    tload.num_sessions = 16;
+    const std::vector<RequestSpec> tarrivals =
+        LoadGenerator(tload).GenerateAll();
+
+    const ClusterReport tclean = MoeCluster(tbase, cluster).Run(tarrivals);
+    const double tmakespan = tclean.sim_duration_us;
+    tbase.retry_backoff_us =
+        tmakespan / static_cast<double>(std::max<int64_t>(tclean.iterations, 1));
+    tbase.recovery_warmup_us = 0.02 * tmakespan;
+    tbase.hedge_queue_wait_us = 2.0 * tbase.retry_backoff_us;
+    tbase.faults.events = {
+        {0.35 * tmakespan, 0, FaultKind::kFail},
+        {0.55 * tmakespan, 0, FaultKind::kRecover},
+    };
+
+    const ClusterReport toff = MoeCluster(tbase, cluster).Run(tarrivals);
+    ClusterOptions ton_options = tbase;
+    ton_options.server.telemetry.enabled = true;
+    MoeCluster ton_cluster(ton_options, cluster);
+    const ClusterReport ton = ton_cluster.Run(tarrivals);
+    const bool bits_ok = ton.combined_digest == toff.combined_digest;
+
+    std::cout << "fault run: " << ton.completed.size() << "/" << ton.offered
+              << " completed, retries " << ton.retries << ", hedged "
+              << ton.hedged << ", breaker opens " << ton.breaker_opens
+              << ", recovered " << ton.replicas_recovered
+              << "\ntelemetry-on digest matches telemetry-off: "
+              << (bits_ok ? "yes" : "NO (bug!)") << "\n";
+    reporter.Report("telemetry_digest_matches_off", bits_ok ? 1.0 : 0.0);
+    reporter.Report("telemetry_retries", static_cast<double>(ton.retries));
+    reporter.Report("telemetry_hedged", static_cast<double>(ton.hedged));
+    reporter.Report("telemetry_replicas_recovered",
+                    static_cast<double>(ton.replicas_recovered));
+
+    if (!BenchTraceOut().empty()) {
+      obs::WriteTextFile(BenchTraceOut(), ton_cluster.ExportChromeTrace());
+      obs::WriteTextFile(BenchTraceOut() + ".jsonl",
+                         ton_cluster.ExportTelemetryJsonl());
+      std::cout << "wrote Chrome trace to " << BenchTraceOut()
+                << " (+ span log at " << BenchTraceOut() << ".jsonl)\n";
+    }
+    if (!BenchMetricsOut().empty()) {
+      obs::WriteTextFile(BenchMetricsOut(),
+                         ton_cluster.ExportPrometheusText());
+      std::cout << "wrote Prometheus snapshot to " << BenchMetricsOut()
+                << "\n";
+    }
+    std::cout << "\n";
+    if (!bits_ok) {
+      return 1;
+    }
   }
   return 0;
 }

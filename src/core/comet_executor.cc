@@ -103,6 +103,17 @@ CometExecutor::CometExecutor(CometOptions options)
 
 CometExecutor::~CometExecutor() = default;
 
+CometExecutor::ServingHeapStats CometExecutor::serving_heap_stats() const {
+  ServingHeapStats stats;
+  if (serving_ != nullptr && serving_->fn.heap.has_value()) {
+    const SymmetricHeap& heap = *serving_->fn.heap;
+    stats.total_traffic_bytes = heap.TotalTraffic();
+    stats.rows_verified = static_cast<uint64_t>(heap.rows_verified());
+    stats.rows_corrupted = static_cast<uint64_t>(heap.rows_corrupted());
+  }
+  return stats;
+}
+
 std::string CometExecutor::name() const {
   if (!options_.name_override.empty()) {
     return options_.name_override;
@@ -323,6 +334,10 @@ void CometExecutor::RunTimedInto(const MoeWorkload& workload,
         break;
       }
     }
+  }
+  if (nc_memo != nullptr) {
+    // Telemetry only: these never feed back into any decision.
+    ++(memo_hit != nullptr ? profile_memo_hits_ : profile_memo_misses_);
   }
   if (memo_hit != nullptr) {
     last_nc0_ = memo_hit->nc0;

@@ -171,6 +171,23 @@ class CometExecutor : public MoeLayerExecutor {
   // Entries in the executor-owned RunBatch profile cache (diagnostics).
   size_t batch_profile_entries() const { return batch_profile_cache_.size(); }
 
+  // Serving profile-memo traffic: how often RunBatch found its division
+  // points already tuned for the batch's token count vs. ran the candidate
+  // sweep. Counted only when the serving memo is consulted (RunBatch), so
+  // plain Run calls never move these.
+  uint64_t profile_memo_hits() const { return profile_memo_hits_; }
+  uint64_t profile_memo_misses() const { return profile_memo_misses_; }
+
+  // Cumulative transport stats of the serving-mode symmetric heap (zeros
+  // before PrepareServing). A plain struct so the telemetry plane can read
+  // heap traffic without depending on comm/.
+  struct ServingHeapStats {
+    double total_traffic_bytes = 0.0;
+    uint64_t rows_verified = 0;
+    uint64_t rows_corrupted = 0;
+  };
+  ServingHeapStats serving_heap_stats() const;
+
  private:
   // Cached division points for one batch token count (serving fast path;
   // bit-identical to re-consulting the MetadataStore, minus the string key).
@@ -199,6 +216,8 @@ class CometExecutor : public MoeLayerExecutor {
   MetadataStore batch_profile_cache_;
   int last_nc0_ = 0;
   int last_nc1_ = 0;
+  uint64_t profile_memo_hits_ = 0;
+  uint64_t profile_memo_misses_ = 0;
   std::unique_ptr<ServingState> serving_;
 };
 

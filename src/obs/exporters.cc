@@ -1,0 +1,313 @@
+#include "obs/exporters.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <unordered_set>
+
+#include "util/check.h"
+#include "util/json_writer.h"
+
+namespace comet::obs {
+namespace {
+
+// Thread-lane layout inside each replica process. Instants land on lane 0
+// so they never visually occlude the duration lanes.
+constexpr int kLaneEvents = 0;
+constexpr int kLaneIterations = 1;
+constexpr int kLaneRequests = 9;
+
+int LaneFor(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kIteration:
+      return kLaneIterations;
+    case SpanKind::kPhaseGating:
+      return 2;
+    case SpanKind::kPhaseLayer0Comm:
+      return 3;
+    case SpanKind::kPhaseLayer0Comp:
+      return 4;
+    case SpanKind::kPhaseActivation:
+      return 5;
+    case SpanKind::kPhaseLayer1Comp:
+      return 6;
+    case SpanKind::kPhaseLayer1Comm:
+      return 7;
+    case SpanKind::kPhaseHost:
+      return 8;
+    case SpanKind::kRequestQueue:
+    case SpanKind::kRequestPrefill:
+    case SpanKind::kRequestDecode:
+      return kLaneRequests;
+    default:
+      return kLaneEvents;
+  }
+}
+
+const char* LaneName(int lane) {
+  switch (lane) {
+    case 0:
+      return "events";
+    case 1:
+      return "iterations";
+    case 2:
+      return "gating";
+    case 3:
+      return "layer0 comm";
+    case 4:
+      return "layer0 comp";
+    case 5:
+      return "activation";
+    case 6:
+      return "layer1 comp";
+    case 7:
+      return "layer1 comm";
+    case 8:
+      return "host";
+    default:
+      return "requests";
+  }
+}
+
+void AppendMetadata(std::string* out, int pid, std::string_view process_name,
+                    bool* first) {
+  char buf[128];
+  if (!*first) { out->append(","); }
+  *first = false;
+  out->append("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":");
+  std::snprintf(buf, sizeof(buf), "%d", pid);
+  out->append(buf);
+  out->append(",\"args\":{\"name\":\"");
+  AppendJsonEscaped(*out, process_name);
+  out->append("\"}}");
+  const int max_lane = pid == 0 ? kLaneEvents : kLaneRequests;
+  for (int lane = 0; lane <= max_lane; ++lane) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,"
+                  "\"tid\":%d,\"args\":{\"name\":\"",
+                  pid, lane);
+    out->append(buf);
+    AppendJsonEscaped(*out, LaneName(lane));
+    out->append("\"}}");
+  }
+}
+
+void AppendTraceEvent(std::string* out, const SpanRecord& rec, int owner_pid,
+                      bool* first) {
+  // Cluster-ring records carry their own replica attribution.
+  const int pid = rec.replica >= 0 ? rec.replica + 1 : owner_pid;
+  if (!*first) { out->append(","); }
+  *first = false;
+  out->append("{\"name\":\"");
+  AppendJsonEscaped(*out, SpanKindName(rec.kind));
+  out->append("\"");
+  char buf[32];
+  if (SpanKindIsInstant(rec.kind)) {
+    out->append(",\"ph\":\"i\",\"s\":\"t\",\"ts\":");
+    AppendJsonNumber(*out, rec.start_us);
+  } else {
+    out->append(",\"ph\":\"X\",\"ts\":");
+    AppendJsonNumber(*out, rec.start_us);
+    out->append(",\"dur\":");
+    AppendJsonNumber(*out, rec.end_us - rec.start_us);
+  }
+  std::snprintf(buf, sizeof(buf), ",\"pid\":%d,\"tid\":%d", pid,
+                LaneFor(rec.kind));
+  out->append(buf);
+  out->append(",\"args\":{\"id\":");
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, rec.id);
+  out->append(buf);
+  out->append(",\"value\":");
+  AppendJsonNumber(*out, rec.value);
+  out->append("}}");
+}
+
+template <typename Fn>
+void ForEachRecord(const ReplicaTelemetry& src, Fn&& fn) {
+  if (src.archived != nullptr) {
+    for (const SpanRecord& rec : *src.archived) { fn(rec); }
+  }
+  if (src.live != nullptr) { src.live->ForEach(fn); }
+}
+
+// Prometheus sample-value formatting: exposition spells non-finite values
+// "NaN" / "+Inf" / "-Inf"; finite values use %.12g (enough for exact
+// round-trip of the integer-valued doubles the plane produces).
+void AppendPromValue(std::string* out, double v) {
+  char buf[40];
+  if (std::isnan(v)) {
+    out->append("NaN");
+  } else if (std::isinf(v)) {
+    out->append(v > 0 ? "+Inf" : "-Inf");
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.12g", v);
+    out->append(buf);
+  }
+}
+
+void AppendPromSamples(std::string* out, const MetricsRegistry::Entry& e,
+                       int replica) {
+  char label[48];
+  const bool labeled = replica >= 0;
+  if (labeled) {
+    std::snprintf(label, sizeof(label), "replica=\"%d\"", replica);
+  } else {
+    label[0] = '\0';
+  }
+  char buf[32];
+  switch (e.kind) {
+    case MetricKind::kCounter:
+      out->append(e.name);
+      if (labeled) {
+        out->append("{").append(label).append("}");
+      }
+      out->append(" ");
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, e.counter->value());
+      out->append(buf);
+      out->append("\n");
+      break;
+    case MetricKind::kGauge:
+      out->append(e.name);
+      if (labeled) {
+        out->append("{").append(label).append("}");
+      }
+      out->append(" ");
+      AppendPromValue(out, e.gauge->value());
+      out->append("\n");
+      break;
+    case MetricKind::kHistogram: {
+      const Histogram h = e.histogram->Snapshot();
+      for (const double q : {0.5, 0.95, 0.99}) {
+        out->append(e.name).append("{");
+        if (labeled) {
+          out->append(label).append(",");
+        }
+        std::snprintf(buf, sizeof(buf), "quantile=\"%g\"} ", q);
+        out->append(buf);
+        AppendPromValue(
+            out, h.count() == 0
+                     ? std::numeric_limits<double>::quiet_NaN()
+                     : h.PercentileUpperBound(q * 100.0));
+        out->append("\n");
+      }
+      out->append(e.name).append("_sum");
+      if (labeled) {
+        out->append("{").append(label).append("}");
+      }
+      out->append(" ");
+      AppendPromValue(out, h.sum());
+      out->append("\n");
+      out->append(e.name).append("_count");
+      if (labeled) {
+        out->append("{").append(label).append("}");
+      }
+      out->append(" ");
+      std::snprintf(buf, sizeof(buf), "%zu", h.count());
+      out->append(buf);
+      out->append("\n");
+      break;
+    }
+  }
+}
+
+const char* PromTypeName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter:
+      return "counter";
+    case MetricKind::kGauge:
+      return "gauge";
+    case MetricKind::kHistogram:
+      return "summary";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+std::string ToChromeTraceJson(std::span<const ReplicaTelemetry> replicas) {
+  std::string out;
+  out.reserve(1 << 16);
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+  for (const ReplicaTelemetry& src : replicas) {
+    AppendMetadata(&out, src.replica + 1, src.name, &first);
+  }
+  for (const ReplicaTelemetry& src : replicas) {
+    const int owner_pid = src.replica + 1;
+    ForEachRecord(src, [&](const SpanRecord& rec) {
+      AppendTraceEvent(&out, rec, owner_pid, &first);
+    });
+  }
+  out.append("]}");
+  return out;
+}
+
+std::string ToPrometheusText(std::span<const ReplicaTelemetry> replicas) {
+  // Exposition format wants all samples of one metric in a single group:
+  // first collect the unique names (registration order, sources in list
+  // order), then render one HELP/TYPE block per name with every source's
+  // samples under it.
+  std::string out;
+  out.reserve(1 << 14);
+  std::vector<const MetricsRegistry::Entry*> order;
+  std::unordered_set<std::string_view> seen;
+  for (const ReplicaTelemetry& src : replicas) {
+    if (src.registry == nullptr) { continue; }
+    for (const MetricsRegistry::Entry& e : src.registry->entries()) {
+      if (seen.insert(e.name).second) { order.push_back(&e); }
+    }
+  }
+  for (const MetricsRegistry::Entry* metric : order) {
+    out.append("# HELP ").append(metric->name).append(" ");
+    out.append(metric->help).append("\n");
+    out.append("# TYPE ").append(metric->name).append(" ");
+    out.append(PromTypeName(metric->kind)).append("\n");
+    for (const ReplicaTelemetry& src : replicas) {
+      if (src.registry == nullptr) { continue; }
+      for (const MetricsRegistry::Entry& e : src.registry->entries()) {
+        if (e.name == metric->name) {
+          AppendPromSamples(&out, e, src.replica);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::string ToJsonl(std::span<const ReplicaTelemetry> replicas) {
+  std::string out;
+  out.reserve(1 << 16);
+  for (const ReplicaTelemetry& src : replicas) {
+    char buf[32];
+    ForEachRecord(src, [&](const SpanRecord& rec) {
+      const int replica = rec.replica >= 0 ? rec.replica : src.replica;
+      out.append("{\"replica\":");
+      std::snprintf(buf, sizeof(buf), "%d", replica);
+      out.append(buf);
+      out.append(",\"kind\":\"");
+      AppendJsonEscaped(out, SpanKindName(rec.kind));
+      out.append("\",\"start_us\":");
+      AppendJsonNumber(out, rec.start_us);
+      out.append(",\"end_us\":");
+      AppendJsonNumber(out, rec.end_us);
+      out.append(",\"id\":");
+      std::snprintf(buf, sizeof(buf), "%" PRIu64, rec.id);
+      out.append(buf);
+      out.append(",\"value\":");
+      AppendJsonNumber(out, rec.value);
+      out.append("}\n");
+    });
+  }
+  return out;
+}
+
+void WriteTextFile(const std::string& path, std::string_view content) {
+  std::ofstream file(path, std::ios::binary);
+  COMET_CHECK(file.good()) << "cannot open output file " << path;
+  file.write(content.data(), static_cast<std::streamsize>(content.size()));
+  COMET_CHECK(file.good()) << "failed writing output file " << path;
+}
+
+}  // namespace comet::obs

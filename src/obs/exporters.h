@@ -1,0 +1,54 @@
+// Exporters for the telemetry plane: Chrome trace JSON (load in Perfetto /
+// chrome://tracing), Prometheus text exposition, and JSONL span dumps.
+//
+// All three render from the same inputs -- a list of ReplicaTelemetry views
+// over span rings and metric registries -- in deterministic order (replicas
+// in list order, archived records before live, registry entries in
+// registration order). Because every record is stamped with the simulated
+// clock by a single-writer loop, the rendered bytes are identical across
+// host thread counts (obs_test pins this).
+#pragma once
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/spans.h"
+
+namespace comet::obs {
+
+// A view over one telemetry source. `replica >= 0` names a replica process
+// (Chrome-trace pid = replica + 1); `replica == -1` is the cluster-level
+// source (pid 0), whose records carry their own `SpanRecord::replica` for
+// per-replica attribution. `archived` (optional) holds spans carried over
+// from replaced incarnations and is rendered before `live`.
+struct ReplicaTelemetry {
+  std::string name;
+  int replica = -1;
+  const SpanRing* live = nullptr;
+  const std::vector<SpanRecord>* archived = nullptr;
+  const MetricsRegistry* registry = nullptr;
+};
+
+// Chrome Trace Event Format: {"traceEvents":[...]}. One process per
+// replica, with thread lanes 0=events, 1=iterations, 2..8=executor phases
+// (gating, layer0 comm/comp, activation, layer1 comp/comm, host),
+// 9=requests. Duration spans are "X" complete events; instants are "i" with
+// thread scope. Timestamps are simulated microseconds, verbatim.
+std::string ToChromeTraceJson(std::span<const ReplicaTelemetry> replicas);
+
+// Prometheus text exposition. Metrics are grouped by name (one HELP/TYPE
+// block per name, samples from every replica under it, labeled
+// replica="N"; cluster-level samples are unlabeled). Histograms render as
+// summaries: quantile 0.5/0.95/0.99 upper bounds plus _sum and _count.
+std::string ToPrometheusText(std::span<const ReplicaTelemetry> replicas);
+
+// One JSON object per line per span record, oldest-first per source.
+std::string ToJsonl(std::span<const ReplicaTelemetry> replicas);
+
+// Writes `content` to `path`, COMET_CHECK-ing the stream.
+void WriteTextFile(const std::string& path, std::string_view content);
+
+}  // namespace comet::obs

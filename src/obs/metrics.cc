@@ -1,0 +1,87 @@
+#include "obs/metrics.h"
+
+#include "util/check.h"
+
+namespace comet::obs {
+
+Histogram HistogramMetric::Snapshot() const {
+  std::array<uint64_t, Histogram::kBuckets> counts;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    counts[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return Histogram::FromBuckets(counts, sum());
+}
+
+void HistogramMetric::Reset() {
+  for (auto& b : buckets_) {
+    b.store(0, std::memory_order_relaxed);
+  }
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+void HistogramMetric::MergeFrom(const HistogramMetric& other) {
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    buckets_[b].fetch_add(other.buckets_[b].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+  }
+  const double merged = sum() + other.sum();
+  sum_bits_.store(std::bit_cast<uint64_t>(merged), std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::RegisterCounter(std::string name, std::string help) {
+  Counter* c = &counters_.emplace_back();
+  entries_.push_back(Entry{std::move(name), std::move(help),
+                           MetricKind::kCounter, c, nullptr, nullptr});
+  return c;
+}
+
+Gauge* MetricsRegistry::RegisterGauge(std::string name, std::string help) {
+  Gauge* g = &gauges_.emplace_back();
+  entries_.push_back(Entry{std::move(name), std::move(help),
+                           MetricKind::kGauge, nullptr, g, nullptr});
+  return g;
+}
+
+HistogramMetric* MetricsRegistry::RegisterHistogram(std::string name,
+                                                    std::string help) {
+  HistogramMetric* h = &histograms_.emplace_back();
+  entries_.push_back(Entry{std::move(name), std::move(help),
+                           MetricKind::kHistogram, nullptr, nullptr, h});
+  return h;
+}
+
+void MetricsRegistry::ResetValues() {
+  for (auto& c : counters_) {
+    c.Reset();
+  }
+  for (auto& g : gauges_) {
+    g.Reset();
+  }
+  for (auto& h : histograms_) {
+    h.Reset();
+  }
+}
+
+void MetricsRegistry::MergeFrom(const MetricsRegistry& other) {
+  COMET_CHECK_EQ(entries_.size(), other.entries_.size())
+      << "MergeFrom requires registries with identical schemas";
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& mine = entries_[i];
+    const Entry& theirs = other.entries_[i];
+    COMET_CHECK(mine.name == theirs.name && mine.kind == theirs.kind)
+        << "MergeFrom schema mismatch at entry " << i << ": " << mine.name
+        << " vs " << theirs.name;
+    switch (mine.kind) {
+      case MetricKind::kCounter:
+        mine.counter->Add(theirs.counter->value());
+        break;
+      case MetricKind::kGauge:
+        break;  // instantaneous: the live incarnation's value is the truth
+      case MetricKind::kHistogram:
+        mine.histogram->MergeFrom(*theirs.histogram);
+        break;
+    }
+  }
+}
+
+}  // namespace comet::obs

@@ -1,0 +1,134 @@
+// Zero-allocation metrics registry: the telemetry plane's counters, gauges
+// and histograms.
+//
+// The contract mirrors the serving plane's allocation contract
+// (docs/ARCHITECTURE.md, "The allocation plane"): REGISTRATION allocates --
+// it happens once, at server construction -- and every hot-path operation
+// after it (Counter::Add, Gauge::Set, HistogramMetric::Observe) is a
+// relaxed-atomic store on preallocated storage: no locks, no allocation,
+// nothing the steady-state StepIteration window can observe. alloc_test pins
+// this by running its 0-alloc window with telemetry ON.
+//
+// Determinism: the serving loop is the only writer of its replica's metrics,
+// so values accumulate in loop order; the cross-thread counters that feed it
+// (symmetric-heap traffic and verified-row totals) are order-independent
+// sums of integers, exact in double at any interleaving. A metrics snapshot
+// is therefore byte-identical at COMET_THREADS=1 and 8 (obs_test pins this).
+// The atomics exist for the OBSERVER side -- an exporter may snapshot while
+// a load test hammers the registry from many threads (TSan-checked) -- not
+// because the serving loop races itself.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "util/stats.h"
+
+namespace comet::obs {
+
+// Monotonic counter (uint64, relaxed).
+class Counter {
+ public:
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Last-write-wins instantaneous value (double, relaxed).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { Set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Atomic fixed-bucket log2 histogram: util's Histogram bucketing over
+// relaxed-atomic bucket counters, plus an exact CAS-accumulated sum.
+// Snapshot() rebuilds a comet::Histogram, so count/sum/percentile math
+// exists exactly once (util/stats.h).
+class HistogramMetric {
+ public:
+  void Observe(double v) {
+    buckets_[Histogram::BucketIndex(v)].fetch_add(1,
+                                                  std::memory_order_relaxed);
+    // Lock-free double add. In the serving loop there is a single writer,
+    // so the sum accumulates in deterministic loop order; the CAS loop only
+    // matters for the multi-writer TSan hammer.
+    uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+    while (true) {
+      const double current = std::bit_cast<double>(expected);
+      const uint64_t desired = std::bit_cast<uint64_t>(current + v);
+      if (sum_bits_.compare_exchange_weak(expected, desired,
+                                          std::memory_order_relaxed,
+                                          std::memory_order_relaxed)) {
+        break;
+      }
+    }
+  }
+
+  double sum() const {
+    return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+  }
+  Histogram Snapshot() const;
+  void Reset();
+  // Adds `other`'s buckets and sum into this (kRecover metric carry-over).
+  void MergeFrom(const HistogramMetric& other);
+
+ private:
+  std::array<std::atomic<uint64_t>, Histogram::kBuckets> buckets_{};
+  std::atomic<uint64_t> sum_bits_{0};  // 0 is the bit pattern of +0.0
+};
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+// Preallocate-at-registration metric registry. Handles are stable pointers
+// (deque storage never moves); names follow Prometheus conventions and are
+// rendered in registration order by the exporters (obs/exporters.h).
+class MetricsRegistry {
+ public:
+  struct Entry {
+    std::string name;
+    std::string help;
+    MetricKind kind = MetricKind::kCounter;
+    Counter* counter = nullptr;
+    Gauge* gauge = nullptr;
+    HistogramMetric* histogram = nullptr;
+  };
+
+  Counter* RegisterCounter(std::string name, std::string help);
+  Gauge* RegisterGauge(std::string name, std::string help);
+  HistogramMetric* RegisterHistogram(std::string name, std::string help);
+
+  // Zeroes every value, keeping registrations (BeginRun).
+  void ResetValues();
+
+  // Adds `other`'s counter and histogram totals into this registry's
+  // matching entries (gauges keep their own value: a fresh incarnation's
+  // instantaneous state is the truth). Requires an identical schema --
+  // same entries, same order -- which holds by construction for two
+  // registries registered by the same code path (kRecover carries a
+  // replaced replica's totals into its successor through this).
+  void MergeFrom(const MetricsRegistry& other);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+
+ private:
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<HistogramMetric> histograms_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace comet::obs

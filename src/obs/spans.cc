@@ -1,0 +1,89 @@
+#include "obs/spans.h"
+
+namespace comet::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kIteration:
+      return "iteration";
+    case SpanKind::kPhaseHost:
+      return "host";
+    case SpanKind::kPhaseGating:
+      return "gating";
+    case SpanKind::kPhaseLayer0Comm:
+      return "layer0 comm";
+    case SpanKind::kPhaseLayer0Comp:
+      return "layer0 comp";
+    case SpanKind::kPhaseActivation:
+      return "activation";
+    case SpanKind::kPhaseLayer1Comp:
+      return "layer1 comp";
+    case SpanKind::kPhaseLayer1Comm:
+      return "layer1 comm";
+    case SpanKind::kRequestQueue:
+      return "queue";
+    case SpanKind::kRequestPrefill:
+      return "prefill";
+    case SpanKind::kRequestDecode:
+      return "decode";
+    case SpanKind::kAdmit:
+      return "admit";
+    case SpanKind::kShed:
+      return "shed";
+    case SpanKind::kComplete:
+      return "complete";
+    case SpanKind::kDispatch:
+      return "dispatch";
+    case SpanKind::kRedispatch:
+      return "redispatch";
+    case SpanKind::kRetry:
+      return "retry";
+    case SpanKind::kHedge:
+      return "hedge";
+    case SpanKind::kHedgeWin:
+      return "hedge win";
+    case SpanKind::kFaultFail:
+      return "fault: fail";
+    case SpanKind::kFaultDrain:
+      return "fault: drain";
+    case SpanKind::kFaultWedge:
+      return "fault: wedge";
+    case SpanKind::kFaultCorrupt:
+      return "fault: corrupt";
+    case SpanKind::kReplicaDeath:
+      return "replica death";
+    case SpanKind::kReplicaRecover:
+      return "replica recover";
+    case SpanKind::kBreakerOpen:
+      return "breaker open";
+    case SpanKind::kBreakerHalfOpen:
+      return "breaker half-open";
+    case SpanKind::kBreakerClosed:
+      return "breaker closed";
+    case SpanKind::kPromote:
+      return "promote expert";
+    case SpanKind::kRetireReplica:
+      return "retire replica";
+  }
+  return "unknown";
+}
+
+void SpanRing::Reserve(int64_t capacity) {
+  ring_.assign(static_cast<size_t>(capacity), SpanRecord{});
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+void SpanRing::Clear() {
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+void SpanRing::AppendTo(std::vector<SpanRecord>* out) const {
+  out->reserve(out->size() + size_);
+  ForEach([&](const SpanRecord& rec) { out->push_back(rec); });
+}
+
+}  // namespace comet::obs

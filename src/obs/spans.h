@@ -1,0 +1,136 @@
+// Span tracing for the serving loop: POD records in a preallocated ring.
+//
+// Every record is stamped with the SIMULATED clock, and the serving loop is
+// the only writer of its replica's ring, so a trace is a pure function of
+// seeds + config -- byte-identical across host thread counts (obs_test pins
+// trace byte-equality at COMET_THREADS {1,8}).
+//
+// Allocation: Reserve() preallocates the ring (BeginRun, outside any
+// counting window); Record() writes one POD in place and, once full,
+// overwrites the oldest record while counting the drop -- never allocating,
+// so the span ring lives inside alloc_test's 0-alloc steady-state window.
+// Span kinds are an enum, not strings: nothing on the record path touches
+// the heap, and the exporters map kinds to names at export time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace comet::obs {
+
+// What a span record describes. Order matters: everything at or after
+// kAdmit is an instant event (a point in time), everything before is a
+// duration span.
+enum class SpanKind : uint8_t {
+  // Per-iteration spans: the whole iteration, then its phase lanes derived
+  // from the executor's critical-rank timeline.
+  kIteration,
+  kPhaseHost,
+  kPhaseGating,
+  kPhaseLayer0Comm,
+  kPhaseLayer0Comp,
+  kPhaseActivation,
+  kPhaseLayer1Comp,
+  kPhaseLayer1Comm,
+  // Per-request lifecycle spans, recorded at retirement from the request's
+  // simulated timestamps: admit -> first schedule (queue), first schedule ->
+  // first token (prefill), first -> last token (decode).
+  kRequestQueue,
+  kRequestPrefill,
+  kRequestDecode,
+  // Instant events (start_us == end_us). Server-level...
+  kAdmit,
+  kShed,
+  kComplete,
+  // ...cluster-level dispatch/recovery...
+  kDispatch,
+  kRedispatch,
+  kRetry,
+  kHedge,
+  kHedgeWin,
+  kFaultFail,
+  kFaultDrain,
+  kFaultWedge,
+  kFaultCorrupt,
+  kReplicaDeath,
+  kReplicaRecover,
+  kBreakerOpen,
+  kBreakerHalfOpen,
+  kBreakerClosed,
+  // ...and adaptation-plane events.
+  kPromote,
+  kRetireReplica,
+};
+
+const char* SpanKindName(SpanKind kind);
+
+inline bool SpanKindIsInstant(SpanKind kind) {
+  return kind >= SpanKind::kAdmit;
+}
+
+// One recorded span or instant. POD: recording is a struct copy.
+// `id` is kind-dependent (request id, iteration index, expert, replica);
+// `value` carries one kind-dependent magnitude (tokens, slot, ...).
+// `replica` is -1 for records owned by a per-replica ring (the owner is
+// implicit); cluster-level rings set it so the exporter can attribute the
+// event to a replica's process (still -1 for fleet-wide events).
+struct SpanRecord {
+  double start_us = 0.0;
+  double end_us = 0.0;
+  uint64_t id = 0;
+  double value = 0.0;
+  SpanKind kind = SpanKind::kIteration;
+  int32_t replica = -1;
+};
+
+// Preallocated single-writer ring of SpanRecords, oldest-first iteration.
+class SpanRing {
+ public:
+  // Preallocates `capacity` records. Idempotent for the same capacity;
+  // clears held records. Call outside allocation-counting windows.
+  void Reserve(int64_t capacity);
+  // Forgets every record (keeps capacity).
+  void Clear();
+
+  // Records one span; overwrites the oldest (counting it dropped) when
+  // full. Allocation-free. With zero capacity every record just drops.
+  void Record(SpanKind kind, double start_us, double end_us, uint64_t id,
+              double value, int32_t replica = -1) {
+    if (ring_.empty()) {
+      ++dropped_;
+      return;
+    }
+    if (size_ == ring_.size()) {
+      ++dropped_;
+    } else {
+      ++size_;
+    }
+    ring_[next_] = SpanRecord{start_us, end_us, id, value, kind, replica};
+    next_ = (next_ + 1) % ring_.size();
+  }
+
+  size_t size() const { return size_; }
+  int64_t capacity() const { return static_cast<int64_t>(ring_.size()); }
+  uint64_t dropped() const { return dropped_; }
+
+  // Visits records oldest-first.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    const size_t first = (next_ + ring_.size() - size_) % (ring_.empty() ? 1 : ring_.size());
+    for (size_t i = 0; i < size_; ++i) {
+      fn(ring_[(first + i) % ring_.size()]);
+    }
+  }
+
+  // Appends records oldest-first (archiving a replaced replica's trace).
+  void AppendTo(std::vector<SpanRecord>* out) const;
+
+ private:
+  std::vector<SpanRecord> ring_;
+  size_t next_ = 0;
+  size_t size_ = 0;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace comet::obs

@@ -14,7 +14,9 @@
 namespace comet {
 
 MoeCluster::MoeCluster(ClusterOptions options, ClusterSpec replica_cluster)
-    : options_(std::move(options)), replica_cluster_(replica_cluster) {
+    : options_(std::move(options)),
+      replica_cluster_(replica_cluster),
+      cluster_metrics_(obs::ClusterMetrics::Register(cluster_registry_)) {
   COMET_CHECK_GT(options_.replicas, 0);
   COMET_CHECK_LE(options_.replicas, 64) << "DispatchDecision::accepting_mask";
   COMET_CHECK_GE(options_.global_queue_tokens, 0);
@@ -39,6 +41,7 @@ MoeCluster::MoeCluster(ClusterOptions options, ClusterSpec replica_cluster)
     replicas_.push_back(
         std::make_unique<MoeServer>(options_.server, replica_cluster_));
   }
+  archived_spans_.resize(static_cast<size_t>(options_.replicas));
 }
 
 MoeCluster::~MoeCluster() = default;
@@ -51,9 +54,23 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
 
   const int R = num_replicas();
   const bool health_on = options_.health_enabled;
+  const bool tel = options_.server.telemetry.enabled;
   for (auto& server : replicas_) {
     server->BeginRun();
   }
+  cluster_registry_.ResetValues();
+  if (tel && cluster_events_.capacity() != options_.server.telemetry.span_capacity) {
+    cluster_events_.Reserve(options_.server.telemetry.span_capacity);
+  } else {
+    cluster_events_.Clear();
+  }
+  for (auto& archive : archived_spans_) {
+    archive.clear();
+  }
+  // Breaker states as last recorded, polled once per loop pass so every
+  // transition becomes a trace instant.
+  std::vector<BreakerState> breaker_seen(static_cast<size_t>(R),
+                                         BreakerState::kClosed);
   Dispatcher dispatcher(options_.placement, R, options_.placement_seed);
   ReplicaHealth health(R, options_.health);
   Rng retry_rng(options_.retry_seed);
@@ -226,6 +243,12 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
           health.OnProbeDispatched(pick, now);
           decision.probe = true;
         }
+        if (tel) {
+          cluster_events_.Record(redispatch ? obs::SpanKind::kRedispatch
+                                            : obs::SpanKind::kDispatch,
+                                 now, now, static_cast<uint64_t>(t.spec.id),
+                                 static_cast<double>(t.attempts), pick);
+        }
       }
     }
     if (!admitted) {
@@ -252,6 +275,11 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
     accepting[static_cast<size_t>(r)] = false;
     warming[static_cast<size_t>(r)] = false;
     ++report.replica_failures;
+    if (tel) {
+      cluster_events_.Record(obs::SpanKind::kReplicaDeath, now, now,
+                             static_cast<uint64_t>(r), corrupted ? 1.0 : 0.0,
+                             r);
+    }
     if (corrupted) {
       ++report.corruptions_detected;
     }
@@ -300,6 +328,10 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
       t.done = true;
       if (t.hedge_replica == r) {
         ++report.hedge_wins;
+        if (tel) {
+          cluster_events_.Record(obs::SpanKind::kHedgeWin, now, now,
+                                 static_cast<uint64_t>(rec.id), 0.0, r);
+        }
       }
       for (const int other : t.copies) {
         if (other == r) {
@@ -334,9 +366,21 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
           continue;  // never actually went down; the recovery is moot
         }
         archive_replica(r);
-        replicas_[static_cast<size_t>(r)] =
+        auto fresh =
             std::make_unique<MoeServer>(options_.server, replica_cluster_);
-        replicas_[static_cast<size_t>(r)]->BeginRun();
+        fresh->BeginRun();
+        if (tel) {
+          // The dead incarnation's telemetry outlives it: spans move to the
+          // slot archive, counter/histogram totals merge into the fresh
+          // registry (gauges start from the fresh incarnation's truth).
+          replicas_[static_cast<size_t>(r)]->telemetry().spans().AppendTo(
+              &archived_spans_[static_cast<size_t>(r)]);
+          fresh->telemetry().registry().MergeFrom(
+              replicas_[static_cast<size_t>(r)]->telemetry().registry());
+          cluster_events_.Record(obs::SpanKind::kReplicaRecover, now, now,
+                                 static_cast<uint64_t>(r), 0.0, r);
+        }
+        replicas_[static_cast<size_t>(r)] = std::move(fresh);
         observed[static_cast<size_t>(r)] = 0;
         busy[static_cast<size_t>(r)] = false;
         fail_pending[static_cast<size_t>(r)] = false;
@@ -349,6 +393,27 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
       }
       if (!alive[static_cast<size_t>(r)]) {
         continue;  // already dead; the fault is moot
+      }
+      if (tel) {
+        obs::SpanKind kind = obs::SpanKind::kFaultFail;
+        switch (ev.kind) {
+          case FaultKind::kFail:
+            kind = obs::SpanKind::kFaultFail;
+            break;
+          case FaultKind::kDrain:
+            kind = obs::SpanKind::kFaultDrain;
+            break;
+          case FaultKind::kWedge:
+            kind = obs::SpanKind::kFaultWedge;
+            break;
+          case FaultKind::kCorrupt:
+            kind = obs::SpanKind::kFaultCorrupt;
+            break;
+          case FaultKind::kRecover:
+            break;  // unreachable: handled above
+        }
+        cluster_events_.Record(kind, now, now, static_cast<uint64_t>(r), 0.0,
+                               r);
       }
       switch (ev.kind) {
         case FaultKind::kFail:
@@ -412,6 +477,11 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
       COMET_CHECK(!t.done && !t.lost);
       ++t.attempts;
       ++report.retries;
+      if (tel) {
+        cluster_events_.Record(obs::SpanKind::kRetry, now, now,
+                               static_cast<uint64_t>(id),
+                               static_cast<double>(t.attempts - 1));
+      }
       dispatch_one(t, /*redispatch=*/true, /*retry=*/true);
     }
     while (!backlog.empty()) {
@@ -485,6 +555,10 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
           t.hedge_replica = pick;
           ++report.hedged;
           ++report.dispatched;
+          if (tel) {
+            cluster_events_.Record(obs::SpanKind::kHedge, now, now,
+                                   static_cast<uint64_t>(id), 0.0, pick);
+          }
           if (options_.record_dispatch_log) {
             DispatchDecision d;
             d.request_id = id;
@@ -534,6 +608,34 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
         wedge_armed[static_cast<size_t>(r)] = false;
         fail_pending[static_cast<size_t>(r)] = false;
         die(r, corrupted);
+      }
+    }
+
+    // Breaker transitions as trace instants: poll each replica's breaker
+    // state once per loop pass and record changes. Polling never mutates
+    // the breaker (state() is a pure read at `now`), so telemetry cannot
+    // perturb the trajectory.
+    if (tel && health_on) {
+      for (int r = 0; r < R; ++r) {
+        const BreakerState s = health.state(r, now);
+        if (s == breaker_seen[static_cast<size_t>(r)]) {
+          continue;
+        }
+        breaker_seen[static_cast<size_t>(r)] = s;
+        obs::SpanKind kind = obs::SpanKind::kBreakerClosed;
+        switch (s) {
+          case BreakerState::kOpen:
+            kind = obs::SpanKind::kBreakerOpen;
+            break;
+          case BreakerState::kHalfOpen:
+            kind = obs::SpanKind::kBreakerHalfOpen;
+            break;
+          case BreakerState::kClosed:
+            kind = obs::SpanKind::kBreakerClosed;
+            break;
+        }
+        cluster_events_.Record(kind, now, now, static_cast<uint64_t>(r), 0.0,
+                               r);
       }
     }
 
@@ -625,6 +727,28 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
     report.probes = health.total_probes();
   }
 
+  // Dispatcher metrics, set once from the report's (already-exact) totals:
+  // the dispatcher is single-threaded, so there is nothing to sample
+  // mid-run that the final values would not capture.
+  if (tel) {
+    const auto set = [](obs::Counter* c, int64_t v) {
+      c->Reset();
+      c->Add(static_cast<uint64_t>(v));
+    };
+    set(cluster_metrics_.dispatches, report.dispatched);
+    set(cluster_metrics_.redispatches, report.redispatched);
+    set(cluster_metrics_.retries, report.retries);
+    set(cluster_metrics_.hedges, report.hedged);
+    set(cluster_metrics_.hedge_wins, report.hedge_wins);
+    set(cluster_metrics_.sheds, report.shed);
+    set(cluster_metrics_.wasted_tokens, report.wasted_tokens);
+    set(cluster_metrics_.faults_injected, static_cast<int64_t>(next_fault));
+    set(cluster_metrics_.replica_failures, report.replica_failures);
+    set(cluster_metrics_.replicas_recovered, report.replicas_recovered);
+    set(cluster_metrics_.breaker_opens, report.breaker_opens);
+    set(cluster_metrics_.breaker_probes, report.probes);
+  }
+
   std::sort(report.completed.begin(), report.completed.end(),
             [](const RequestRecord& a, const RequestRecord& b) {
               return a.id < b.id;
@@ -674,6 +798,40 @@ ClusterReport MoeCluster::Run(const std::vector<RequestSpec>& arrivals) {
 ClusterReport MoeCluster::Run(LoadGenerator& loadgen) {
   const std::vector<RequestSpec> arrivals = loadgen.GenerateAll();
   return Run(arrivals);
+}
+
+std::vector<obs::ReplicaTelemetry> MoeCluster::TelemetryViews() const {
+  std::vector<obs::ReplicaTelemetry> views;
+  views.reserve(replicas_.size() + 1);
+  obs::ReplicaTelemetry cluster_view;
+  cluster_view.name = "cluster";
+  cluster_view.replica = -1;
+  cluster_view.live = &cluster_events_;
+  cluster_view.registry = &cluster_registry_;
+  views.push_back(cluster_view);
+  for (int r = 0; r < num_replicas(); ++r) {
+    obs::ReplicaTelemetry view = replicas_[static_cast<size_t>(r)]->TelemetryView();
+    view.name = "replica " + std::to_string(r);
+    view.replica = r;
+    view.archived = &archived_spans_[static_cast<size_t>(r)];
+    views.push_back(view);
+  }
+  return views;
+}
+
+std::string MoeCluster::ExportChromeTrace() const {
+  const std::vector<obs::ReplicaTelemetry> views = TelemetryViews();
+  return obs::ToChromeTraceJson(views);
+}
+
+std::string MoeCluster::ExportPrometheusText() const {
+  const std::vector<obs::ReplicaTelemetry> views = TelemetryViews();
+  return obs::ToPrometheusText(views);
+}
+
+std::string MoeCluster::ExportTelemetryJsonl() const {
+  const std::vector<obs::ReplicaTelemetry> views = TelemetryViews();
+  return obs::ToJsonl(views);
 }
 
 }  // namespace comet

@@ -52,9 +52,12 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "hw/gpu_spec.h"
+#include "obs/exporters.h"
+#include "obs/telemetry.h"
 #include "serve/fault_plan.h"
 #include "serve/health.h"
 #include "serve/placement.h"
@@ -186,11 +189,28 @@ class MoeCluster {
   int num_replicas() const { return static_cast<int>(replicas_.size()); }
   const MoeServer& replica(int r) const { return *replicas_.at(r); }
 
+  // Telemetry views over the whole fleet, cluster-level source first, then
+  // one per replica slot (archived spans from replaced incarnations
+  // included). Valid after Run; the Export methods render them (see
+  // obs/exporters.h for the formats).
+  std::vector<obs::ReplicaTelemetry> TelemetryViews() const;
+  std::string ExportChromeTrace() const;
+  std::string ExportPrometheusText() const;
+  std::string ExportTelemetryJsonl() const;
+
  private:
   ClusterOptions options_;
   // Kept so kRecover can rebuild a replica from scratch mid-run.
   ClusterSpec replica_cluster_;
   std::vector<std::unique_ptr<MoeServer>> replicas_;
+  // Cluster-level telemetry: the dispatcher's own registry + event ring
+  // (fault/dispatch/retry/hedge/breaker instants, each record carrying its
+  // replica for trace attribution), plus per-slot span archives carried
+  // over from kRecover-replaced incarnations.
+  obs::MetricsRegistry cluster_registry_;
+  obs::ClusterMetrics cluster_metrics_;
+  obs::SpanRing cluster_events_;
+  std::vector<std::vector<obs::SpanRecord>> archived_spans_;
 };
 
 }  // namespace comet

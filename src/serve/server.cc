@@ -240,6 +240,18 @@ struct MoeServer::RunState {
   int64_t iterations = 0;
   int64_t batched_tokens = 0;
   int64_t padding_tokens = 0;
+  // Telemetry delta baselines: the executor's memo/heap totals accumulate
+  // across runs (the serving heap persists in PrepareServing state), so the
+  // per-iteration counter updates publish deltas against the last sample.
+  // Baselined by BeginRun, advanced by RecordIterationTelemetry.
+  uint64_t prev_profile_hits = 0;
+  uint64_t prev_profile_misses = 0;
+  double prev_heap_traffic = 0.0;
+  uint64_t prev_rows_verified = 0;
+  uint64_t prev_rows_corrupted = 0;
+  int64_t prev_promotions = 0;
+  int64_t prev_retirements = 0;
+  int64_t prev_replicated_rows = 0;
   // Remaining (not yet executed) tokens of the batcher's live requests;
   // together with queue.queued_tokens() this is the replica's load signal.
   int64_t batcher_tokens = 0;
@@ -254,7 +266,8 @@ MoeServer::MoeServer(ServeOptions options, ClusterSpec cluster)
       sharded_weights_(std::make_shared<ShardedExpertWeights>(
           *weights_, options_.parallel.tp)),
       gate_(MakeGateWeight(options_)),
-      executor_(MakeExecutorOptions(options_)) {
+      executor_(MakeExecutorOptions(options_)),
+      telemetry_(options_.telemetry) {
   COMET_CHECK_EQ(cluster_.world_size, options_.parallel.world())
       << "cluster and serving parallel config disagree";
   COMET_CHECK_GT(options_.token_budget, 0);
@@ -358,6 +371,13 @@ void MoeServer::BuildBatchWorkloadInto(const BatchPlan& plan,
           executor_.RetireReplica(ev.slot);
           ++run.retirements;
         }
+        if (telemetry_.enabled()) {
+          telemetry_.spans().Record(
+              ev.promote ? obs::SpanKind::kPromote
+                         : obs::SpanKind::kRetireReplica,
+              now, now, static_cast<uint64_t>(ev.expert),
+              static_cast<double>(ev.slot));
+        }
       }
       // Live re-tune: cached division points were profiled against the old
       // replica layout (ProfileKey does not encode replicas); flush them so
@@ -383,6 +403,15 @@ void MoeServer::BuildBatchWorkloadInto(const BatchPlan& plan,
 void MoeServer::BeginRun(RunBounds bounds) {
   run_ = std::make_unique<RunState>(options_, weights_, sharded_weights_,
                                     bounds);
+  telemetry_.BeginRun();
+  // Baseline the cumulative executor/heap totals so this run's first delta
+  // doesn't inherit a previous run's traffic.
+  const CometExecutor::ServingHeapStats heap = executor_.serving_heap_stats();
+  run_->prev_profile_hits = executor_.profile_memo_hits();
+  run_->prev_profile_misses = executor_.profile_memo_misses();
+  run_->prev_heap_traffic = heap.total_traffic_bytes;
+  run_->prev_rows_verified = heap.rows_verified;
+  run_->prev_rows_corrupted = heap.rows_corrupted;
 }
 
 AdmissionQueue::Admit MoeServer::Offer(const RequestSpec& spec) {
@@ -391,6 +420,26 @@ AdmissionQueue::Admit MoeServer::Offer(const RequestSpec& spec) {
   const AdmissionQueue::Admit admit = run_->queue.TryPush(spec);
   if (!admit.admitted || admit.evicted.has_value()) {
     ++run_->shed;
+  }
+  if (telemetry_.enabled()) {
+    obs::ServerMetrics& m = telemetry_.metrics();
+    obs::SpanRing& spans = telemetry_.spans();
+    m.requests_offered->Increment();
+    const double t = spec.arrival_us;
+    if (admit.admitted) {
+      spans.Record(obs::SpanKind::kAdmit, t, t, static_cast<uint64_t>(spec.id),
+                   static_cast<double>(spec.TotalTokens()));
+    } else {
+      m.requests_shed->Increment();
+      spans.Record(obs::SpanKind::kShed, t, t, static_cast<uint64_t>(spec.id),
+                   static_cast<double>(spec.TotalTokens()));
+    }
+    if (admit.evicted.has_value()) {
+      m.requests_shed->Increment();
+      spans.Record(obs::SpanKind::kShed, t, t,
+                   static_cast<uint64_t>(admit.evicted->id),
+                   static_cast<double>(admit.evicted->TotalTokens()));
+    }
   }
   return admit;
 }
@@ -645,6 +694,7 @@ bool MoeServer::StepIteration(double now, double* end_us) {
   }
 
   // Retire finished requests back to the pool.
+  const bool tel = telemetry_.enabled();
   run.batcher.CompleteInto(plan, &run.finished);
   for (const int64_t slot : run.finished) {
     LiveRequest& lr = *run.by_slot[static_cast<size_t>(slot)];
@@ -672,12 +722,149 @@ bool MoeServer::StepIteration(double now, double* end_us) {
                     lr.itl_samples.end());
     run.itl_counts.push_back(static_cast<int64_t>(lr.itl_samples.size()));
     run.completed.push_back(rec);
+    if (tel) {
+      // Request lifecycle: every timestamp below was stamped from the
+      // simulated clock during the run, so recording at retirement loses
+      // nothing and keeps the hot path to one pass.
+      obs::ServerMetrics& m = telemetry_.metrics();
+      obs::SpanRing& spans = telemetry_.spans();
+      m.requests_completed->Increment();
+      m.queue_wait_us->Observe(rec.queue_wait_us);
+      m.ttft_us->Observe(rec.ttft_us);
+      m.e2e_us->Observe(rec.e2e_us);
+      for (const double s : lr.itl_samples) {
+        m.itl_us->Observe(s);
+      }
+      const uint64_t id = static_cast<uint64_t>(rec.id);
+      spans.Record(obs::SpanKind::kRequestQueue, lr.spec.arrival_us,
+                   lr.first_scheduled_us, id,
+                   static_cast<double>(rec.prompt_tokens));
+      spans.Record(obs::SpanKind::kRequestPrefill, lr.first_scheduled_us,
+                   lr.first_token_us, id,
+                   static_cast<double>(rec.prompt_tokens));
+      if (lr.last_token_us > lr.first_token_us) {
+        spans.Record(obs::SpanKind::kRequestDecode, lr.first_token_us,
+                     lr.last_token_us, id,
+                     static_cast<double>(rec.decode_tokens));
+      }
+      spans.Record(obs::SpanKind::kComplete, lr.last_token_us,
+                   lr.last_token_us, id, 0.0);
+    }
     run.pool.Release(&lr);
     run.by_slot[static_cast<size_t>(slot)] = nullptr;
   }
 
+  if (tel) {
+    RecordIterationTelemetry(run, now, end, plan.TotalTokens(), padding);
+  }
+
   *end_us = end;
   return true;
+}
+
+void MoeServer::RecordIterationTelemetry(RunState& run, double now, double end,
+                                         int64_t packed, int64_t padding) {
+  obs::ServerMetrics& m = telemetry_.metrics();
+  obs::SpanRing& spans = telemetry_.spans();
+  m.iterations->Increment();
+  m.batched_tokens->Add(static_cast<uint64_t>(packed));
+  m.padding_tokens->Add(static_cast<uint64_t>(padding));
+  m.queue_depth->Set(static_cast<double>(run.queue.size()));
+  m.queue_tokens->Set(static_cast<double>(run.queue.queued_tokens()));
+  m.batcher_live->Set(static_cast<double>(run.batcher.live_count()));
+  m.batch_fill->Set(static_cast<double>(packed) /
+                    static_cast<double>(options_.token_budget));
+  m.batch_tokens_hist->Observe(static_cast<double>(packed));
+  m.iteration_us->Observe(end - now);
+
+  // The executor's memo and heap totals are cumulative across runs; publish
+  // this iteration's deltas.
+  const uint64_t hits = executor_.profile_memo_hits();
+  const uint64_t misses = executor_.profile_memo_misses();
+  m.profile_hits->Add(hits - run.prev_profile_hits);
+  m.profile_misses->Add(misses - run.prev_profile_misses);
+  run.prev_profile_hits = hits;
+  run.prev_profile_misses = misses;
+  const CometExecutor::ServingHeapStats heap = executor_.serving_heap_stats();
+  // Traffic bytes are integer-valued doubles (sums of byte counts), so the
+  // delta casts exactly.
+  m.heap_traffic_bytes->Add(
+      static_cast<uint64_t>(heap.total_traffic_bytes - run.prev_heap_traffic));
+  m.heap_rows_verified->Add(heap.rows_verified - run.prev_rows_verified);
+  m.heap_rows_corrupted->Add(heap.rows_corrupted - run.prev_rows_corrupted);
+  run.prev_heap_traffic = heap.total_traffic_bytes;
+  run.prev_rows_verified = heap.rows_verified;
+  run.prev_rows_corrupted = heap.rows_corrupted;
+
+  m.promotions->Add(
+      static_cast<uint64_t>(run.promotions - run.prev_promotions));
+  m.retirements->Add(
+      static_cast<uint64_t>(run.retirements - run.prev_retirements));
+  m.replicated_rows->Add(
+      static_cast<uint64_t>(run.replicated_rows - run.prev_replicated_rows));
+  run.prev_promotions = run.promotions;
+  run.prev_retirements = run.retirements;
+  run.prev_replicated_rows = run.replicated_rows;
+  m.active_replicas->Set(static_cast<double>(run.tracker.active_replicas()));
+
+  // Iteration span plus per-phase envelopes of the executor's critical-rank
+  // timeline. Timeline intervals are iteration-relative (starting at 0);
+  // the serving loop's own host_overhead_us precedes them on the clock.
+  const uint64_t iter_id = static_cast<uint64_t>(run.iterations);
+  spans.Record(obs::SpanKind::kIteration, now, end, iter_id,
+               static_cast<double>(packed));
+  constexpr int kPhases = 7;  // OpCategory kGating..kHost
+  constexpr obs::SpanKind kPhaseFor[kPhases] = {
+      obs::SpanKind::kPhaseGating,     obs::SpanKind::kPhaseLayer0Comm,
+      obs::SpanKind::kPhaseLayer0Comp, obs::SpanKind::kPhaseActivation,
+      obs::SpanKind::kPhaseLayer1Comp, obs::SpanKind::kPhaseLayer1Comm,
+      obs::SpanKind::kPhaseHost};
+  double lo[kPhases], hi[kPhases];
+  bool any[kPhases] = {};
+  for (const TimeInterval& iv : run.ex.timeline.intervals()) {
+    const int c = static_cast<int>(iv.category);
+    if (c >= kPhases) {
+      continue;  // kAttention/kOther never appear in serving batches
+    }
+    if (!any[c]) {
+      any[c] = true;
+      lo[c] = iv.start_us;
+      hi[c] = iv.end_us;
+    } else {
+      lo[c] = std::min(lo[c], iv.start_us);
+      hi[c] = std::max(hi[c], iv.end_us);
+    }
+  }
+  const double shift = now + options_.host_overhead_us;
+  for (int c = 0; c < kPhases; ++c) {
+    if (any[c]) {
+      spans.Record(kPhaseFor[c], shift + lo[c], shift + hi[c], iter_id, 0.0);
+    }
+  }
+}
+
+obs::ReplicaTelemetry MoeServer::TelemetryView() const {
+  obs::ReplicaTelemetry view;
+  view.name = "comet-serve";
+  view.replica = 0;
+  view.live = &telemetry_.spans();
+  view.registry = &telemetry_.registry();
+  return view;
+}
+
+std::string MoeServer::ExportChromeTrace() const {
+  const obs::ReplicaTelemetry view = TelemetryView();
+  return obs::ToChromeTraceJson({&view, 1});
+}
+
+std::string MoeServer::ExportPrometheusText() const {
+  const obs::ReplicaTelemetry view = TelemetryView();
+  return obs::ToPrometheusText({&view, 1});
+}
+
+std::string MoeServer::ExportTelemetryJsonl() const {
+  const obs::ReplicaTelemetry view = TelemetryView();
+  return obs::ToJsonl({&view, 1});
 }
 
 ServeReport MoeServer::BuildReport(double sim_duration_us) const {

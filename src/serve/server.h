@@ -42,6 +42,8 @@
 
 #include "core/comet_executor.h"
 #include "moe/router.h"
+#include "obs/exporters.h"
+#include "obs/telemetry.h"
 #include "serve/adaptation.h"
 #include "serve/admission_queue.h"
 #include "serve/batcher.h"
@@ -131,6 +133,10 @@ struct ServeOptions {
   // serve/adaptation.h). Disabled by default; disabled serves byte-identical
   // bits to a server without the adaptation plane.
   AdaptationOptions adaptation;
+  // Telemetry plane (see obs/telemetry.h). OFF by default; on or off, the
+  // served bits are byte-identical -- instrumentation only reads the
+  // serving state (obs_test pins digest equality ON vs OFF).
+  obs::TelemetryOptions telemetry;
 };
 
 struct ServeReport {
@@ -289,6 +295,19 @@ class MoeServer {
   // Executor diagnostics (e.g. batch_profile_entries after a run).
   const CometExecutor& executor() const { return executor_; }
 
+  // ---- telemetry plane (obs/) ----------------------------------------------
+  // The per-replica telemetry bundle: registry + span ring, reset by
+  // BeginRun. Recording only happens when options().telemetry.enabled.
+  obs::Telemetry& telemetry() { return telemetry_; }
+  const obs::Telemetry& telemetry() const { return telemetry_; }
+  // View over this server's telemetry for the exporters (one replica
+  // process; the cluster plane builds its own multi-replica list).
+  obs::ReplicaTelemetry TelemetryView() const;
+  // Renders this server's telemetry (see obs/exporters.h for formats).
+  std::string ExportChromeTrace() const;
+  std::string ExportPrometheusText() const;
+  std::string ExportTelemetryJsonl() const;
+
  private:
   struct LiveRequest;
   struct RunState;
@@ -308,12 +327,19 @@ class MoeServer {
                               const std::vector<LiveRequest*>& live,
                               double now, RunState& run, int64_t* padding);
 
+  // Publishes one iteration's metrics and spans ([now, end], `packed`
+  // non-padding tokens). Called at the end of StepIteration, only when
+  // telemetry is enabled; allocation-free.
+  void RecordIterationTelemetry(RunState& run, double now, double end,
+                                int64_t packed, int64_t padding);
+
   ServeOptions options_;
   ClusterSpec cluster_;
   std::shared_ptr<const ExpertWeights> weights_;
   std::shared_ptr<const ShardedExpertWeights> sharded_weights_;
   GateNetwork gate_;
   CometExecutor executor_;
+  obs::Telemetry telemetry_;
   std::unique_ptr<RunState> run_;
 };
 

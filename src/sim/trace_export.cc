@@ -4,56 +4,25 @@
 #include <sstream>
 
 #include "util/check.h"
+#include "util/json_writer.h"
 
 namespace comet {
-namespace {
-
-// Minimal JSON string escaping: our labels are ASCII identifiers, but be
-// safe about quotes/backslashes/control characters anyway.
-std::string EscapeJson(const std::string& s) {
-  std::string out;
-  out.reserve(s.size() + 2);
-  for (const char c : s) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
 
 std::string ToChromeTraceJson(const Timeline& timeline,
                               const std::string& process_name) {
+  // Field order within each event is fixed (name, cat, ph, ts, dur, pid,
+  // tid) and all string payloads go through the shared JsonEscape, so the
+  // emitted bytes are a pure function of the timeline contents.
   std::ostringstream os;
   os << "{\"traceEvents\":[";
   os << "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
         "\"args\":{\"name\":\""
-     << EscapeJson(process_name) << "\"}}";
+     << JsonEscape(process_name) << "\"}}";
   for (const TimeInterval& iv : timeline.intervals()) {
     // Lane -1 (host) maps to tid 0; device lanes start at 1.
     const int tid = iv.lane + 2;
-    os << ",{\"name\":\"" << EscapeJson(iv.label) << "\",\"cat\":\""
-       << EscapeJson(OpCategoryName(iv.category)) << "\",\"ph\":\"X\""
+    os << ",{\"name\":\"" << JsonEscape(iv.label) << "\",\"cat\":\""
+       << JsonEscape(OpCategoryName(iv.category)) << "\",\"ph\":\"X\""
        << ",\"ts\":" << iv.start_us << ",\"dur\":" << iv.Duration()
        << ",\"pid\":1,\"tid\":" << tid << "}";
   }

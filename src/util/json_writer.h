@@ -1,0 +1,29 @@
+// Minimal shared JSON emission helpers.
+//
+// One escaping/number-formatting implementation serves every JSON producer
+// in the repo -- the simulator's Chrome-trace export (sim/trace_export) and
+// the telemetry plane's serving exporters (src/obs/exporters) -- so the two
+// can never drift on how a quote, control character, or non-finite double is
+// rendered. These are end-of-run emitters, not hot-path code: they may
+// allocate freely.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace comet {
+
+// Appends `s` to `out` with JSON string escaping: quote, backslash, newline
+// and tab get two-character escapes; any other control character below 0x20
+// becomes \u00XX. All other bytes pass through unchanged.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+
+// Convenience form of AppendJsonEscaped returning a fresh string.
+std::string JsonEscape(std::string_view s);
+
+// Appends `v` as a JSON number token with up to 12 significant digits
+// (%.12g); non-finite values become the token `null` (JSON has no inf/nan).
+// Deterministic: identical doubles always render to identical bytes.
+void AppendJsonNumber(std::string& out, double v);
+
+}  // namespace comet

@@ -254,9 +254,11 @@ LoadGenOptions BaseLoadOptions(int64_t n = 24) {
 // a trickle each iteration so the queue never drains, warm up past every
 // capacity high-water mark (pool buffers, nc memo for the saturated batch
 // shape, executor output slabs), then count a mid-run window.
-void ExpectZeroAllocSteadyState(int num_threads, int ep, DType dtype) {
+void ExpectZeroAllocSteadyState(int num_threads, int ep, DType dtype,
+                                bool telemetry = false) {
   SCOPED_TRACE(testing::Message() << "threads=" << num_threads << " ep=" << ep
-                                  << " dtype=" << DTypeName(dtype));
+                                  << " dtype=" << DTypeName(dtype)
+                                  << " telemetry=" << telemetry);
   constexpr int64_t kRequests = 220;
   constexpr int kWarmupIters = 12;
   constexpr int kWindowIters = 24;
@@ -277,7 +279,9 @@ void ExpectZeroAllocSteadyState(int num_threads, int ep, DType dtype) {
     arrivals.push_back(r);
   }
 
-  MoeServer server(BaseServeOptions(ep, dtype, num_threads), H800Cluster(ep));
+  ServeOptions options = BaseServeOptions(ep, dtype, num_threads);
+  options.telemetry.enabled = telemetry;
+  MoeServer server(options, H800Cluster(ep));
   MoeServer::RunBounds bounds;
   bounds.expected_requests = kRequests;
   bounds.expected_tokens = total_tokens;
@@ -337,6 +341,18 @@ TEST(ZeroAllocServing, SteadyStateAcrossThreadsEpDtype) {
       for (DType dtype : {DType::kF32, DType::kBF16}) {
         ExpectZeroAllocSteadyState(num_threads, ep, dtype);
       }
+    }
+  }
+}
+
+// The telemetry plane's recording (registry counters/gauges/histograms +
+// the span ring, all live in this window) must be as allocation-free as the
+// loop it observes: same window, telemetry ON.
+TEST(ZeroAllocServing, SteadyStateWithTelemetryOn) {
+  for (int num_threads : {1, 8}) {
+    for (int ep : {1, 4}) {
+      ExpectZeroAllocSteadyState(num_threads, ep, DType::kF32,
+                                 /*telemetry=*/true);
     }
   }
 }

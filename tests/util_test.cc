@@ -6,6 +6,7 @@
 #include <cmath>
 #include <cstdio>
 #include <filesystem>
+#include <limits>
 
 #include "util/check.h"
 #include "util/metadata_store.h"
@@ -291,6 +292,104 @@ TEST(Stats, SummarizeLatency) {
   const LatencySummary empty = SummarizeLatency(std::vector<double>{});
   EXPECT_EQ(empty.count, 0u);
   EXPECT_DOUBLE_EQ(empty.p99, 0.0);
+}
+
+// ---- histogram -------------------------------------------------------------
+
+TEST(Histogram, BucketBoundaries) {
+  // Bucket 0: everything <= 1, including zero, negatives and NaN.
+  EXPECT_EQ(Histogram::BucketIndex(0.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(-5.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(1.0), 0u);
+  EXPECT_EQ(Histogram::BucketIndex(std::nan("")), 0u);
+  // Bucket i holds (2^(i-1), 2^i]: upper bounds are inclusive.
+  EXPECT_EQ(Histogram::BucketIndex(1.0001), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2.0), 1u);
+  EXPECT_EQ(Histogram::BucketIndex(2.0001), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(4.0), 2u);
+  EXPECT_EQ(Histogram::BucketIndex(1024.0), 10u);
+  EXPECT_EQ(Histogram::BucketIndex(1025.0), 11u);
+  // Overflow bucket: above 2^62, including +inf.
+  EXPECT_EQ(Histogram::BucketIndex(0x1p62), 62u);
+  EXPECT_EQ(Histogram::BucketIndex(0x1p63),
+            Histogram::kBuckets - 1);
+  EXPECT_EQ(Histogram::BucketIndex(std::numeric_limits<double>::infinity()),
+            Histogram::kBuckets - 1);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(0), 1.0);
+  EXPECT_DOUBLE_EQ(Histogram::BucketUpperBound(10), 1024.0);
+  EXPECT_TRUE(
+      std::isinf(Histogram::BucketUpperBound(Histogram::kBuckets - 1)));
+}
+
+TEST(Histogram, ExactCountAndSum) {
+  Histogram h;
+  double want_sum = 0.0;
+  Rng rng(31);
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.Uniform(0.0, 1e6);
+    h.Add(v);
+    want_sum += v;
+  }
+  EXPECT_EQ(h.count(), 500u);
+  // Count and sum are exact (same fp additions, same order), only the
+  // percentile view is bucketed.
+  EXPECT_DOUBLE_EQ(h.sum(), want_sum);
+  EXPECT_DOUBLE_EQ(h.mean(), want_sum / 500.0);
+  uint64_t total = 0;
+  for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+    total += h.bucket_count(b);
+  }
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(Histogram, PercentileMatchesBruteForce) {
+  // The estimate must equal BucketUpperBound(BucketIndex(x)) where x is the
+  // EXACT nearest-rank sample: bucketing is monotonic, so the rank-th sample
+  // and the rank-th bucketed sample land in the same bucket.
+  Rng rng(47);
+  for (int trial = 0; trial < 25; ++trial) {
+    Histogram h;
+    std::vector<double> v;
+    const int n = static_cast<int>(rng.UniformInt(1, 200));
+    for (int i = 0; i < n; ++i) {
+      // Mix scales so many buckets participate, including bucket 0.
+      const double x = std::exp(rng.Uniform(-2.0, 18.0));
+      h.Add(x);
+      v.push_back(x);
+    }
+    for (double p : {0.0, 12.5, 50.0, 90.0, 95.0, 99.0, 100.0}) {
+      const double exact = PercentileNearestRank(v, p);
+      EXPECT_DOUBLE_EQ(h.PercentileUpperBound(p),
+                       Histogram::BucketUpperBound(Histogram::BucketIndex(
+                           exact)))
+          << "n=" << n << " p=" << p;
+      // And the bound is in fact an upper bound on the exact percentile.
+      EXPECT_GE(h.PercentileUpperBound(p), exact);
+    }
+  }
+}
+
+TEST(Histogram, FromBucketsRoundTrips) {
+  Histogram h;
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    h.Add(rng.Uniform(0.0, 5000.0));
+  }
+  const Histogram copy = Histogram::FromBuckets(h.buckets(), h.sum());
+  EXPECT_EQ(copy.count(), h.count());
+  EXPECT_DOUBLE_EQ(copy.sum(), h.sum());
+  for (double p : {50.0, 95.0, 99.0}) {
+    EXPECT_DOUBLE_EQ(copy.PercentileUpperBound(p), h.PercentileUpperBound(p));
+  }
+}
+
+TEST(Histogram, ClearResets) {
+  Histogram h;
+  h.Add(3.0);
+  h.Clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_THROW(h.PercentileUpperBound(50.0), CheckError);
 }
 
 TEST(Stats, GeometricMean) {
